@@ -1,0 +1,29 @@
+# Canonical developer commands for the reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench figures report examples clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+figures:
+	for fig in figure2 figure3 figure4 figure5 figure6 figure7; do \
+		$(PYTHON) -m repro figure $$fig --quiet --csv benchmarks/results/$$fig.csv; \
+	done
+
+report:
+	$(PYTHON) -m repro report --output report.md
+
+examples:
+	for f in examples/*.py; do $(PYTHON) $$f; done
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

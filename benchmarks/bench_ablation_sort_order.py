@@ -1,0 +1,73 @@
+"""Ablation: is the benefit ratio the right dimension reduction?
+
+DRP's whole premise is that sorting by ``br = f/z`` turns the 2-D
+grouping problem into a 1-D partitioning problem.  This bench runs the
+identical bisection machinery over alternative orders — by frequency,
+by size, by ``f·z`` weight, and the catalogue order — and shows the
+benefit-ratio order wins (equivalently: loses least to the contiguous
+optimum computed in *its own* order).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import save_report
+from repro.analysis.stats import aggregate
+from repro.analysis.tables import format_table
+from repro.core.drp import drp_allocate
+from repro.workloads.generator import WorkloadSpec, generate_database
+
+ORDERS = ("benefit-ratio", "frequency", "size", "weight", "catalogue")
+
+
+def _ordered_items(database, order):
+    if order == "benefit-ratio":
+        return database.sorted_by_benefit_ratio()
+    if order == "frequency":
+        return database.sorted_by_frequency()
+    if order == "size":
+        return tuple(
+            sorted(database.items, key=lambda i: (-i.size, i.item_id))
+        )
+    if order == "weight":
+        return tuple(
+            sorted(database.items, key=lambda i: (-i.weight, i.item_id))
+        )
+    return database.items  # catalogue
+
+
+def compare_orders(seeds, num_items=120, num_channels=7):
+    costs = {order: [] for order in ORDERS}
+    for seed in seeds:
+        database = generate_database(
+            WorkloadSpec(num_items=num_items, seed=seed)
+        )
+        for order in ORDERS:
+            result = drp_allocate(
+                database,
+                num_channels,
+                presorted_items=_ordered_items(database, order),
+            )
+            costs[order].append(result.cost)
+    return costs
+
+
+def test_sort_order_ablation(benchmark):
+    costs = benchmark.pedantic(
+        compare_orders, args=(range(5),), rounds=1, iterations=1
+    )
+    rows = [
+        (order, aggregate(costs[order]).mean, aggregate(costs[order]).std)
+        for order in ORDERS
+    ]
+    report = format_table(
+        ["item order", "mean cost", "std"],
+        rows,
+        title="Ablation: DRP item order (cost, lower is better)",
+    )
+    save_report("ablation_sort_order", report)
+
+    br_mean = aggregate(costs["benefit-ratio"]).mean
+    for order in ORDERS:
+        if order == "benefit-ratio":
+            continue
+        assert br_mean <= aggregate(costs[order]).mean + 1e-9, order

@@ -1,0 +1,110 @@
+"""Complexity claims of Section 3, measured.
+
+* **Lemma 1**: DRP costs ``K·(O(K log K) + O(N))`` — for fixed K the
+  runtime is linear in N.  We time DRP over a 16× range of N and check
+  the growth stays near-linear (generous factor to absorb noise).
+* **CDS**: each iteration evaluates ``O(K·N)`` candidate moves; the
+  number of iterations to convergence grows slowly.  We record both.
+
+Timing assertions are deliberately loose — they guard the asymptotic
+*shape*, not microsecond values.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import save_report
+from repro.analysis.tables import format_table
+from repro.core.cds import cds_refine
+from repro.core.drp import drp_allocate
+from repro.workloads.generator import WorkloadSpec, generate_database
+
+SIZES = (60, 120, 240, 480, 960)
+
+
+def _median_time(function, repeats=5):
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        function()
+        samples.append(time.perf_counter() - start)
+    samples.sort()
+    return samples[len(samples) // 2]
+
+
+def test_drp_linear_in_n(benchmark):
+    def measure():
+        rows = []
+        for n in SIZES:
+            database = generate_database(WorkloadSpec(num_items=n, seed=1))
+            elapsed = _median_time(lambda db=database: drp_allocate(db, 7))
+            rows.append((n, elapsed * 1000))
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    report = format_table(
+        ["N", "DRP time (ms)"],
+        rows,
+        title="Lemma 1: DRP runtime vs N at K=7 (expected ~linear)",
+        precision=4,
+    )
+    save_report("complexity_drp", report)
+
+    # 16x more items should cost well under 16^2 = 256x if growth is
+    # ~linear; allow a factor 8 of slack over perfect linearity.
+    smallest, largest = rows[0][1], rows[-1][1]
+    scale = SIZES[-1] / SIZES[0]
+    assert largest / smallest < scale * 8
+
+
+def test_cds_iterations_and_move_evaluations(benchmark):
+    def measure():
+        rows = []
+        for n in SIZES[:4]:
+            database = generate_database(WorkloadSpec(num_items=n, seed=1))
+            rough = drp_allocate(database, 7)
+            start = time.perf_counter()
+            refined = cds_refine(rough.allocation)
+            elapsed = time.perf_counter() - start
+            rows.append(
+                (
+                    n,
+                    refined.iterations,
+                    elapsed * 1000,
+                    (rough.cost - refined.cost) / rough.cost * 100,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    report = format_table(
+        ["N", "CDS moves", "CDS time (ms)", "improvement (%)"],
+        rows,
+        title="CDS convergence vs N at K=7 (each move scans O(K*N) pairs)",
+        precision=3,
+    )
+    save_report("complexity_cds", report)
+
+    for _, iterations, _, improvement in rows:
+        assert iterations >= 0
+        assert improvement >= -1e-9
+    # Convergence stays modest: far fewer moves than items.
+    for n, iterations, _, _ in rows:
+        assert iterations < n
+
+
+def test_drp_runtime_insensitive_to_k(benchmark):
+    """K only contributes K heap ops + K split scans — tiny next to N."""
+    database = generate_database(WorkloadSpec(num_items=480, seed=2))
+
+    def measure():
+        return {
+            k: _median_time(lambda kk=k: drp_allocate(database, kk))
+            for k in (4, 16, 48)
+        }
+
+    times = benchmark.pedantic(measure, rounds=1, iterations=1)
+    # A 12x larger K may cost proportionally more splits (K-1 of them),
+    # but each split is O(N); total stays within ~linear-in-K bounds.
+    assert times[48] / times[4] < 48

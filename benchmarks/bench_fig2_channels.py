@@ -1,0 +1,52 @@
+"""Figure 2: channel number K vs average waiting time.
+
+Sweeps K = 4..10 with the paper's algorithm line-up (VF^K, DRP,
+DRP-CDS, GOPT) and prints/stores the regenerated series.  Expected
+shape (paper §4.2): waiting time decreases in K for every algorithm,
+VF^K's gap to GOPT widens with K, DRP-CDS stays within a few percent of
+GOPT, and DRP alone nearly matches DRP-CDS at K = 2^n.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import save_report
+from repro.core.scheduler import make_allocator
+from repro.experiments.figures import figure2
+from repro.experiments.runner import run_experiment
+
+
+def test_figure2_series(benchmark):
+    config = figure2().scaled_down(replications=3)
+    result = benchmark.pedantic(
+        run_experiment, args=(config,), rounds=1, iterations=1
+    )
+    save_report("figure2", result.to_text("mean_waiting_time"))
+
+    for value in result.sweep_values():
+        gopt = result.cell(value, "gopt").mean_waiting_time
+        vfk = result.cell(value, "vfk").mean_waiting_time
+        drpcds = result.cell(value, "drp-cds").mean_waiting_time
+        assert vfk >= gopt
+        assert drpcds >= gopt - 1e-12
+        # DRP-CDS within a few percent of the optimum proxy.
+        assert (drpcds - gopt) / gopt < 0.06
+    # Waiting time decreases in K (endpoints).
+    for algorithm in result.algorithms:
+        series = result.series(algorithm)
+        assert series[-1][1] < series[0][1]
+
+
+@pytest.mark.parametrize("num_channels", [4, 7, 10])
+def test_drp_cds_runtime_vs_channels(benchmark, standard_workload, num_channels):
+    allocator = make_allocator("drp-cds")
+    outcome = benchmark(allocator.allocate, standard_workload, num_channels)
+    assert outcome.allocation.num_channels == num_channels
+
+
+@pytest.mark.parametrize("num_channels", [4, 10])
+def test_vfk_runtime_vs_channels(benchmark, standard_workload, num_channels):
+    allocator = make_allocator("vfk")
+    outcome = benchmark(allocator.allocate, standard_workload, num_channels)
+    assert outcome.allocation.num_channels == num_channels

@@ -1,0 +1,42 @@
+"""Figure 3: number of broadcast items N vs average waiting time.
+
+Sweeps N = 60..180 at K = 7.  Expected shape (paper §4.2): waiting time
+grows with N for every algorithm; DRP alone degrades as N grows while
+DRP-CDS stays close to GOPT across the whole range.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import save_report
+from repro.core.scheduler import make_allocator
+from repro.experiments.figures import figure3
+from repro.experiments.runner import run_experiment
+
+
+def test_figure3_series(benchmark):
+    config = figure3().scaled_down(replications=3)
+    result = benchmark.pedantic(
+        run_experiment, args=(config,), rounds=1, iterations=1
+    )
+    save_report("figure3", result.to_text("mean_waiting_time"))
+
+    # Waiting time grows with N for every algorithm.
+    for algorithm in result.algorithms:
+        series = result.series(algorithm)
+        assert series[-1][1] > series[0][1]
+    # DRP-CDS stays close to GOPT across the range (quality maintained
+    # as N scales — the paper's CDS-scalability claim).
+    for value in result.sweep_values():
+        gopt = result.cell(value, "gopt").mean_waiting_time
+        drpcds = result.cell(value, "drp-cds").mean_waiting_time
+        assert (drpcds - gopt) / gopt < 0.06
+
+
+@pytest.mark.parametrize("fixture", ["small_workload", "standard_workload", "large_workload"])
+def test_drp_cds_runtime_vs_items(benchmark, request, fixture):
+    database = request.getfixturevalue(fixture)
+    allocator = make_allocator("drp-cds")
+    outcome = benchmark(allocator.allocate, database, 7)
+    assert outcome.allocation.num_channels == 7

@@ -1,0 +1,55 @@
+"""Figure 4: diversity Φ vs average waiting time.
+
+Sweeps Φ = 0..3 at N = 120, K = 7.  Expected shape (paper §4.3):
+waiting time rises steeply with Φ (average item size grows); VF^K is
+near-optimal at Φ = 0 (the conventional environment) but falls far
+behind as Φ grows, while DRP-CDS tracks GOPT everywhere — the paper's
+core motivation for diversity-aware allocation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import save_report
+from repro.core.scheduler import make_allocator
+from repro.experiments.figures import figure4
+from repro.experiments.runner import run_experiment
+from repro.workloads.generator import WorkloadSpec, generate_database
+
+
+def test_figure4_series(benchmark):
+    config = figure4().scaled_down(replications=3)
+    result = benchmark.pedantic(
+        run_experiment, args=(config,), rounds=1, iterations=1
+    )
+    save_report("figure4", result.to_text("mean_waiting_time"))
+
+    values = result.sweep_values()
+    # Waiting time rises sharply with diversity.
+    for algorithm in result.algorithms:
+        series = result.series(algorithm)
+        assert series[-1][1] > 10 * series[0][1]
+    # VF^K: competitive at Φ=0, clearly behind at Φ=3.
+    gap_at = {}
+    for value in (values[0], values[-1]):
+        gopt = result.cell(value, "gopt").mean_waiting_time
+        vfk = result.cell(value, "vfk").mean_waiting_time
+        gap_at[value] = (vfk - gopt) / gopt
+    assert gap_at[values[0]] < 0.02
+    assert gap_at[values[-1]] > gap_at[values[0]]
+    # DRP-CDS close to GOPT at every diversity level.
+    for value in values:
+        gopt = result.cell(value, "gopt").mean_waiting_time
+        drpcds = result.cell(value, "drp-cds").mean_waiting_time
+        assert (drpcds - gopt) / gopt < 0.06
+
+
+@pytest.mark.parametrize("diversity", [0.0, 1.5, 3.0])
+def test_drp_cds_runtime_vs_diversity(benchmark, diversity):
+    database = generate_database(
+        WorkloadSpec(num_items=120, diversity=diversity, seed=99)
+    )
+    allocator = make_allocator("drp-cds")
+    outcome = benchmark(allocator.allocate, database, 7)
+    assert outcome.allocation.num_channels == 7

@@ -1,0 +1,51 @@
+"""Figure 5: skewness θ vs average waiting time.
+
+Sweeps θ = 0.4..1.6 at N = 120, K = 7.  Expected shape (paper §4.4):
+waiting time falls as skew rises (hot items concentrate on short
+channels), and the DRP-CDS-vs-GOPT discrepancy shrinks with θ because
+access frequency increasingly dominates the allocation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import save_report
+from repro.core.scheduler import make_allocator
+from repro.experiments.figures import figure5
+from repro.experiments.runner import run_experiment
+from repro.workloads.generator import WorkloadSpec, generate_database
+
+
+def test_figure5_series(benchmark):
+    config = figure5().scaled_down(replications=3)
+    result = benchmark.pedantic(
+        run_experiment, args=(config,), rounds=1, iterations=1
+    )
+    save_report("figure5", result.to_text("mean_waiting_time"))
+
+    # Waiting time decreases with skewness for every algorithm.
+    for algorithm in result.algorithms:
+        series = result.series(algorithm)
+        assert series[-1][1] < series[0][1]
+    # DRP-CDS absolute error vs GOPT shrinks as skew rises.
+    values = result.sweep_values()
+    first_gap = (
+        result.cell(values[0], "drp-cds").mean_waiting_time
+        - result.cell(values[0], "gopt").mean_waiting_time
+    )
+    last_gap = (
+        result.cell(values[-1], "drp-cds").mean_waiting_time
+        - result.cell(values[-1], "gopt").mean_waiting_time
+    )
+    assert last_gap <= first_gap + 1e-9
+
+
+@pytest.mark.parametrize("skewness", [0.4, 1.0, 1.6])
+def test_drp_cds_runtime_vs_skewness(benchmark, skewness):
+    database = generate_database(
+        WorkloadSpec(num_items=120, skewness=skewness, seed=99)
+    )
+    allocator = make_allocator("drp-cds")
+    outcome = benchmark(allocator.allocate, database, 7)
+    assert outcome.allocation.num_channels == 7

@@ -1,0 +1,83 @@
+"""Extension bench: heterogeneous channel bandwidths.
+
+Quantifies what the bandwidth-aware pipeline (DESIGN.md §6) buys over
+the paper's homogeneous pipeline when channel capacities differ, and
+times the bandwidth-aware refinement.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import save_report
+from repro.analysis.tables import format_table
+from repro.core.hetero import (
+    HeteroDRPCDSAllocator,
+    hetero_cds_refine,
+    hetero_waiting_time,
+)
+from repro.core.drp import drp_allocate
+from repro.core.scheduler import DRPCDSAllocator
+from repro.workloads.generator import WorkloadSpec, generate_database
+
+BANDWIDTHS = [25.0, 10.0, 10.0, 5.0, 5.0, 5.0]
+
+
+def compare(seeds, num_items=90):
+    rows = []
+    for seed in seeds:
+        database = generate_database(
+            WorkloadSpec(num_items=num_items, seed=seed)
+        )
+        naive = DRPCDSAllocator().allocate(
+            database, len(BANDWIDTHS)
+        ).allocation
+        aware = (
+            HeteroDRPCDSAllocator(BANDWIDTHS)
+            .allocate(database, len(BANDWIDTHS))
+            .allocation
+        )
+        naive_wait = hetero_waiting_time(naive, BANDWIDTHS)
+        aware_wait = hetero_waiting_time(aware, BANDWIDTHS)
+        rows.append(
+            (
+                seed,
+                naive_wait,
+                aware_wait,
+                (naive_wait - aware_wait) / naive_wait * 100,
+            )
+        )
+    return rows
+
+
+def test_hetero_vs_homogeneous_pipeline(benchmark):
+    rows = benchmark.pedantic(compare, args=(range(4),), rounds=1, iterations=1)
+    report = format_table(
+        ["seed", "paper pipeline W_b", "bandwidth-aware W_b", "saved (%)"],
+        rows,
+        title=(
+            "Heterogeneous bandwidths "
+            f"{BANDWIDTHS}: homogeneous vs bandwidth-aware pipeline"
+        ),
+        precision=3,
+    )
+    save_report("hetero_pipeline", report)
+    for _, naive_wait, aware_wait, _ in rows:
+        assert aware_wait <= naive_wait + 1e-9
+
+
+def test_hetero_cds_runtime(benchmark, standard_workload):
+    bandwidths = [40.0, 20.0, 10.0, 10.0, 5.0, 5.0, 2.5]
+    rough = drp_allocate(standard_workload, len(bandwidths)).allocation
+    result = benchmark(hetero_cds_refine, rough, bandwidths)
+    assert result.converged
+
+
+@pytest.mark.parametrize("spread", ["flat", "steep"])
+def test_hetero_allocator_runtime(benchmark, standard_workload, spread):
+    bandwidths = (
+        [10.0] * 7 if spread == "flat" else [40.0, 20.0, 10.0, 5.0, 2.5, 2.5, 2.5]
+    )
+    allocator = HeteroDRPCDSAllocator(bandwidths)
+    outcome = benchmark(allocator.allocate, standard_workload, 7)
+    assert outcome.allocation.num_channels == 7

@@ -1,0 +1,74 @@
+"""Extension bench: incremental maintenance vs full rebuild.
+
+Times a single-item catalogue edit (insert + warm CDS polish) against a
+full DRP-CDS re-run and compares the resulting quality.  The point of
+incremental maintenance is the latency of the editing path — quality
+must stay within a few percent of the rebuild.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import save_report
+from repro.analysis.tables import format_table
+from repro.core.cost import allocation_cost
+from repro.core.incremental import insert_item, remove_item
+from repro.core.item import DataItem
+from repro.core.scheduler import DRPCDSAllocator
+from repro.workloads.generator import WorkloadSpec, generate_database
+
+
+def test_insert_quality_vs_rebuild(benchmark):
+    def run():
+        rows = []
+        allocator = DRPCDSAllocator()
+        for seed in range(4):
+            database = generate_database(
+                WorkloadSpec(num_items=120, seed=seed)
+            )
+            base = allocator.allocate(database, 7).allocation
+            new = DataItem("fresh", 0.05, 15.0)
+            grown_db, incremental = insert_item(base, new)
+            rebuilt = allocator.allocate(grown_db, 7)
+            inc_cost = allocation_cost(incremental)
+            rows.append(
+                (
+                    seed,
+                    inc_cost,
+                    rebuilt.cost,
+                    (inc_cost - rebuilt.cost) / rebuilt.cost * 100,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report = format_table(
+        ["seed", "incremental cost", "rebuild cost", "gap (%)"],
+        rows,
+        title="Insert one item: warm-started edit vs full DRP-CDS rebuild",
+        precision=4,
+    )
+    save_report("incremental_insert", report)
+    for _, inc_cost, rebuilt_cost, _ in rows:
+        assert inc_cost <= rebuilt_cost * 1.05
+
+
+def test_insert_latency(benchmark, standard_workload):
+    base = DRPCDSAllocator().allocate(standard_workload, 7).allocation
+    new = DataItem("fresh", 0.03, 9.0)
+    database, allocation = benchmark(insert_item, base, new)
+    assert "fresh" in database
+    assert allocation.num_channels == 7
+
+
+def test_remove_latency(benchmark, standard_workload):
+    base = DRPCDSAllocator().allocate(standard_workload, 7).allocation
+    victim = standard_workload.items[17].item_id
+    database, allocation = benchmark(remove_item, base, victim)
+    assert victim not in database
+
+
+def test_rebuild_latency_reference(benchmark, standard_workload):
+    """The number the edits are measured against."""
+    allocator = DRPCDSAllocator()
+    outcome = benchmark(allocator.allocate, standard_workload, 7)
+    assert outcome.allocation.num_channels == 7

@@ -1,0 +1,90 @@
+"""Extension bench: (1, m) index replication sweep.
+
+Regenerates the waiting-vs-tuning trade-off on a DRP-CDS program's
+hottest channel and checks the classic shape: tuning monotone
+decreasing in m, waiting U-shaped with its minimum near
+m* = sqrt(data/index).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import save_report
+from repro.analysis.tables import format_table
+from repro.core.scheduler import DRPCDSAllocator
+from repro.simulation.indexing import IndexedChannel, optimal_index_replication
+
+INDEX_ENTRY_SIZE = 0.25
+BANDWIDTH = 10.0
+
+
+def sweep(standard_workload):
+    allocation = DRPCDSAllocator().allocate(standard_workload, 6).allocation
+    hot = max(
+        range(allocation.num_channels),
+        key=lambda i: allocation.channel_stats[i].frequency,
+    )
+    items = allocation.channel_items(hot)
+    stats = allocation.channel_stats[hot]
+    rule = optimal_index_replication(
+        stats.size, len(items) * INDEX_ENTRY_SIZE
+    )
+    rows = []
+    weight = sum(item.frequency for item in items)
+    for m in range(1, len(items) + 1):
+        channel = IndexedChannel(
+            hot, items, BANDWIDTH,
+            replication=m, index_entry_size=INDEX_ENTRY_SIZE,
+        )
+        wait = sum(
+            item.frequency
+            * channel.expected_timing(item.item_id).waiting_time
+            for item in items
+        ) / weight
+        tune = sum(
+            item.frequency
+            * channel.expected_timing(item.item_id).tuning_time
+            for item in items
+        ) / weight
+        rows.append((m, wait, tune))
+    return rows, rule
+
+
+def test_index_replication_sweep(benchmark, standard_workload):
+    rows, rule = benchmark.pedantic(
+        sweep, args=(standard_workload,), rounds=1, iterations=1
+    )
+    report = format_table(
+        ["m", "E[wait] (s)", "E[tuning] (s)"],
+        rows,
+        title=f"(1, m) indexing sweep; sqrt rule suggests m* = {rule}",
+        precision=3,
+    )
+    save_report("indexing_sweep", report)
+
+    tunings = [tune for _, _, tune in rows]
+    waits = [wait for _, wait, _ in rows]
+    # Tuning falls monotonically.
+    assert all(a >= b - 1e-9 for a, b in zip(tunings, tunings[1:]))
+    # Waiting: extremes worse than the sqrt-rule point.
+    rule_wait = waits[rule - 1]
+    assert waits[-1] > rule_wait
+    # Empirical waiting minimum lands near the rule.
+    empirical = min(range(len(waits)), key=waits.__getitem__) + 1
+    assert abs(empirical - rule) <= 2
+
+
+def test_indexed_retrieval_throughput(benchmark, standard_workload):
+    allocation = DRPCDSAllocator().allocate(standard_workload, 6).allocation
+    items = allocation.channel_items(0)
+    channel = IndexedChannel(
+        0, items, BANDWIDTH, replication=2, index_entry_size=INDEX_ENTRY_SIZE
+    )
+    target = items[len(items) // 2].item_id
+
+    def retrieve_many():
+        total = 0.0
+        for k in range(1000):
+            total += channel.retrieve(target, k * 0.37).waiting_time
+        return total
+
+    assert benchmark(retrieve_many) > 0

@@ -1,0 +1,79 @@
+"""Tables 2-4: the paper's worked example, timed and verified.
+
+Regenerates the DRP trace (Table 3) and the CDS refinement (Table 4) on
+the exact Table 2 profile, asserting the golden costs while measuring
+how long the full DRP-CDS pipeline takes on the 15-item instance.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import save_report
+from repro.analysis.tables import format_table
+from repro.core.cds import cds_refine
+from repro.core.drp import drp_allocate
+from repro.workloads.paper_profile import (
+    PAPER_CDS_COST,
+    PAPER_DRP_COST,
+    PAPER_NUM_CHANNELS,
+    paper_database,
+)
+
+
+def run_pipeline():
+    database = paper_database()
+    rough = drp_allocate(
+        database, PAPER_NUM_CHANNELS, split_policy="max-reduction"
+    )
+    refined = cds_refine(rough.allocation)
+    return rough, refined
+
+
+def test_paper_example_pipeline(benchmark):
+    rough, refined = benchmark(run_pipeline)
+    assert rough.cost == pytest.approx(PAPER_DRP_COST, abs=0.02)
+    assert refined.cost == pytest.approx(PAPER_CDS_COST, abs=0.02)
+
+    rows = []
+    for index, group in enumerate(refined.allocation.as_id_lists()):
+        stats = refined.allocation.channel_stats[index]
+        rows.append(
+            (
+                index + 1,
+                " ".join(group),
+                stats.frequency,
+                stats.size,
+                stats.cost,
+            )
+        )
+    report = format_table(
+        ["channel", "items", "F_i", "Z_i", "cost"],
+        rows,
+        title=(
+            "Tables 2-4 reproduction: DRP cost "
+            f"{rough.cost:.2f} (paper 24.09), CDS cost "
+            f"{refined.cost:.2f} (paper 22.29)"
+        ),
+    )
+    save_report("paper_example", report)
+
+
+def test_paper_example_drp_only(benchmark):
+    database = paper_database()
+    result = benchmark(
+        drp_allocate,
+        database,
+        PAPER_NUM_CHANNELS,
+        split_policy="max-reduction",
+    )
+    assert result.cost == pytest.approx(PAPER_DRP_COST, abs=0.02)
+
+
+def test_paper_example_cds_only(benchmark):
+    database = paper_database()
+    rough = drp_allocate(
+        database, PAPER_NUM_CHANNELS, split_policy="max-reduction"
+    )
+    result = benchmark(cds_refine, rough.allocation)
+    assert result.cost == pytest.approx(PAPER_CDS_COST, abs=0.02)

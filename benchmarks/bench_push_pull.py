@@ -1,0 +1,107 @@
+"""Extension bench: push vs pull broadcasting across load levels.
+
+The paper's footnote 1 situates its push-based problem next to
+on-demand (pull) broadcast [2].  This bench makes the folklore
+comparison concrete on diverse data: at the same aggregate bandwidth,
+a pull server (RxW batching) dominates when requests are sparse, while
+the push program's load-independent `W_b` wins once the air saturates.
+Also compares the on-demand policies on the diverse catalogue, where
+the size-aware RxW variant shines.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import save_report
+from repro.analysis.tables import format_table
+from repro.core.scheduler import DRPCDSAllocator
+from repro.simulation.ondemand import (
+    FCFSPolicy,
+    MRFPolicy,
+    RxWPolicy,
+    SizeAwareRxWPolicy,
+    compare_push_pull,
+    simulate_on_demand,
+)
+from repro.workloads.generator import WorkloadSpec, generate_database
+
+RATES = (0.1, 1.0, 10.0, 50.0, 200.0)
+
+
+def crossover():
+    database = generate_database(
+        WorkloadSpec(num_items=60, skewness=1.0, diversity=1.5, seed=3)
+    )
+    allocation = DRPCDSAllocator().allocate(database, 4).allocation
+    return compare_push_pull(
+        database,
+        allocation,
+        rates=RATES,
+        num_channels=4,
+        num_requests=4000,
+    )
+
+
+def test_push_pull_crossover(benchmark):
+    rows = benchmark.pedantic(crossover, rounds=1, iterations=1)
+    table_rows = [
+        (rate, pull, push, "pull" if pull < push else "push")
+        for rate, pull, push in rows
+    ]
+    report = format_table(
+        ["request rate (1/s)", "pull wait (s)", "push W_b (s)", "winner"],
+        table_rows,
+        title=(
+            "Push (DRP-CDS program) vs pull (RxW on-demand), "
+            "equal aggregate bandwidth"
+        ),
+        precision=3,
+    )
+    save_report("push_pull_crossover", report)
+
+    # Pull wins the quiet end; its wait grows monotonically-ish with
+    # load while push stays flat; push wins the saturated end.
+    assert rows[0][1] < rows[0][2]
+    assert rows[-1][1] > rows[0][1]
+    assert rows[-1][1] > rows[-1][2] * 0.9  # pull no longer clearly ahead
+
+
+def test_on_demand_policies(benchmark):
+    database = generate_database(
+        WorkloadSpec(num_items=60, skewness=1.0, diversity=2.0, seed=3)
+    )
+
+    def run_policies():
+        rows = []
+        for factory in (FCFSPolicy, MRFPolicy, RxWPolicy, SizeAwareRxWPolicy):
+            report = simulate_on_demand(
+                database,
+                policy=factory(),
+                num_channels=2,
+                num_requests=4000,
+                arrival_rate=8.0,
+                seed=1,
+            )
+            rows.append(
+                (
+                    report.policy,
+                    report.waiting.mean,
+                    report.stretch.mean,
+                    report.mean_batch_size,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run_policies, rounds=1, iterations=1)
+    report = format_table(
+        ["policy", "mean wait (s)", "mean stretch", "mean batch"],
+        rows,
+        title="On-demand policies on a diverse catalogue (Φ=2)",
+        precision=3,
+    )
+    save_report("ondemand_policies", report)
+
+    by_policy = {name: (wait, stretch) for name, wait, stretch, _ in rows}
+    # The size-aware variant gives the best stretch on diverse data.
+    assert by_policy["rxw-size"][1] == min(
+        stretch for _, stretch in by_policy.values()
+    )

@@ -1,0 +1,97 @@
+"""Extension bench: multi-item query workloads.
+
+How do the paper's allocators hold up when clients need *sets* of items
+(the setting of the paper's references [9][10])?  Compares mean query
+span across allocation strategies, and greedy vs fixed retrieval.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import save_report
+from repro.analysis.tables import format_table
+from repro.baselines.flat import RoundRobinAllocator
+from repro.core.allocation import ChannelAllocation
+from repro.core.database import BroadcastDatabase
+from repro.core.item import DataItem
+from repro.core.scheduler import DRPCDSAllocator, make_allocator
+from repro.simulation.queries import simulate_query_workload
+from repro.workloads.queries import (
+    generate_query_workload,
+    item_frequencies_from_queries,
+)
+
+
+def run_comparison(database, num_channels=5):
+    workload = generate_query_workload(
+        database, 40, min_items=1, max_items=4, seed=5
+    )
+    freqs = item_frequencies_from_queries(
+        workload, list(database.item_ids)
+    )
+    derived = BroadcastDatabase(
+        DataItem(item.item_id, freqs[item.item_id], item.size)
+        for item in database.items
+    )
+    query_aware = DRPCDSAllocator().allocate(derived, num_channels).allocation
+    query_aware = ChannelAllocation(
+        database,
+        [
+            [database[i.item_id] for i in group]
+            for group in query_aware.channels
+        ],
+    )
+    configurations = {
+        "round-robin": RoundRobinAllocator()
+        .allocate(database, num_channels)
+        .allocation,
+        "vfk": make_allocator("vfk").allocate(database, num_channels).allocation,
+        "drp-cds (item profile)": DRPCDSAllocator()
+        .allocate(database, num_channels)
+        .allocation,
+        "drp-cds (query-derived profile)": query_aware,
+    }
+    rows = []
+    for label, allocation in configurations.items():
+        span = simulate_query_workload(
+            allocation, workload, num_requests=1200, seed=9
+        ).mean
+        rows.append((label, span))
+    # Retrieval-strategy ablation on the best allocation.
+    fixed = simulate_query_workload(
+        query_aware, workload, num_requests=1200, seed=9, strategy="fixed"
+    ).mean
+    return rows, fixed
+
+
+def test_query_workload_comparison(benchmark, standard_workload):
+    rows, fixed_span = benchmark.pedantic(
+        run_comparison, args=(standard_workload,), rounds=1, iterations=1
+    )
+    report = format_table(
+        ["configuration", "mean query span (s)"],
+        rows + [("query-derived profile, fixed-order client", fixed_span)],
+        title="Multi-item queries (1-4 items) over a 120-item catalogue",
+        precision=3,
+    )
+    save_report("query_workloads", report)
+
+    spans = dict(rows)
+    # Frequency-aware allocations beat the flat deal on query spans too.
+    assert spans["drp-cds (query-derived profile)"] < spans["round-robin"]
+    # The greedy client beats the fixed-order client.
+    assert spans["drp-cds (query-derived profile)"] <= fixed_span + 1e-9
+
+
+def test_query_retrieval_throughput(benchmark, small_workload):
+    allocation = DRPCDSAllocator().allocate(small_workload, 5).allocation
+    workload = generate_query_workload(
+        small_workload, 20, min_items=2, max_items=4, seed=1
+    )
+    summary = benchmark.pedantic(
+        simulate_query_workload,
+        args=(allocation, workload),
+        kwargs={"num_requests": 1000, "seed": 0},
+        rounds=2,
+        iterations=1,
+    )
+    assert summary.count == 1000

@@ -1,0 +1,47 @@
+"""Shared helpers for the benchmark harness.
+
+Every ``bench_*`` module regenerates one table or figure of the paper.
+Series tables are printed to stdout *and* written to
+``benchmarks/results/<name>.txt`` so a ``--benchmark-only`` run leaves
+a complete, inspectable record of the reproduction.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+import repro.baselines  # noqa: F401  (registers allocators)
+from repro.workloads.generator import WorkloadSpec, generate_database
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def save_report(name: str, text: str) -> None:
+    """Persist a regenerated table and echo it to the console."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}\n")
+
+
+@pytest.fixture(scope="session")
+def standard_workload():
+    """The mid-range workload used by single-point timing benches."""
+    return generate_database(
+        WorkloadSpec(num_items=120, skewness=0.8, diversity=1.5, seed=99)
+    )
+
+
+@pytest.fixture(scope="session")
+def small_workload():
+    return generate_database(
+        WorkloadSpec(num_items=60, skewness=0.8, diversity=1.5, seed=99)
+    )
+
+
+@pytest.fixture(scope="session")
+def large_workload():
+    return generate_database(
+        WorkloadSpec(num_items=180, skewness=0.8, diversity=1.5, seed=99)
+    )

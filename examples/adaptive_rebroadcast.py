@@ -1,0 +1,95 @@
+"""Scenario: adaptive re-broadcasting under drifting client interests.
+
+Run with::
+
+    python examples/adaptive_rebroadcast.py
+
+The paper's complexity result — DRP-CDS generates programs orders of
+magnitude faster than a GA — is what makes *adaptive* operation
+practical: the server can afford to re-run the allocator at every epoch
+boundary.  This example closes the Figure 1 loop end to end:
+
+  clients request (with drifting interests)
+    -> server logs the trace
+    -> estimates fresh frequencies (Laplace-smoothed counts)
+    -> regenerates the broadcast program with DRP-CDS
+
+and compares against a server that never re-allocates.
+"""
+
+from __future__ import annotations
+
+from repro import DRPCDSAllocator, WorkloadSpec, generate_database
+from repro.analysis.tables import format_table
+from repro.simulation import RotatingDrift, run_adaptive_simulation
+from repro.workloads import CountEstimator
+
+
+def main() -> None:
+    database = generate_database(
+        WorkloadSpec(num_items=60, skewness=1.2, diversity=1.8, seed=13)
+    )
+    # Harsh drift: popularity ranks rotate by 12 items per epoch, so
+    # after a few epochs yesterday's program is badly stale.
+    drift = RotatingDrift(
+        [item.frequency for item in database.items], shift_per_epoch=12
+    )
+    common = dict(
+        num_channels=6,
+        epochs=6,
+        requests_per_epoch=4000,
+        drift=drift,
+        estimator=CountEstimator(smoothing=0.5),
+        seed=2,
+    )
+
+    adaptive = run_adaptive_simulation(
+        database, DRPCDSAllocator(), adapt=True, **common
+    )
+    static = run_adaptive_simulation(
+        database, DRPCDSAllocator(), adapt=False, **common
+    )
+
+    rows = []
+    for a, s in zip(adaptive, static):
+        rows.append(
+            (
+                a.epoch,
+                s.measured.mean,
+                a.measured.mean,
+                s.profile_error,
+                a.profile_error,
+            )
+        )
+    print(
+        format_table(
+            [
+                "epoch",
+                "static wait (s)",
+                "adaptive wait (s)",
+                "static profile err",
+                "adaptive profile err",
+            ],
+            rows,
+            title="Drifting interests: static vs adaptive broadcast program",
+            precision=3,
+        )
+    )
+
+    static_mean = sum(r.measured.mean for r in static[1:]) / (len(static) - 1)
+    adaptive_mean = sum(r.measured.mean for r in adaptive[1:]) / (
+        len(adaptive) - 1
+    )
+    print(
+        f"\nafter drift sets in (epochs 1+): static {static_mean:.2f}s vs "
+        f"adaptive {adaptive_mean:.2f}s "
+        f"({(static_mean - adaptive_mean) / static_mean * 100:.1f}% saved)"
+    )
+    print(
+        "profile error is the L1 distance between the profile the program\n"
+        "was built from and the epoch's true request distribution."
+    )
+
+
+if __name__ == "__main__":
+    main()

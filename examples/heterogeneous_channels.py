@@ -1,0 +1,104 @@
+"""Scenario: unequal channel capacities (extension beyond the paper).
+
+Run with::
+
+    python examples/heterogeneous_channels.py
+
+The paper assumes every channel has the same bandwidth.  Suppose an
+operator aggregates whatever spectrum it has: one wide channel and
+several narrow ones.  With per-channel bandwidth the download term of
+the waiting time is no longer allocation-independent, and it also
+matters *which* group lands on *which* channel.  This example compares:
+
+1. the paper's DRP-CDS dropped naively onto the unequal channels
+   (groups assigned in DRP order),
+2. DRP-CDS plus the optimal group-to-channel assignment
+   (rearrangement inequality), and
+3. the full bandwidth-aware pipeline (`HeteroDRPCDSAllocator`),
+
+all evaluated with the generalised waiting-time model of
+`repro.core.hetero` and cross-checked by discrete-event simulation.
+"""
+
+from __future__ import annotations
+
+from repro import DRPCDSAllocator, WorkloadSpec, generate_database
+from repro.analysis.tables import format_table
+from repro.core.hetero import (
+    HeteroDRPCDSAllocator,
+    assign_groups_to_bandwidths,
+    hetero_waiting_time,
+)
+from repro.simulation import run_broadcast_simulation
+
+#: One fat pipe, two medium, three narrow — total 60 units/s over K=6.
+BANDWIDTHS = [25.0, 10.0, 10.0, 5.0, 5.0, 5.0]
+
+
+def main() -> None:
+    database = generate_database(
+        WorkloadSpec(num_items=90, skewness=0.9, diversity=2.0, seed=17)
+    )
+    num_channels = len(BANDWIDTHS)
+    print(
+        f"catalogue: {len(database)} items; channel bandwidths "
+        f"{BANDWIDTHS} (units/s)\n"
+    )
+
+    # 1. Naive: the paper's pipeline, groups in DRP order.
+    naive = DRPCDSAllocator().allocate(database, num_channels).allocation
+
+    # 2. Same groups, optimally assigned to channels.
+    groups = [list(g) for g in naive.channels]
+    mapping = assign_groups_to_bandwidths(groups, BANDWIDTHS)
+    assigned = naive.replace_channels(
+        [groups[mapping[i]] for i in range(num_channels)]
+    )
+
+    # 3. Fully bandwidth-aware pipeline.
+    aware = (
+        HeteroDRPCDSAllocator(BANDWIDTHS)
+        .allocate(database, num_channels)
+        .allocation
+    )
+
+    rows = []
+    for label, allocation in (
+        ("paper pipeline, naive placement", naive),
+        ("+ optimal group placement", assigned),
+        ("bandwidth-aware pipeline", aware),
+    ):
+        analytical = hetero_waiting_time(allocation, BANDWIDTHS)
+        simulated = run_broadcast_simulation(
+            allocation,
+            bandwidths=BANDWIDTHS,
+            num_requests=30000,
+            seed=4,
+        ).measured.mean
+        rows.append((label, analytical, simulated))
+    print(
+        format_table(
+            ["configuration", "analytical W_b (s)", "simulated W_b (s)"],
+            rows,
+            precision=3,
+        )
+    )
+
+    base, placed, full = (row[1] for row in rows)
+    print(
+        f"\noptimal placement alone saves "
+        f"{(base - placed) / base * 100:.1f}%; the bandwidth-aware "
+        f"pipeline saves {(base - full) / base * 100:.1f}% total."
+    )
+    print("\nbandwidth-aware channel layout:")
+    for index, group in enumerate(aware.channels):
+        stats = aware.channel_stats[index]
+        print(
+            f"  channel {index} ({BANDWIDTHS[index]:5.1f} u/s): "
+            f"{stats.count:3d} items, F={stats.frequency:.3f}, "
+            f"cycle={stats.size / BANDWIDTHS[index]:7.1f}s"
+        )
+
+
+if __name__ == "__main__":
+    main()

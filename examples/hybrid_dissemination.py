@@ -1,0 +1,111 @@
+"""Scenario: hybrid dissemination — push the head, pull the tail.
+
+Run with::
+
+    python examples/hybrid_dissemination.py
+
+A classic architecture combines both dissemination modes: broadcast the
+popular head of the catalogue as a periodic push program (scales to any
+audience) and serve the long cold tail on-demand (no one should wait
+half a cycle for an item requested twice a day).  This example sizes
+the split with the library's own tools:
+
+1. sort the catalogue by access frequency;
+2. for each split point, build a DRP-CDS program for the head over
+   K−1 channels and give the tail one on-demand channel (RxW);
+3. measure the blended mean waiting time and pick the best split.
+
+All pieces — the allocator, the analytical model, the on-demand
+simulator — come from the public API.
+"""
+
+from __future__ import annotations
+
+from repro import BroadcastDatabase, DRPCDSAllocator, WorkloadSpec, generate_database
+from repro.analysis.tables import format_table
+from repro.core.cost import average_waiting_time
+from repro.simulation.ondemand import SizeAwareRxWPolicy, simulate_on_demand
+
+TOTAL_CHANNELS = 6
+BANDWIDTH = 10.0
+REQUEST_RATE = 4.0  # aggregate requests per second
+
+
+def main() -> None:
+    database = generate_database(
+        WorkloadSpec(num_items=100, skewness=1.1, diversity=1.8, seed=23)
+    )
+    by_popularity = database.sorted_by_frequency()
+
+    # Pure-push reference: all items, all channels.
+    pure_push = average_waiting_time(
+        DRPCDSAllocator().allocate(database, TOTAL_CHANNELS).allocation,
+        bandwidth=BANDWIDTH,
+    )
+
+    rows = []
+    best = ("pure push", pure_push)
+    for head_count in (60, 75, 90):
+        head_items = by_popularity[:head_count]
+        tail_items = by_popularity[head_count:]
+        head_mass = sum(item.frequency for item in head_items)
+        tail_mass = 1.0 - head_mass
+
+        # Push program for the head over K-1 channels (frequencies
+        # renormalised — the program only competes for head requests).
+        head_db = BroadcastDatabase(head_items, require_normalized=False)
+        head_db = head_db.normalized()
+        push_wait = average_waiting_time(
+            DRPCDSAllocator().allocate(head_db, TOTAL_CHANNELS - 1).allocation,
+            bandwidth=BANDWIDTH,
+        )
+
+        # On-demand channel for the tail; tail requests arrive at the
+        # tail's share of the aggregate rate.
+        tail_db = BroadcastDatabase(
+            tail_items, require_normalized=False
+        ).normalized()
+        pull = simulate_on_demand(
+            tail_db,
+            policy=SizeAwareRxWPolicy(),
+            num_channels=1,
+            bandwidth=BANDWIDTH,
+            num_requests=4000,
+            arrival_rate=REQUEST_RATE * tail_mass,
+            seed=1,
+        )
+        blended = head_mass * push_wait + tail_mass * pull.waiting.mean
+        label = f"push {head_count} hot / pull {len(tail_items)} cold"
+        rows.append(
+            (label, push_wait, pull.waiting.mean, blended)
+        )
+        if blended < best[1]:
+            best = (label, blended)
+
+    print(
+        format_table(
+            [
+                "configuration",
+                "head push wait (s)",
+                "tail pull wait (s)",
+                "blended wait (s)",
+            ],
+            rows,
+            title=(
+                f"Hybrid dissemination, {TOTAL_CHANNELS} channels total, "
+                f"aggregate rate {REQUEST_RATE}/s"
+            ),
+            precision=3,
+        )
+    )
+    print(f"\npure push (all {len(database)} items): {pure_push:.3f}s")
+    print(f"best configuration: {best[0]} at {best[1]:.3f}s")
+    print(
+        "\nmoving the cold tail off the cycle shortens the push program\n"
+        "for everyone, while the trickle of tail requests is served\n"
+        "almost immediately by the dedicated on-demand channel."
+    )
+
+
+if __name__ == "__main__":
+    main()

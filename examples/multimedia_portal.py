@@ -1,0 +1,107 @@
+"""Scenario: a mobile multimedia portal — the paper's motivating setting.
+
+Run with::
+
+    python examples/multimedia_portal.py
+
+The paper's introduction motivates diverse data broadcasting with
+modern information services mixing text, images, audio and video.  This
+example builds such a catalogue explicitly — four content classes with
+realistic size scales and popularity — and shows why a size-oblivious
+(conventional) allocator melts down while DRP-CDS keeps popular text
+snappy without starving video.
+"""
+
+from __future__ import annotations
+
+from repro import DRPCDSAllocator
+from repro.analysis.tables import format_table
+from repro.baselines import VFKAllocator
+from repro.core.cost import average_waiting_time
+from repro.simulation.server import BroadcastProgram
+from repro.workloads.catalog import (
+    MULTIMEDIA_CLASSES,
+    build_catalogue,
+    class_of,
+)
+
+#: The library's default mobile-portal mix (text/image/audio/video).
+CONTENT_CLASSES = MULTIMEDIA_CLASSES
+
+
+def per_class_waiting(program: BroadcastProgram) -> dict:
+    """Frequency-weighted expected waiting time per content class."""
+    totals: dict = {}
+    for item in program.allocation.database:
+        name = class_of(item.item_id)
+        wait = program.expected_waiting_time(item.item_id)
+        freq_sum, wait_sum = totals.get(name, (0.0, 0.0))
+        totals[name] = (freq_sum + item.frequency,
+                        wait_sum + item.frequency * wait)
+    return {
+        name: wait_sum / freq_sum
+        for name, (freq_sum, wait_sum) in totals.items()
+    }
+
+
+def main() -> None:
+    database = build_catalogue()
+    num_channels = 8
+    bandwidth = 100.0  # units/second — a faster pipe for multimedia
+
+    print(
+        f"portal catalogue: {len(database)} items, "
+        f"{database.total_size:,.0f} size units total\n"
+    )
+
+    outcomes = {
+        "vfk (size-oblivious)": VFKAllocator().allocate(
+            database, num_channels
+        ),
+        "drp-cds (diverse-aware)": DRPCDSAllocator().allocate(
+            database, num_channels
+        ),
+    }
+
+    rows = []
+    for name, outcome in outcomes.items():
+        rows.append(
+            (
+                name,
+                average_waiting_time(outcome.allocation, bandwidth=bandwidth),
+            )
+        )
+    print(format_table(["allocator", "avg waiting time (s)"], rows))
+
+    print("\nPer-class expected waiting time (seconds):")
+    class_rows = []
+    programs = {
+        name: BroadcastProgram(outcome.allocation, bandwidth=bandwidth)
+        for name, outcome in outcomes.items()
+    }
+    class_names = [spec.name for spec in CONTENT_CLASSES]
+    for class_name in class_names:
+        row = [class_name]
+        for name in outcomes:
+            row.append(per_class_waiting(programs[name])[class_name])
+        class_rows.append(tuple(row))
+    print(
+        format_table(
+            ["class"] + list(outcomes), class_rows, precision=2
+        )
+    )
+
+    drpcds = outcomes["drp-cds (diverse-aware)"]
+    print("\nDRP-CDS channel layout (hot/small -> cold/large):")
+    for index, group in enumerate(drpcds.allocation.channels):
+        classes = sorted({class_of(item.item_id) for item in group})
+        stats = drpcds.allocation.channel_stats[index]
+        print(
+            f"  channel {index}: {stats.count:3d} items "
+            f"({', '.join(classes)}), cycle "
+            f"{stats.size / bandwidth:7.1f}s"
+        )
+
+
+if __name__ == "__main__":
+    main()

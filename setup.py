@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The execution environment has setuptools but no ``wheel`` package, so
+PEP 517 editable installs fail with "invalid command 'bdist_wheel'".
+Keeping a setup.py (and no [build-system] table) lets ``pip install -e .``
+use the legacy develop path.  All metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

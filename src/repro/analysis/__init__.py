@@ -1,0 +1,35 @@
+"""Statistics, table rendering and analytical bounds."""
+
+from repro.analysis.charts import bar_chart, grouped_bar_chart, series_chart
+from repro.analysis.stats import Aggregate, aggregate, geometric_mean, relative_gap
+from repro.analysis.summary import (
+    AlgorithmSummary,
+    summarize_experiment,
+    trend_direction,
+)
+from repro.analysis.tables import format_float, format_table
+from repro.analysis.theory import (
+    conventional_waiting_time,
+    cost_lower_bound,
+    single_channel_cost,
+    waiting_time_lower_bound,
+)
+
+__all__ = [
+    "Aggregate",
+    "aggregate",
+    "relative_gap",
+    "geometric_mean",
+    "format_table",
+    "format_float",
+    "bar_chart",
+    "grouped_bar_chart",
+    "series_chart",
+    "AlgorithmSummary",
+    "summarize_experiment",
+    "trend_direction",
+    "cost_lower_bound",
+    "waiting_time_lower_bound",
+    "single_channel_cost",
+    "conventional_waiting_time",
+]

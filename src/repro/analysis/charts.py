@@ -1,0 +1,154 @@
+"""ASCII charts — terminal-friendly rendering of experiment series.
+
+The paper presents its evaluation as bar charts; the CLI can sketch the
+same shapes directly in the terminal.  Pure string manipulation, no
+plotting dependency; precise numbers live in the companion tables
+(:mod:`repro.analysis.tables`), the charts are for shape at a glance.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Mapping, Optional, Sequence, Tuple
+
+__all__ = ["bar_chart", "grouped_bar_chart", "series_chart"]
+
+_BLOCK = "█"
+_HALF = "▌"
+
+
+def _scaled_width(value: float, maximum: float, width: int) -> int:
+    if maximum <= 0:
+        return 0
+    return max(0, round(value / maximum * width))
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    *,
+    width: int = 40,
+    title: Optional[str] = None,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart, one bar per (label, value).
+
+    Example::
+
+        vfk      ████████████████████████████████████████ 9.29
+        drp-cds  ██████████████████████████████▌ 7.05
+    """
+    if len(labels) != len(values):
+        raise ValueError(
+            f"{len(labels)} labels but {len(values)} values"
+        )
+    if not labels:
+        raise ValueError("cannot chart an empty series")
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+    if any(v < 0 or not math.isfinite(v) for v in values):
+        raise ValueError("values must be finite and non-negative")
+    maximum = max(values)
+    label_width = max(len(str(label)) for label in labels)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for label, value in zip(labels, values):
+        cells = _scaled_width(value, maximum, 2 * width)
+        bar = _BLOCK * (cells // 2) + (_HALF if cells % 2 else "")
+        lines.append(
+            f"{str(label):<{label_width}}  {bar} {value:g}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    group_labels: Sequence[str],
+    series: Mapping[str, Sequence[float]],
+    *,
+    width: int = 40,
+    title: Optional[str] = None,
+    unit: str = "",
+) -> str:
+    """Grouped horizontal bars — the shape of the paper's figures.
+
+    ``series`` maps a series name (algorithm) to one value per group
+    (sweep point).  All series share a common scale.
+    """
+    if not group_labels:
+        raise ValueError("cannot chart an empty sweep")
+    if not series:
+        raise ValueError("need at least one series")
+    for name, values in series.items():
+        if len(values) != len(group_labels):
+            raise ValueError(
+                f"series {name!r} has {len(values)} values for "
+                f"{len(group_labels)} groups"
+            )
+    maximum = max(max(values) for values in series.values())
+    name_width = max(len(name) for name in series)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for index, group in enumerate(group_labels):
+        lines.append(f"{group}:")
+        for name, values in series.items():
+            value = values[index]
+            cells = _scaled_width(value, maximum, 2 * width)
+            bar = _BLOCK * (cells // 2) + (_HALF if cells % 2 else "")
+            lines.append(
+                f"  {name:<{name_width}}  {bar} {value:g}{unit}"
+            )
+    return "\n".join(lines)
+
+
+def series_chart(
+    points: Sequence[Tuple[float, float]],
+    *,
+    width: int = 60,
+    height: int = 12,
+    title: Optional[str] = None,
+) -> str:
+    """Scatter/line sketch of an (x, y) series on a character grid.
+
+    Nearest-cell plotting with ``*`` markers, y-axis labels on the
+    left.  Good enough to eyeball monotonicity and curvature.
+    """
+    if len(points) < 2:
+        raise ValueError("need at least two points")
+    if width < 2 or height < 2:
+        raise ValueError("width and height must be >= 2")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    if any(not math.isfinite(v) for v in xs + ys):
+        raise ValueError("points must be finite")
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    x_span = x_high - x_low or 1.0
+    y_span = y_high - y_low or 1.0
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    for x, y in points:
+        column = round((x - x_low) / x_span * (width - 1))
+        row = round((y - y_low) / y_span * (height - 1))
+        grid[height - 1 - row][column] = "*"
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_high:g}"
+    bottom_label = f"{y_low:g}"
+    label_width = max(len(top_label), len(bottom_label))
+    for index, row_cells in enumerate(grid):
+        if index == 0:
+            label = top_label
+        elif index == height - 1:
+            label = bottom_label
+        else:
+            label = ""
+        lines.append(f"{label:>{label_width}} |{''.join(row_cells)}")
+    lines.append(
+        f"{'':>{label_width}} +{'-' * width}"
+    )
+    lines.append(
+        f"{'':>{label_width}}  {x_low:<g}{'':^{max(0, width - 12)}}{x_high:>g}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,64 @@
+"""Statistics helpers for aggregating experiment replications."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["Aggregate", "aggregate", "relative_gap", "geometric_mean"]
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """Mean / std / standard-error of a replication sample."""
+
+    count: int
+    mean: float
+    std: float
+
+    @property
+    def sem(self) -> float:
+        """Standard error of the mean."""
+        if self.count < 2:
+            return 0.0
+        return self.std / math.sqrt(self.count)
+
+
+def aggregate(values: Sequence[float]) -> Aggregate:
+    """Aggregate replication values (sample standard deviation)."""
+    if not values:
+        raise ValueError("cannot aggregate an empty sequence")
+    count = len(values)
+    mean = math.fsum(values) / count
+    if count > 1:
+        variance = math.fsum((v - mean) ** 2 for v in values) / (count - 1)
+        std = math.sqrt(variance)
+    else:
+        std = 0.0
+    return Aggregate(count=count, mean=mean, std=std)
+
+
+def relative_gap(value: float, reference: float) -> float:
+    """``(value − reference) / reference`` — the optimality-gap metric.
+
+    Positive when ``value`` is worse (larger) than the reference; the
+    paper reports DRP-CDS "error compared to the optimal waiting time is
+    about 3%" in exactly this sense.
+    """
+    if reference == 0:
+        raise ValueError("reference must be non-zero")
+    return (value - reference) / reference
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean (all values must be positive).
+
+    The right average for ratios such as per-instance speedups or
+    optimality gaps expressed multiplicatively.
+    """
+    if not values:
+        raise ValueError("cannot average an empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(math.fsum(math.log(v) for v in values) / len(values))

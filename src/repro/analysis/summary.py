@@ -1,0 +1,119 @@
+"""Experiment summarisation: gaps, winners and trend checks.
+
+Turns a raw :class:`~repro.experiments.records.ExperimentResult` into
+the judgments the paper's prose makes ("VF^K's discrepancy increases
+with K", "DRP-CDS is within 3% of the optimum") so that reports, the
+CLI and the benchmark assertions all derive them the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.stats import relative_gap
+
+if TYPE_CHECKING:  # import only for annotations — avoids a cycle with
+    # repro.experiments (whose report module uses this one).
+    from repro.experiments.records import ExperimentResult
+
+__all__ = ["AlgorithmSummary", "summarize_experiment", "trend_direction"]
+
+
+@dataclass(frozen=True)
+class AlgorithmSummary:
+    """One algorithm's standing within an experiment.
+
+    Gaps are relative to the reference algorithm at the same sweep
+    point (positive = worse than the reference).
+    """
+
+    algorithm: str
+    mean_gap: float
+    max_gap: float
+    min_gap: float
+    wins: int  # sweep points where this algorithm was the best overall
+
+    @property
+    def mean_gap_percent(self) -> float:
+        return self.mean_gap * 100.0
+
+
+def summarize_experiment(
+    result: "ExperimentResult",
+    *,
+    reference: str = "gopt",
+    metric: str = "mean_waiting_time",
+) -> List[AlgorithmSummary]:
+    """Per-algorithm gap summary against a reference algorithm.
+
+    Raises
+    ------
+    KeyError
+        If the reference algorithm is not part of the experiment.
+    """
+    if reference not in result.algorithms:
+        raise KeyError(
+            f"reference {reference!r} not among {result.algorithms}"
+        )
+    values = result.sweep_values()
+    per_algorithm: Dict[str, List[float]] = {
+        algorithm: [] for algorithm in result.algorithms
+    }
+    best_at: Dict[float, str] = {}
+    for value in values:
+        readings = {
+            algorithm: getattr(result.cell(value, algorithm), metric)
+            for algorithm in result.algorithms
+        }
+        baseline = readings[reference]
+        best_at[value] = min(readings, key=readings.get)
+        for algorithm, reading in readings.items():
+            per_algorithm[algorithm].append(
+                relative_gap(reading, baseline)
+            )
+    summaries = []
+    for algorithm in result.algorithms:
+        gaps = per_algorithm[algorithm]
+        summaries.append(
+            AlgorithmSummary(
+                algorithm=algorithm,
+                mean_gap=sum(gaps) / len(gaps),
+                max_gap=max(gaps),
+                min_gap=min(gaps),
+                wins=sum(
+                    1 for value in values if best_at[value] == algorithm
+                ),
+            )
+        )
+    return summaries
+
+
+def trend_direction(
+    series: Sequence[Tuple[float, float]],
+    *,
+    tolerance: float = 0.0,
+) -> Optional[str]:
+    """Classify a sweep series: 'decreasing', 'increasing', or None.
+
+    A series is monotone under the given absolute ``tolerance`` (adjacent
+    wobbles within the tolerance do not break the trend).  Mixed series
+    return ``None``.  Used to assert the paper's qualitative claims
+    ("waiting time decreases as K increases") mechanically.
+    """
+    if len(series) < 2:
+        raise ValueError("need at least two points to define a trend")
+    ys = [y for _, y in series]
+    non_increasing = all(
+        b <= a + tolerance for a, b in zip(ys, ys[1:])
+    )
+    non_decreasing = all(
+        b >= a - tolerance for a, b in zip(ys, ys[1:])
+    )
+    strictly_down = ys[-1] < ys[0]
+    strictly_up = ys[-1] > ys[0]
+    if non_increasing and strictly_down:
+        return "decreasing"
+    if non_decreasing and strictly_up:
+        return "increasing"
+    return None

@@ -1,0 +1,85 @@
+"""Plain-text table rendering for experiment reports.
+
+The benchmark harness prints the paper's figures as rows/series tables
+(we regenerate the *data* of each figure, not its bitmap).  This module
+owns the formatting so every experiment and example prints consistently.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Union
+
+__all__ = ["format_table", "format_float"]
+
+Cell = Union[str, float, int, None]
+
+
+def format_float(value: float, *, precision: int = 4) -> str:
+    """Compact float formatting: fixed precision, no trailing noise."""
+    formatted = f"{value:.{precision}f}"
+    if "." in formatted:
+        formatted = formatted.rstrip("0").rstrip(".")
+    return formatted if formatted else "0"
+
+
+def _render_cell(cell: Cell, precision: int) -> str:
+    if cell is None:
+        return "-"
+    if isinstance(cell, bool):  # bool is an int subclass; keep it textual
+        return str(cell)
+    if isinstance(cell, int):
+        return str(cell)
+    if isinstance(cell, float):
+        return format_float(cell, precision=precision)
+    return str(cell)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    *,
+    title: Optional[str] = None,
+    precision: int = 4,
+) -> str:
+    """Render an aligned ASCII table.
+
+    Numeric cells are right-aligned, text cells left-aligned; ``None``
+    renders as ``-``.  Example::
+
+        K    vfk     drp     drp-cds  gopt
+        ---  ------  ------  -------  ------
+        4    9.1203  8.8901  8.7624   8.7105
+    """
+    materialised: List[List[str]] = []
+    numeric: List[List[bool]] = []
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+        materialised.append([_render_cell(cell, precision) for cell in row])
+        numeric.append(
+            [isinstance(cell, (int, float)) and not isinstance(cell, bool)
+             for cell in row]
+        )
+    widths = [len(header) for header in headers]
+    for row in materialised:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def pad(text: str, index: int, right: bool) -> str:
+        return text.rjust(widths[index]) if right else text.ljust(widths[index])
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(pad(h, i, right=False) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row, flags in zip(materialised, numeric):
+        lines.append(
+            "  ".join(
+                pad(cell, index, right=flags[index])
+                for index, cell in enumerate(row)
+            )
+        )
+    return "\n".join(lines)

@@ -1,0 +1,49 @@
+"""Comparators and baselines for the evaluation.
+
+Importing this package registers every baseline in the allocator
+registry (:func:`repro.core.scheduler.make_allocator`), so experiment
+configs can refer to algorithms by name.
+"""
+
+from repro.baselines.annealing import AnnealingAllocator, AnnealingParameters
+from repro.baselines.exact import (
+    BruteForceAllocator,
+    ContiguousDPAllocator,
+    brute_force_optimal,
+    partitions_into_k,
+    stirling2,
+)
+from repro.baselines.flat import (
+    GreedyCostAllocator,
+    RandomAllocator,
+    RoundRobinAllocator,
+)
+from repro.baselines.gopt import GAParameters, GOPTAllocator
+from repro.baselines.vfk import VFKAllocator, unit_size_contiguous_optimal
+from repro.core.scheduler import register_allocator
+
+__all__ = [
+    "RoundRobinAllocator",
+    "RandomAllocator",
+    "GreedyCostAllocator",
+    "VFKAllocator",
+    "unit_size_contiguous_optimal",
+    "GOPTAllocator",
+    "GAParameters",
+    "AnnealingAllocator",
+    "AnnealingParameters",
+    "BruteForceAllocator",
+    "ContiguousDPAllocator",
+    "brute_force_optimal",
+    "partitions_into_k",
+    "stirling2",
+]
+
+register_allocator("round-robin", RoundRobinAllocator)
+register_allocator("random", RandomAllocator)
+register_allocator("greedy", GreedyCostAllocator)
+register_allocator("vfk", VFKAllocator)
+register_allocator("gopt", GOPTAllocator)
+register_allocator("annealing", AnnealingAllocator)
+register_allocator("brute-force", BruteForceAllocator)
+register_allocator("contiguous-dp", ContiguousDPAllocator)

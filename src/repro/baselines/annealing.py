@@ -1,0 +1,143 @@
+"""Simulated-annealing comparator (extension; not in the paper).
+
+Included as an ablation reference for mechanism CDS: CDS is a *greedy*
+best-improvement local search and stops at the first local optimum,
+whereas annealing can escape local optima by accepting uphill moves.
+Comparing the two quantifies how much quality the paper's simple rule
+leaves on the table (empirically: very little — see
+``benchmarks/bench_ablation_refiners.py``).
+
+The move set is the same as CDS's (relocate one item to another
+channel), evaluated in O(1) with Eq. (4); cooling is geometric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.allocation import ChannelAllocation
+from repro.core.cds import cds_refine
+from repro.core.cost import allocation_cost, move_delta
+from repro.core.database import BroadcastDatabase
+from repro.core.drp import drp_allocate
+from repro.core.item import DataItem
+from repro.core.scheduler import Allocator
+from repro.exceptions import InfeasibleProblemError
+
+__all__ = ["AnnealingParameters", "AnnealingAllocator"]
+
+
+@dataclass(frozen=True)
+class AnnealingParameters:
+    """Simulated-annealing schedule.
+
+    Attributes
+    ----------
+    initial_temperature:
+        Starting temperature, as a fraction of the seed allocation's
+        cost (relative scaling keeps the schedule meaningful across
+        workload magnitudes).
+    cooling_rate:
+        Geometric decay factor per epoch, in (0, 1).
+    epochs:
+        Number of temperature steps; ``None`` → ``60 + N // 2``.
+    moves_per_epoch:
+        Candidate moves per temperature step; ``None`` → ``10 × N``.
+    """
+
+    initial_temperature: float = 0.05
+    cooling_rate: float = 0.9
+    epochs: Optional[int] = None
+    moves_per_epoch: Optional[int] = None
+
+    def resolved_epochs(self, num_items: int) -> int:
+        return self.epochs if self.epochs is not None else 60 + num_items // 2
+
+    def resolved_moves(self, num_items: int) -> int:
+        return (
+            self.moves_per_epoch
+            if self.moves_per_epoch is not None
+            else 10 * num_items
+        )
+
+
+class AnnealingAllocator(Allocator):
+    """Simulated annealing over single-item relocations.
+
+    Seeds from DRP (like the paper's pipeline seeds CDS), then anneals,
+    then finishes with a plain CDS descent so the output is always at a
+    local optimum at least as good as the annealed state.
+    """
+
+    name = "annealing"
+
+    def __init__(
+        self,
+        parameters: Optional[AnnealingParameters] = None,
+        *,
+        seed: int = 0,
+    ) -> None:
+        self._parameters = parameters or AnnealingParameters()
+        self._seed = seed
+
+    def _allocate(
+        self, database: BroadcastDatabase, num_channels: int
+    ) -> ChannelAllocation:
+        n = len(database)
+        if not 1 <= num_channels <= n:
+            raise InfeasibleProblemError(
+                f"cannot allocate {n} item(s) to {num_channels} non-empty channels"
+            )
+        params = self._parameters
+        rng = np.random.default_rng(self._seed)
+        seed_allocation = drp_allocate(database, num_channels).allocation
+        groups: List[List[DataItem]] = [
+            list(group) for group in seed_allocation.channels
+        ]
+        agg_f = [stat.frequency for stat in seed_allocation.channel_stats]
+        agg_z = [stat.size for stat in seed_allocation.channel_stats]
+        current_cost = allocation_cost(seed_allocation)
+
+        temperature = params.initial_temperature * current_cost
+        accepted = 0
+        for _epoch in range(params.resolved_epochs(n)):
+            for _move in range(params.resolved_moves(n)):
+                origin = int(rng.integers(0, num_channels))
+                if len(groups[origin]) <= 1:
+                    continue  # never empty a channel
+                position = int(rng.integers(0, len(groups[origin])))
+                destination = int(rng.integers(0, num_channels - 1))
+                if destination >= origin:
+                    destination += 1
+                item = groups[origin][position]
+                delta = move_delta(
+                    item,
+                    origin_frequency=agg_f[origin],
+                    origin_size=agg_z[origin],
+                    dest_frequency=agg_f[destination],
+                    dest_size=agg_z[destination],
+                )
+                # delta > 0 improves; accept worse moves with the
+                # Metropolis probability exp(delta / T).
+                if delta <= 0.0 and (
+                    temperature <= 0.0
+                    or rng.random() >= np.exp(delta / temperature)
+                ):
+                    continue
+                groups[origin].pop(position)
+                groups[destination].append(item)
+                agg_f[origin] -= item.frequency
+                agg_z[origin] -= item.size
+                agg_f[destination] += item.frequency
+                agg_z[destination] += item.size
+                current_cost -= delta
+                accepted += 1
+            temperature *= params.cooling_rate
+
+        annealed = ChannelAllocation(database, groups)
+        refined = cds_refine(annealed)
+        self._note(accepted_moves=accepted, final_descent_moves=refined.iterations)
+        return refined.allocation

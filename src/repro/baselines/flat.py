@@ -1,0 +1,123 @@
+"""Simple allocation baselines: round-robin, random, greedy.
+
+None of these appear in the paper's evaluation — the paper compares
+against VF^K and GOPT — but a credible harness needs naive floors:
+
+* :class:`RoundRobinAllocator` — deal items over channels in catalogue
+  order (the "flat broadcast program" of the paper's introduction,
+  adapted to multiple channels);
+* :class:`RandomAllocator` — a uniformly random feasible allocation
+  (the expected-cost floor any heuristic must beat);
+* :class:`GreedyCostAllocator` — insert items in descending ``f·z``
+  weight, each into the channel where the marginal cost increase
+  ``F_g·z_x + Z_g·f_x + f_x·z_x`` is smallest (an LPT-style greedy).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.allocation import ChannelAllocation
+from repro.core.database import BroadcastDatabase
+from repro.core.item import DataItem
+from repro.core.scheduler import Allocator
+from repro.exceptions import InfeasibleProblemError
+
+__all__ = ["RoundRobinAllocator", "RandomAllocator", "GreedyCostAllocator"]
+
+
+def _check_feasible(database: BroadcastDatabase, num_channels: int) -> None:
+    if not 1 <= num_channels <= len(database):
+        raise InfeasibleProblemError(
+            f"cannot allocate {len(database)} item(s) to {num_channels} "
+            "non-empty channels"
+        )
+
+
+class RoundRobinAllocator(Allocator):
+    """Deal items over the K channels in catalogue order.
+
+    Item ``i`` goes to channel ``i mod K``.  With a Zipf catalogue this
+    spreads popular items across channels, which is exactly what makes
+    flat programs ineffective — a useful floor.
+    """
+
+    name = "round-robin"
+
+    def _allocate(
+        self, database: BroadcastDatabase, num_channels: int
+    ) -> ChannelAllocation:
+        _check_feasible(database, num_channels)
+        groups: List[List[DataItem]] = [[] for _ in range(num_channels)]
+        for index, item in enumerate(database.items):
+            groups[index % num_channels].append(item)
+        return ChannelAllocation(database, groups)
+
+
+class RandomAllocator(Allocator):
+    """A uniformly random feasible allocation.
+
+    Feasibility (every channel non-empty) is guaranteed by first dealing
+    one random item per channel, then assigning the rest uniformly.
+    """
+
+    name = "random"
+
+    def __init__(self, seed: Optional[int] = 0) -> None:
+        self._seed = seed
+
+    def _allocate(
+        self, database: BroadcastDatabase, num_channels: int
+    ) -> ChannelAllocation:
+        _check_feasible(database, num_channels)
+        rng = np.random.default_rng(self._seed)
+        n = len(database)
+        order = rng.permutation(n)
+        assignment = rng.integers(0, num_channels, size=n)
+        # The first K items of the shuffle pin one item per channel.
+        for channel, index in enumerate(order[:num_channels]):
+            assignment[index] = channel
+        self._note(seed=self._seed)
+        return ChannelAllocation.from_assignment_vector(
+            database, assignment.tolist(), num_channels
+        )
+
+
+class GreedyCostAllocator(Allocator):
+    """Greedy marginal-cost insertion in descending weight order.
+
+    Items are considered in descending ``f·z`` (the heaviest contributors
+    first, LPT style).  Adding item ``x`` to a channel with aggregates
+    ``(F, Z)`` raises the cost by ``F·z_x + Z·f_x + f_x·z_x``; the item
+    goes wherever that increase is smallest.  The first K items seed the
+    K channels so none stays empty.
+    """
+
+    name = "greedy"
+
+    def _allocate(
+        self, database: BroadcastDatabase, num_channels: int
+    ) -> ChannelAllocation:
+        _check_feasible(database, num_channels)
+        ordered = sorted(
+            database.items, key=lambda item: (-item.weight, item.item_id)
+        )
+        groups: List[List[DataItem]] = [[] for _ in range(num_channels)]
+        agg_f = [0.0] * num_channels
+        agg_z = [0.0] * num_channels
+        for index, item in enumerate(ordered):
+            if index < num_channels:
+                target = index
+            else:
+                target = min(
+                    range(num_channels),
+                    key=lambda g: agg_f[g] * item.size
+                    + agg_z[g] * item.frequency
+                    + item.weight,
+                )
+            groups[target].append(item)
+            agg_f[target] += item.frequency
+            agg_z[target] += item.size
+        return ChannelAllocation(database, groups)

@@ -1,0 +1,114 @@
+"""Algorithm VF^K — the conventional-environment comparator.
+
+Peng & Chen's VF^K ("variant-fanout" channel-allocation-tree algorithm,
+Wireless Networks 2003) generates broadcast programs for the
+*conventional* environment where every item has the same size.  The
+paper uses it as the representative conventional algorithm (Figures
+2–5): VF^K sees only access frequencies, so in a diverse environment it
+misallocates large unpopular items and falls behind.
+
+Reproduction note (also recorded in DESIGN.md): VF^K's tree growth
+explores contiguous splits of the frequency-sorted item list, choosing
+splits that minimise expected delay under the unit-size model.  We
+implement the equivalent optimisation directly: an exact dynamic program
+over contiguous splits of the frequency-descending order minimising the
+unit-size cost
+
+.. math::  \\sum_{i=1}^{K} F_i \\cdot N_i ,
+
+which is the paper's Eq. (3) with every ``z = 1``.  This gives VF^K its
+best-case behaviour (the DP dominates the greedy tree growth), so the
+comparison is conservative: the diverse-environment gap the experiments
+show is *not* an artefact of a weak VF^K implementation.
+
+The resulting grouping is then evaluated under the true item sizes —
+exactly how the paper scores VF^K in the diverse environment.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+from repro.core.allocation import ChannelAllocation
+from repro.core.database import BroadcastDatabase
+from repro.core.item import DataItem
+from repro.core.scheduler import Allocator
+from repro.exceptions import InfeasibleProblemError
+
+__all__ = ["VFKAllocator", "unit_size_contiguous_optimal"]
+
+
+def unit_size_contiguous_optimal(
+    items: Sequence[DataItem],
+    num_groups: int,
+) -> Tuple[List[Tuple[int, int]], float]:
+    """Optimal K-way contiguous partition under the unit-size cost.
+
+    Minimises :math:`\\sum_g F_g \\cdot N_g` over contiguous partitions
+    of ``items`` (which callers sort by frequency, descending).  Returns
+    ``(boundaries, unit_cost)`` with half-open ``(start, stop)`` pairs.
+
+    Complexity O(K·N²), the same DP shape as
+    :func:`repro.core.partition.contiguous_optimal`.
+    """
+    n = len(items)
+    if not 1 <= num_groups <= n:
+        raise InfeasibleProblemError(
+            f"cannot split {n} item(s) into {num_groups} non-empty groups"
+        )
+    prefix_f = [0.0] * (n + 1)
+    for index, item in enumerate(items):
+        prefix_f[index + 1] = prefix_f[index] + item.frequency
+
+    def segment_cost(start: int, stop: int) -> float:
+        return (prefix_f[stop] - prefix_f[start]) * (stop - start)
+
+    infinity = math.inf
+    dp = [[infinity] * (n + 1) for _ in range(num_groups + 1)]
+    choice = [[0] * (n + 1) for _ in range(num_groups + 1)]
+    dp[0][0] = 0.0
+    for g in range(1, num_groups + 1):
+        for i in range(g, n - (num_groups - g) + 1):
+            best_value = infinity
+            best_j = g - 1
+            for j in range(g - 1, i):
+                if dp[g - 1][j] == infinity:
+                    continue
+                value = dp[g - 1][j] + segment_cost(j, i)
+                if value < best_value:
+                    best_value = value
+                    best_j = j
+            dp[g][i] = best_value
+            choice[g][i] = best_j
+    boundaries: List[Tuple[int, int]] = []
+    stop = n
+    for g in range(num_groups, 0, -1):
+        start = choice[g][stop]
+        boundaries.append((start, stop))
+        stop = start
+    boundaries.reverse()
+    return boundaries, dp[num_groups][n]
+
+
+class VFKAllocator(Allocator):
+    """VF^K: frequency-only contiguous allocation (conventional model).
+
+    Sorts items by access frequency in descending order and partitions
+    that order into K contiguous groups minimising the unit-size cost
+    ``Σ F_i·N_i``.  Popular items land in small (short-cycle) channels —
+    optimal when all items have equal size, oblivious to actual sizes.
+    """
+
+    name = "vfk"
+
+    def _allocate(
+        self, database: BroadcastDatabase, num_channels: int
+    ) -> ChannelAllocation:
+        ordered = database.sorted_by_frequency()
+        boundaries, unit_cost = unit_size_contiguous_optimal(
+            ordered, num_channels
+        )
+        groups = [list(ordered[start:stop]) for start, stop in boundaries]
+        self._note(unit_size_cost=unit_cost)
+        return ChannelAllocation(database, groups)

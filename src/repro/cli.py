@@ -1,0 +1,557 @@
+"""Command-line interface: ``repro-broadcast`` / ``python -m repro``.
+
+Subcommands
+-----------
+``list``
+    Show registered algorithms and reproducible figures.
+``example``
+    Walk the paper's worked example (Tables 2–4) step by step.
+``allocate``
+    Generate a workload, run one or more algorithms, compare results.
+``figure``
+    Regenerate the data behind one of the paper's figures.
+``simulate``
+    Validate an allocation against the analytical model with the
+    discrete-event simulator.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+import repro.baselines  # noqa: F401  (registers baseline allocators)
+from repro.analysis.tables import format_float, format_table
+from repro.analysis.theory import waiting_time_lower_bound
+from repro.core.cost import DEFAULT_BANDWIDTH, average_waiting_time
+from repro.core.drp import drp_allocate
+from repro.core.cds import cds_refine
+from repro.core.scheduler import available_allocators, make_allocator
+from repro.experiments.figures import FIGURE_METRICS, FIGURES, figure_config
+from repro.experiments.runner import run_experiment
+from repro.simulation.simulator import run_broadcast_simulation
+from repro.workloads.generator import WorkloadSpec, generate_database
+from repro.workloads.paper_profile import PAPER_NUM_CHANNELS, paper_database
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-broadcast",
+        description=(
+            "Diverse data broadcasting channel allocation "
+            "(reproduction of Hung & Chen, ICDCS 2005)"
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list algorithms and figures")
+
+    subparsers.add_parser(
+        "example", help="walk the paper's worked example (Tables 2-4)"
+    )
+
+    allocate = subparsers.add_parser(
+        "allocate", help="run algorithms on a synthetic workload"
+    )
+    allocate.add_argument("--items", type=int, default=120, help="N (items)")
+    allocate.add_argument("--channels", type=int, default=7, help="K (channels)")
+    allocate.add_argument("--skewness", type=float, default=0.8, help="Zipf θ")
+    allocate.add_argument(
+        "--diversity", type=float, default=1.5, help="size diversity Φ"
+    )
+    allocate.add_argument("--seed", type=int, default=0, help="workload seed")
+    allocate.add_argument(
+        "--bandwidth", type=float, default=DEFAULT_BANDWIDTH, help="bandwidth b"
+    )
+    allocate.add_argument(
+        "--algorithms",
+        nargs="+",
+        default=["vfk", "drp", "drp-cds", "gopt"],
+        help="registered algorithm names",
+    )
+
+    figure = subparsers.add_parser(
+        "figure", help="regenerate a paper figure's data"
+    )
+    figure.add_argument(
+        "figure_id", choices=sorted(FIGURES), help="which figure"
+    )
+    figure.add_argument(
+        "--replications", type=int, default=None, help="override replications"
+    )
+    figure.add_argument("--csv", default=None, help="write rows to CSV file")
+    figure.add_argument("--json", default=None, help="write result to JSON file")
+    figure.add_argument(
+        "--quiet", action="store_true", help="suppress per-point progress"
+    )
+    figure.add_argument(
+        "--chart",
+        action="store_true",
+        help="also sketch the series as an ASCII chart",
+    )
+
+    gap = subparsers.add_parser(
+        "gap", help="true optimality gaps vs brute-force ground truth"
+    )
+    gap.add_argument("--items", type=int, default=10, help="N per instance")
+    gap.add_argument("--channels", type=int, default=3, help="K per instance")
+    gap.add_argument(
+        "--instances", type=int, default=10, help="number of instances"
+    )
+    gap.add_argument(
+        "--algorithms",
+        nargs="+",
+        default=None,
+        help="algorithms to measure (default: paper line-up + contiguous-dp)",
+    )
+
+    simulate = subparsers.add_parser(
+        "simulate", help="validate an allocation with the event simulator"
+    )
+    simulate.add_argument("--items", type=int, default=60)
+    simulate.add_argument("--channels", type=int, default=5)
+    simulate.add_argument("--skewness", type=float, default=0.8)
+    simulate.add_argument("--diversity", type=float, default=1.5)
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument("--requests", type=int, default=20000)
+    simulate.add_argument("--algorithm", default="drp-cds")
+
+    adaptive = subparsers.add_parser(
+        "adaptive",
+        help="simulate drifting demand: static vs adaptive re-allocation",
+    )
+    adaptive.add_argument("--items", type=int, default=60)
+    adaptive.add_argument("--channels", type=int, default=6)
+    adaptive.add_argument("--epochs", type=int, default=6)
+    adaptive.add_argument("--requests", type=int, default=3000)
+    adaptive.add_argument(
+        "--shift", type=int, default=10,
+        help="popularity rank rotation per epoch",
+    )
+    adaptive.add_argument("--seed", type=int, default=0)
+
+    hetero = subparsers.add_parser(
+        "hetero",
+        help="allocate onto channels with unequal bandwidths",
+    )
+    hetero.add_argument("--items", type=int, default=90)
+    hetero.add_argument(
+        "--bandwidths",
+        nargs="+",
+        type=float,
+        default=[25.0, 10.0, 10.0, 5.0, 5.0, 5.0],
+        help="per-channel bandwidths (defines K)",
+    )
+    hetero.add_argument("--seed", type=int, default=0)
+
+    report = subparsers.add_parser(
+        "report",
+        help="run the full reproduction and emit a markdown report",
+    )
+    report.add_argument(
+        "--replications", type=int, default=None,
+        help="override figure replications (default: paper settings)",
+    )
+    report.add_argument(
+        "--output", default=None, help="write the markdown to this file"
+    )
+    report.add_argument("--quiet", action="store_true")
+
+    index = subparsers.add_parser(
+        "index",
+        help="(1, m) indexing trade-off on the hottest channel",
+    )
+    index.add_argument("--items", type=int, default=120)
+    index.add_argument("--channels", type=int, default=6)
+    index.add_argument(
+        "--entry-size", type=float, default=0.25,
+        help="index directory units per item",
+    )
+    index.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def _cmd_list() -> int:
+    print("Registered algorithms:")
+    for name in sorted(available_allocators()):
+        print(f"  {name}")
+    print()
+    print("Reproducible figures:")
+    for figure_id in sorted(FIGURES):
+        config = figure_config(figure_id)
+        print(f"  {figure_id}: {config.description}")
+    return 0
+
+
+def _cmd_example() -> int:
+    database = paper_database()
+    print("Paper worked example (Tables 2-4): N=15 items, K=5 channels\n")
+    rows = [
+        (item.item_id, item.frequency, item.size, item.benefit_ratio)
+        for item in database.sorted_by_benefit_ratio()
+    ]
+    print(
+        format_table(
+            ["item", "freq", "size", "benefit ratio"],
+            rows,
+            title="Table 2 profile (sorted by benefit ratio)",
+        )
+    )
+    print()
+    result = drp_allocate(
+        database, PAPER_NUM_CHANNELS, split_policy="max-reduction", trace=True
+    )
+    for snapshot in result.snapshots:
+        print(f"DRP iteration {snapshot.iteration}:")
+        for index, (group, cost) in enumerate(
+            zip(snapshot.groups, snapshot.costs)
+        ):
+            marker = " <- split next" if index == snapshot.split_group else ""
+            print(
+                f"  group {index + 1}: {{{', '.join(group)}}} "
+                f"cost={format_float(cost, precision=2)}{marker}"
+            )
+    print(f"\nDRP cost: {format_float(result.cost, precision=2)} (paper: 24.09)")
+    refined = cds_refine(result.allocation)
+    print("\nCDS moves:")
+    for move in refined.moves:
+        print(
+            f"  move {move.item_id}: group {move.origin + 1} -> "
+            f"group {move.destination + 1}  "
+            f"delta={format_float(move.delta, precision=2)}  "
+            f"cost={format_float(move.cost_after, precision=2)}"
+        )
+    print(f"\nCDS cost: {format_float(refined.cost, precision=2)} (paper: 22.29)")
+    print("\nFinal allocation:")
+    for index, group in enumerate(refined.allocation.as_id_lists()):
+        print(f"  channel {index + 1}: {{{', '.join(group)}}}")
+    return 0
+
+
+def _cmd_allocate(args: argparse.Namespace) -> int:
+    spec = WorkloadSpec(
+        num_items=args.items,
+        skewness=args.skewness,
+        diversity=args.diversity,
+        seed=args.seed,
+    )
+    database = generate_database(spec)
+    print(
+        f"Workload: N={args.items}, K={args.channels}, θ={args.skewness}, "
+        f"Φ={args.diversity}, seed={args.seed}"
+    )
+    bound = waiting_time_lower_bound(
+        database, args.channels, bandwidth=args.bandwidth
+    )
+    rows = []
+    for name in args.algorithms:
+        allocator = make_allocator(name)
+        outcome = allocator.allocate(database, args.channels)
+        rows.append(
+            (
+                name,
+                outcome.cost,
+                average_waiting_time(
+                    outcome.allocation, bandwidth=args.bandwidth
+                ),
+                outcome.elapsed_seconds * 1000.0,
+            )
+        )
+    print(
+        format_table(
+            ["algorithm", "cost", "waiting time (s)", "exec time (ms)"],
+            rows,
+        )
+    )
+    print(f"\nanalytical waiting-time lower bound: {format_float(bound)}")
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    config = figure_config(args.figure_id)
+    if args.replications is not None:
+        config = config.scaled_down(replications=args.replications)
+    progress = None if args.quiet else print
+    result = run_experiment(config, progress=progress)
+    print()
+    metric = FIGURE_METRICS[args.figure_id]
+    print(result.to_text(metric))
+    if "gopt" in result.algorithms and metric == "mean_waiting_time":
+        from repro.analysis.summary import summarize_experiment
+
+        print("\ngap vs GOPT (mean over sweep):")
+        for summary in summarize_experiment(result, reference="gopt"):
+            if summary.algorithm == "gopt":
+                continue
+            print(
+                f"  {summary.algorithm}: {summary.mean_gap_percent:+.2f}% "
+                f"(worst {summary.max_gap * 100:+.2f}%)"
+            )
+    if args.chart:
+        from repro.analysis.charts import grouped_bar_chart
+
+        series = {
+            algorithm: [v for _, v in result.series(algorithm, metric)]
+            for algorithm in result.algorithms
+        }
+        labels = [
+            f"{config.sweep_parameter}={value:g}"
+            for value in result.sweep_values()
+        ]
+        print()
+        print(grouped_bar_chart(labels, series, title=f"{args.figure_id} shape"))
+    if args.csv:
+        result.to_csv(args.csv)
+        print(f"\nwrote {args.csv}")
+    if args.json:
+        result.to_json(args.json)
+        print(f"wrote {args.json}")
+    return 0
+
+
+def _cmd_gap(args: argparse.Namespace) -> int:
+    from repro.experiments.gap import DEFAULT_GAP_ALGORITHMS, run_gap_experiment
+
+    algorithms = tuple(args.algorithms or DEFAULT_GAP_ALGORITHMS)
+    reports = run_gap_experiment(
+        num_items=args.items,
+        num_channels=args.channels,
+        instances=args.instances,
+        algorithms=algorithms,
+    )
+    rows = [
+        (
+            report.algorithm,
+            report.summary.mean * 100,
+            report.worst * 100,
+            f"{report.exact_hits}/{len(report.gaps)}",
+        )
+        for report in reports
+    ]
+    print(
+        format_table(
+            ["algorithm", "mean gap (%)", "worst gap (%)", "exact hits"],
+            rows,
+            title=(
+                f"True optimality gaps over {args.instances} instances "
+                f"(N={args.items}, K={args.channels}, brute-force optimum)"
+            ),
+            precision=3,
+        )
+    )
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    spec = WorkloadSpec(
+        num_items=args.items,
+        skewness=args.skewness,
+        diversity=args.diversity,
+        seed=args.seed,
+    )
+    database = generate_database(spec)
+    allocator = make_allocator(args.algorithm)
+    outcome = allocator.allocate(database, args.channels)
+    report = run_broadcast_simulation(
+        outcome.allocation, num_requests=args.requests, seed=args.seed
+    )
+    print(f"algorithm: {args.algorithm}")
+    print(f"requests simulated: {report.num_requests}")
+    print(f"events processed:   {report.events_processed}")
+    print(
+        f"measured waiting time:   {format_float(report.measured.mean)} "
+        f"± {format_float(report.measured.ci_halfwidth)} (95% CI)"
+    )
+    print(
+        f"analytical waiting time: "
+        f"{format_float(report.analytical_waiting_time)}"
+    )
+    print(f"relative error: {format_float(report.relative_error * 100, precision=2)}%")
+    return 0
+
+
+def _cmd_adaptive(args: argparse.Namespace) -> int:
+    from repro.core.scheduler import DRPCDSAllocator
+    from repro.simulation.adaptive import RotatingDrift, run_adaptive_simulation
+
+    database = generate_database(
+        WorkloadSpec(num_items=args.items, skewness=1.2, seed=args.seed)
+    )
+    drift = RotatingDrift(
+        [item.frequency for item in database.items],
+        shift_per_epoch=args.shift,
+    )
+    common = dict(
+        num_channels=args.channels,
+        epochs=args.epochs,
+        requests_per_epoch=args.requests,
+        drift=drift,
+        seed=args.seed,
+    )
+    adaptive = run_adaptive_simulation(
+        database, DRPCDSAllocator(), adapt=True, **common
+    )
+    static = run_adaptive_simulation(
+        database, DRPCDSAllocator(), adapt=False, **common
+    )
+    rows = [
+        (a.epoch, s.measured.mean, a.measured.mean, a.profile_error)
+        for a, s in zip(adaptive, static)
+    ]
+    print(
+        format_table(
+            [
+                "epoch",
+                "static wait (s)",
+                "adaptive wait (s)",
+                "adaptive profile err",
+            ],
+            rows,
+            title=(
+                f"Drift: {args.shift} ranks/epoch over {args.items} items"
+            ),
+            precision=3,
+        )
+    )
+    return 0
+
+
+def _cmd_hetero(args: argparse.Namespace) -> int:
+    from repro.core.hetero import (
+        HeteroDRPCDSAllocator,
+        hetero_waiting_time,
+    )
+    from repro.core.scheduler import DRPCDSAllocator
+
+    database = generate_database(
+        WorkloadSpec(num_items=args.items, seed=args.seed)
+    )
+    num_channels = len(args.bandwidths)
+    naive = DRPCDSAllocator().allocate(database, num_channels).allocation
+    aware = (
+        HeteroDRPCDSAllocator(args.bandwidths)
+        .allocate(database, num_channels)
+        .allocation
+    )
+    rows = [
+        (
+            "paper pipeline (bandwidth-oblivious)",
+            hetero_waiting_time(naive, args.bandwidths),
+        ),
+        (
+            "bandwidth-aware pipeline",
+            hetero_waiting_time(aware, args.bandwidths),
+        ),
+    ]
+    print(
+        format_table(
+            ["configuration", "W_b (s)"],
+            rows,
+            title=f"bandwidths = {args.bandwidths}",
+        )
+    )
+    saved = (rows[0][1] - rows[1][1]) / rows[0][1] * 100
+    print(f"\nbandwidth-aware allocation saves {saved:.1f}%")
+    return 0
+
+
+def _cmd_index(args: argparse.Namespace) -> int:
+    from repro.core.scheduler import DRPCDSAllocator
+    from repro.simulation.indexing import (
+        IndexedChannel,
+        optimal_index_replication,
+    )
+
+    database = generate_database(
+        WorkloadSpec(num_items=args.items, seed=args.seed)
+    )
+    allocation = DRPCDSAllocator().allocate(
+        database, args.channels
+    ).allocation
+    hot = max(
+        range(allocation.num_channels),
+        key=lambda i: allocation.channel_stats[i].frequency,
+    )
+    items = allocation.channel_items(hot)
+    stats = allocation.channel_stats[hot]
+    rule = optimal_index_replication(
+        stats.size, len(items) * args.entry_size
+    )
+    rows = []
+    weight = sum(item.frequency for item in items)
+    for m in sorted({1, 2, rule, min(8, len(items)), len(items)}):
+        if not 1 <= m <= len(items):
+            continue
+        channel = IndexedChannel(
+            hot, items, DEFAULT_BANDWIDTH,
+            replication=m, index_entry_size=args.entry_size,
+        )
+        wait = sum(
+            item.frequency
+            * channel.expected_timing(item.item_id).waiting_time
+            for item in items
+        ) / weight
+        tune = sum(
+            item.frequency
+            * channel.expected_timing(item.item_id).tuning_time
+            for item in items
+        ) / weight
+        rows.append((m, wait, tune, (1 - tune / wait) * 100))
+    print(
+        format_table(
+            ["m", "E[wait] (s)", "E[tuning] (s)", "dozing (%)"],
+            rows,
+            title=(
+                f"(1, m) indexing on the hottest channel "
+                f"({stats.count} items); sqrt rule: m* = {rule}"
+            ),
+            precision=2,
+        )
+    )
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "example":
+        return _cmd_example()
+    if args.command == "allocate":
+        return _cmd_allocate(args)
+    if args.command == "figure":
+        return _cmd_figure(args)
+    if args.command == "gap":
+        return _cmd_gap(args)
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+    if args.command == "adaptive":
+        return _cmd_adaptive(args)
+    if args.command == "hetero":
+        return _cmd_hetero(args)
+    if args.command == "index":
+        return _cmd_index(args)
+    if args.command == "report":
+        from repro.experiments.report import generate_report
+
+        text = generate_report(
+            replications=args.replications,
+            output=args.output,
+            progress=None if args.quiet else print,
+        )
+        if args.output:
+            print(f"wrote {args.output}")
+        else:
+            print(text)
+        return 0
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,263 @@
+"""Channel allocations — the output of every scheduling algorithm.
+
+A :class:`ChannelAllocation` assigns every item of a
+:class:`~repro.core.database.BroadcastDatabase` to exactly one of ``K``
+broadcast channels (the disjoint item sets :math:`D_1 .. D_K` of the
+paper).  The class validates the partition invariants once at
+construction so that downstream consumers (cost model, simulator,
+experiment harness) can trust any allocation they receive.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+
+from repro.core.database import BroadcastDatabase
+from repro.core.item import DataItem
+from repro.exceptions import InvalidAllocationError
+
+__all__ = ["ChannelAllocation", "ChannelStats"]
+
+
+class ChannelStats:
+    """Aggregate statistics of one channel's item set.
+
+    Attributes
+    ----------
+    frequency:
+        Aggregate access frequency :math:`F_i` (paper, Definition 3).
+    size:
+        Aggregate size :math:`Z_i` (paper, Definition 4).
+    count:
+        Number of items :math:`N_i` on the channel.
+    """
+
+    __slots__ = ("frequency", "size", "count")
+
+    def __init__(self, frequency: float, size: float, count: int) -> None:
+        self.frequency = frequency
+        self.size = size
+        self.count = count
+
+    @property
+    def cost(self) -> float:
+        """Channel cost :math:`cost(i) = F_i \\cdot Z_i` (paper, Def. 1)."""
+        return self.frequency * self.size
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ChannelStats(F={self.frequency:.6g}, Z={self.size:.6g}, "
+            f"N={self.count})"
+        )
+
+
+class ChannelAllocation:
+    """An assignment of database items to ``K`` broadcast channels.
+
+    Parameters
+    ----------
+    database:
+        The broadcast database being partitioned.
+    channels:
+        One sequence of :class:`DataItem` per channel.  Together the
+        sequences must form an exact partition of the database.
+    allow_empty_channels:
+        The paper's formulation keeps every channel non-empty (an empty
+        broadcast channel wastes bandwidth and makes :math:`W^{(i)}`
+        undefined).  Pass ``True`` only for intermediate states.
+
+    Notes
+    -----
+    Instances are immutable.  Algorithms that iteratively move items
+    (e.g. CDS) operate on their own mutable working state and produce a
+    fresh ``ChannelAllocation`` at the end.
+    """
+
+    __slots__ = ("_database", "_channels", "_channel_of", "_stats")
+
+    def __init__(
+        self,
+        database: BroadcastDatabase,
+        channels: Sequence[Sequence[DataItem]],
+        *,
+        allow_empty_channels: bool = False,
+    ) -> None:
+        if not channels:
+            raise InvalidAllocationError("an allocation needs at least 1 channel")
+        frozen: List[Tuple[DataItem, ...]] = [tuple(group) for group in channels]
+        channel_of: Dict[str, int] = {}
+        for index, group in enumerate(frozen):
+            if not group and not allow_empty_channels:
+                raise InvalidAllocationError(
+                    f"channel {index} is empty; pass allow_empty_channels=True "
+                    "if this is intentional"
+                )
+            for item in group:
+                if item.item_id not in database:
+                    raise InvalidAllocationError(
+                        f"item {item.item_id!r} is not in the database"
+                    )
+                if database[item.item_id] != item:
+                    raise InvalidAllocationError(
+                        f"item {item.item_id!r} differs from the database copy"
+                    )
+                if item.item_id in channel_of:
+                    raise InvalidAllocationError(
+                        f"item {item.item_id!r} assigned to both channel "
+                        f"{channel_of[item.item_id]} and channel {index}"
+                    )
+                channel_of[item.item_id] = index
+        if len(channel_of) != len(database):
+            missing = sorted(set(database.item_ids) - set(channel_of))
+            raise InvalidAllocationError(
+                f"allocation does not cover the database; missing {missing}"
+            )
+        self._database = database
+        self._channels: Tuple[Tuple[DataItem, ...], ...] = tuple(frozen)
+        self._channel_of = channel_of
+        self._stats: Tuple[ChannelStats, ...] = tuple(
+            ChannelStats(
+                frequency=math.fsum(item.frequency for item in group),
+                size=math.fsum(item.size for item in group),
+                count=len(group),
+            )
+            for group in self._channels
+        )
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def database(self) -> BroadcastDatabase:
+        return self._database
+
+    @property
+    def num_channels(self) -> int:
+        """The channel count ``K``."""
+        return len(self._channels)
+
+    @property
+    def channels(self) -> Tuple[Tuple[DataItem, ...], ...]:
+        """Per-channel item tuples :math:`D_1 .. D_K`."""
+        return self._channels
+
+    @property
+    def channel_stats(self) -> Tuple[ChannelStats, ...]:
+        """Per-channel :math:`(F_i, Z_i, N_i)` aggregates."""
+        return self._stats
+
+    def channel_of(self, item_id: str) -> int:
+        """Index of the channel carrying ``item_id``."""
+        try:
+            return self._channel_of[item_id]
+        except KeyError:
+            raise KeyError(f"no item {item_id!r} in this allocation") from None
+
+    def channel_items(self, channel: int) -> Tuple[DataItem, ...]:
+        return self._channels[channel]
+
+    def as_id_lists(self) -> List[List[str]]:
+        """Plain-data view: a list of item-id lists, one per channel."""
+        return [[item.item_id for item in group] for group in self._channels]
+
+    def assignment_vector(self) -> List[int]:
+        """Channel index per item, in database catalogue order.
+
+        This is exactly the chromosome encoding GOPT uses.
+        """
+        return [self._channel_of[item_id] for item_id in self._database.item_ids]
+
+    def __iter__(self) -> Iterator[Tuple[DataItem, ...]]:
+        return iter(self._channels)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ChannelAllocation):
+            return NotImplemented
+        # Channel order matters for broadcasting; compare groups as sets
+        # of ids per channel (within-channel order does not affect cost).
+        return self._database == other._database and [
+            frozenset(item.item_id for item in group) for group in self._channels
+        ] == [
+            frozenset(item.item_id for item in group) for group in other._channels
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        sizes = ", ".join(str(stat.count) for stat in self._stats)
+        return f"ChannelAllocation(K={self.num_channels}, sizes=[{sizes}])"
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_id_lists(
+        cls,
+        database: BroadcastDatabase,
+        id_lists: Iterable[Sequence[str]],
+        *,
+        allow_empty_channels: bool = False,
+    ) -> "ChannelAllocation":
+        """Build an allocation from per-channel lists of item ids."""
+        return cls(
+            database,
+            [[database[item_id] for item_id in ids] for ids in id_lists],
+            allow_empty_channels=allow_empty_channels,
+        )
+
+    @classmethod
+    def from_assignment_vector(
+        cls,
+        database: BroadcastDatabase,
+        assignment: Sequence[int],
+        num_channels: int,
+        *,
+        allow_empty_channels: bool = False,
+    ) -> "ChannelAllocation":
+        """Build an allocation from a channel index per catalogue item."""
+        if len(assignment) != len(database):
+            raise InvalidAllocationError(
+                f"assignment length {len(assignment)} != database size "
+                f"{len(database)}"
+            )
+        groups: List[List[DataItem]] = [[] for _ in range(num_channels)]
+        for item, channel in zip(database.items, assignment):
+            if not 0 <= channel < num_channels:
+                raise InvalidAllocationError(
+                    f"channel index {channel} out of range [0, {num_channels})"
+                )
+            groups[channel].append(item)
+        return cls(database, groups, allow_empty_channels=allow_empty_channels)
+
+    def replace_channels(
+        self,
+        channels: Sequence[Sequence[DataItem]],
+        *,
+        allow_empty_channels: bool = False,
+    ) -> "ChannelAllocation":
+        """Return a new allocation over the same database."""
+        return ChannelAllocation(
+            self._database, channels, allow_empty_channels=allow_empty_channels
+        )
+
+    def canonical(self) -> "ChannelAllocation":
+        """Return an equivalent allocation in canonical form.
+
+        Channels are sorted by their smallest catalogue index and items
+        within each channel by catalogue order.  Canonical forms let
+        tests compare solutions from algorithms with different internal
+        channel numbering (channel labels are interchangeable — the cost
+        function is symmetric under channel permutation).
+        """
+        position = {item_id: i for i, item_id in enumerate(self._database.item_ids)}
+        sorted_groups = [
+            tuple(sorted(group, key=lambda item: position[item.item_id]))
+            for group in self._channels
+        ]
+        sorted_groups.sort(
+            key=lambda group: position[group[0].item_id] if group else len(position)
+        )
+        return ChannelAllocation(
+            self._database,
+            sorted_groups,
+            allow_empty_channels=True,
+        )

@@ -1,0 +1,234 @@
+"""The broadcast database ``D`` — the collection of items to disseminate.
+
+The database owns the global invariants the paper assumes:
+
+* item identifiers are unique,
+* access frequencies form a probability distribution
+  (:math:`\\sum_i \\sum_j f_j^{(i)} = 1`),
+* the benefit-ratio order used by DRP is well defined.
+
+It also exposes the derived quantities every algorithm needs (aggregate
+frequency/size, items sorted by benefit ratio) so that callers never
+recompute them ad hoc.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Iterator, List, Mapping, Sequence, Tuple
+
+from repro.core.item import DataItem
+from repro.exceptions import InvalidDatabaseError
+
+__all__ = ["BroadcastDatabase", "FREQUENCY_SUM_TOLERANCE"]
+
+#: Absolute tolerance when checking that frequencies sum to one.  The
+#: paper's Table 2 itself only sums to 1.0 within rounding (4 decimal
+#: digits per entry), so exact equality would reject the paper's own data.
+FREQUENCY_SUM_TOLERANCE = 1e-3
+
+
+class BroadcastDatabase:
+    """Immutable collection of :class:`DataItem` objects.
+
+    Parameters
+    ----------
+    items:
+        The data items.  Order is preserved (it is the "catalogue order"),
+        but most algorithms operate on :meth:`sorted_by_benefit_ratio`.
+    require_normalized:
+        When true (default), the access frequencies must sum to 1 within
+        :data:`FREQUENCY_SUM_TOLERANCE`.  Set to false for intermediate
+        profiles and call :meth:`normalized` to rescale.
+
+    Examples
+    --------
+    >>> db = BroadcastDatabase([
+    ...     DataItem("a", 0.5, 2.0),
+    ...     DataItem("b", 0.5, 1.0),
+    ... ])
+    >>> db.total_size
+    3.0
+    >>> [item.item_id for item in db.sorted_by_benefit_ratio()]
+    ['b', 'a']
+    """
+
+    __slots__ = ("_items", "_by_id", "_total_frequency", "_total_size")
+
+    def __init__(
+        self,
+        items: Iterable[DataItem],
+        *,
+        require_normalized: bool = True,
+    ) -> None:
+        item_list: List[DataItem] = list(items)
+        if not item_list:
+            raise InvalidDatabaseError("a broadcast database cannot be empty")
+        by_id: Dict[str, DataItem] = {}
+        for item in item_list:
+            if not isinstance(item, DataItem):
+                raise InvalidDatabaseError(
+                    f"database entries must be DataItem, got {type(item).__name__}"
+                )
+            if item.item_id in by_id:
+                raise InvalidDatabaseError(
+                    f"duplicate item_id {item.item_id!r} in database"
+                )
+            by_id[item.item_id] = item
+        total_frequency = math.fsum(item.frequency for item in item_list)
+        if require_normalized and abs(total_frequency - 1.0) > FREQUENCY_SUM_TOLERANCE:
+            raise InvalidDatabaseError(
+                "access frequencies must sum to 1 "
+                f"(got {total_frequency:.6f}); build with "
+                "require_normalized=False and call .normalized() to rescale"
+            )
+        self._items: Tuple[DataItem, ...] = tuple(item_list)
+        self._by_id = by_id
+        self._total_frequency = total_frequency
+        self._total_size = math.fsum(item.size for item in item_list)
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[DataItem]:
+        return iter(self._items)
+
+    def __contains__(self, item_id: object) -> bool:
+        return item_id in self._by_id
+
+    def __getitem__(self, item_id: str) -> DataItem:
+        try:
+            return self._by_id[item_id]
+        except KeyError:
+            raise KeyError(f"no item {item_id!r} in database") from None
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BroadcastDatabase):
+            return NotImplemented
+        return self._items == other._items
+
+    def __hash__(self) -> int:
+        return hash(self._items)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BroadcastDatabase(n={len(self)}, total_size={self._total_size:.6g})"
+        )
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def items(self) -> Tuple[DataItem, ...]:
+        """The items in catalogue order."""
+        return self._items
+
+    @property
+    def item_ids(self) -> Tuple[str, ...]:
+        return tuple(item.item_id for item in self._items)
+
+    @property
+    def total_frequency(self) -> float:
+        """Sum of access frequencies (≈ 1 for a normalised database)."""
+        return self._total_frequency
+
+    @property
+    def total_size(self) -> float:
+        """Aggregate size of the whole database, :math:`\\sum z`."""
+        return self._total_size
+
+    @property
+    def is_normalized(self) -> bool:
+        return abs(self._total_frequency - 1.0) <= FREQUENCY_SUM_TOLERANCE
+
+    @property
+    def fixed_download_cost(self) -> float:
+        """The allocation-independent term :math:`\\sum f_i z_i` of Eq. (2)."""
+        return math.fsum(item.weight for item in self._items)
+
+    def sorted_by_benefit_ratio(self) -> Tuple[DataItem, ...]:
+        """Items sorted by benefit ratio ``f/z`` in descending order.
+
+        Ties are broken by catalogue order so the sort is deterministic;
+        DRP's behaviour is then reproducible for any input.
+        """
+        order = sorted(
+            range(len(self._items)),
+            key=lambda i: (-self._items[i].benefit_ratio, i),
+        )
+        return tuple(self._items[i] for i in order)
+
+    def sorted_by_frequency(self) -> Tuple[DataItem, ...]:
+        """Items sorted by access frequency in descending order.
+
+        This is the order conventional (equal item size) algorithms such
+        as VF^K operate on.
+        """
+        order = sorted(
+            range(len(self._items)),
+            key=lambda i: (-self._items[i].frequency, i),
+        )
+        return tuple(self._items[i] for i in order)
+
+    # ------------------------------------------------------------------
+    # Constructors / transforms
+    # ------------------------------------------------------------------
+    def normalized(self) -> "BroadcastDatabase":
+        """Return a copy whose frequencies are rescaled to sum to 1."""
+        factor = 1.0 / self._total_frequency
+        return BroadcastDatabase(
+            (item.scaled(frequency_factor=factor) for item in self._items),
+        )
+
+    def subset(self, item_ids: Sequence[str]) -> Tuple[DataItem, ...]:
+        """Look up a sequence of items by id, preserving the given order."""
+        return tuple(self[item_id] for item_id in item_ids)
+
+    @classmethod
+    def from_pairs(
+        cls,
+        pairs: Mapping[str, Tuple[float, float]],
+        *,
+        require_normalized: bool = True,
+    ) -> "BroadcastDatabase":
+        """Build a database from ``{item_id: (frequency, size)}``.
+
+        Iteration order of the mapping defines catalogue order.
+        """
+        return cls(
+            (
+                DataItem(item_id, frequency=freq, size=size)
+                for item_id, (freq, size) in pairs.items()
+            ),
+            require_normalized=require_normalized,
+        )
+
+    @classmethod
+    def from_arrays(
+        cls,
+        frequencies: Sequence[float],
+        sizes: Sequence[float],
+        *,
+        prefix: str = "d",
+        require_normalized: bool = True,
+    ) -> "BroadcastDatabase":
+        """Build a database from parallel frequency/size arrays.
+
+        Items are named ``{prefix}1 .. {prefix}N`` following the paper's
+        convention.
+        """
+        if len(frequencies) != len(sizes):
+            raise InvalidDatabaseError(
+                "frequencies and sizes must have equal length "
+                f"({len(frequencies)} != {len(sizes)})"
+            )
+        return cls(
+            (
+                DataItem(f"{prefix}{i + 1}", frequency=float(f), size=float(z))
+                for i, (f, z) in enumerate(zip(frequencies, sizes))
+            ),
+            require_normalized=require_normalized,
+        )

@@ -1,0 +1,307 @@
+"""Heterogeneous-bandwidth channel allocation (extension).
+
+The paper assumes every broadcast channel has the same bandwidth ``b``,
+which is why the download term of Eq. (2) is allocation-independent and
+the problem reduces to minimising ``Σ F_i Z_i``.  Real deployments mix
+channel capacities.  With per-channel bandwidth ``b_i`` the average
+waiting time becomes
+
+.. math::
+
+    W_b \\;=\\; \\sum_i \\frac{F_i Z_i / 2 + D_i}{b_i},
+    \\qquad D_i = \\sum_{x \\in i} f_x z_x,
+
+and *both* terms now depend on the allocation — including which group
+sits on which physical channel.  This module provides:
+
+* :func:`hetero_waiting_time` — the generalised objective;
+* :func:`hetero_move_delta` — the O(1) single-move evaluation
+  (the Eq. (4) analogue, now carrying the ``D_i`` aggregates and the
+  two bandwidths);
+* :func:`assign_groups_to_bandwidths` — the optimal mapping of fixed
+  groups onto channels, by the rearrangement inequality: sorting group
+  loads ``c_i = F_i Z_i / 2 + D_i`` against bandwidths pairs the largest
+  load with the fastest channel, which minimises ``Σ c_i / b_i``;
+* :func:`hetero_cds_refine` — greedy best-move local search on the
+  generalised objective (CDS with bandwidth-aware deltas), re-running
+  the group-to-channel assignment after convergence;
+* :class:`HeteroDRPCDSAllocator` — DRP grouping + optimal assignment +
+  bandwidth-aware CDS, packaged as an :class:`Allocator`.
+
+With all bandwidths equal the machinery reduces exactly to the paper's:
+the deltas collapse to Eq. (4)/(2b) and the assignment step is a no-op
+(property-tested in ``tests/test_hetero.py``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.allocation import ChannelAllocation
+from repro.core.database import BroadcastDatabase
+from repro.core.drp import drp_allocate
+from repro.core.item import DataItem
+from repro.core.scheduler import Allocator
+from repro.exceptions import InfeasibleProblemError, InvalidAllocationError
+
+__all__ = [
+    "channel_load",
+    "hetero_waiting_time",
+    "hetero_move_delta",
+    "assign_groups_to_bandwidths",
+    "HeteroCDSResult",
+    "hetero_cds_refine",
+    "HeteroDRPCDSAllocator",
+]
+
+_IMPROVEMENT_EPSILON = 1e-12
+
+
+def _check_bandwidths(
+    bandwidths: Sequence[float], num_channels: int
+) -> List[float]:
+    if len(bandwidths) != num_channels:
+        raise InvalidAllocationError(
+            f"got {len(bandwidths)} bandwidths for {num_channels} channels"
+        )
+    values = [float(b) for b in bandwidths]
+    if any(not (b > 0 and math.isfinite(b)) for b in values):
+        raise InvalidAllocationError(
+            f"bandwidths must be positive and finite, got {bandwidths!r}"
+        )
+    return values
+
+
+def channel_load(items: Sequence[DataItem]) -> float:
+    """Bandwidth-free load of a group: ``F·Z/2 + Σ f·z``.
+
+    Dividing this by the channel's bandwidth yields the group's
+    contribution to :math:`W_b` (probe half plus download).
+    """
+    freq = math.fsum(item.frequency for item in items)
+    size = math.fsum(item.size for item in items)
+    download = math.fsum(item.weight for item in items)
+    return freq * size / 2.0 + download
+
+
+def hetero_waiting_time(
+    allocation: ChannelAllocation, bandwidths: Sequence[float]
+) -> float:
+    """Average waiting time with per-channel bandwidths.
+
+    Channel ``i`` of the allocation transmits at ``bandwidths[i]``.
+    """
+    values = _check_bandwidths(bandwidths, allocation.num_channels)
+    return math.fsum(
+        channel_load(group) / b
+        for group, b in zip(allocation.channels, values)
+    )
+
+
+def hetero_move_delta(
+    item: DataItem,
+    origin_frequency: float,
+    origin_size: float,
+    dest_frequency: float,
+    dest_size: float,
+    origin_bandwidth: float,
+    dest_bandwidth: float,
+) -> float:
+    """Waiting-time reduction of moving ``item`` between channels.
+
+    ``(origin_frequency, origin_size)`` include the item (it currently
+    lives there); the destination aggregates exclude it.  Positive
+    values mean the move lowers :math:`W_b`.
+
+    Derivation: only the two affected channels' loads change.  For the
+    origin, ``F·Z/2`` drops by ``(f·Z_p + z·F_p − f·z)/2 − f·z`` wait —
+    expand ``(F_p − f)(Z_p − z) = F_p Z_p − f Z_p − z F_p + f z`` and the
+    download sum drops by ``f·z``; dividing by ``b_p``.  Symmetrically
+    for the destination.
+    """
+    f, z = item.frequency, item.size
+    origin_probe_drop = (f * origin_size + z * origin_frequency - f * z) / 2.0
+    dest_probe_rise = (f * dest_size + z * dest_frequency + f * z) / 2.0
+    return (origin_probe_drop + f * z) / origin_bandwidth - (
+        dest_probe_rise + f * z
+    ) / dest_bandwidth
+
+
+def assign_groups_to_bandwidths(
+    groups: Sequence[Sequence[DataItem]],
+    bandwidths: Sequence[float],
+) -> List[int]:
+    """Optimal group→channel mapping for fixed groups.
+
+    Returns ``order`` such that ``groups[order[i]]`` should broadcast on
+    channel ``i`` (the channel with ``bandwidths[i]``).  Minimises
+    ``Σ load/bandwidth``; optimal by the rearrangement inequality —
+    pairing the largest load with the largest bandwidth.
+    """
+    values = _check_bandwidths(bandwidths, len(groups))
+    loads = [channel_load(group) for group in groups]
+    # Fastest channels first...
+    channel_order = sorted(
+        range(len(values)), key=lambda i: -values[i]
+    )
+    # ...receive the heaviest groups.
+    group_order = sorted(range(len(groups)), key=lambda g: -loads[g])
+    mapping = [0] * len(groups)
+    for channel, group in zip(channel_order, group_order):
+        mapping[channel] = group
+    return mapping
+
+
+@dataclass
+class HeteroCDSResult:
+    """Outcome of :func:`hetero_cds_refine`.
+
+    ``allocation.channels[i]`` broadcasts at ``bandwidths[i]`` of the
+    refine call.
+    """
+
+    allocation: ChannelAllocation
+    waiting_time: float
+    initial_waiting_time: float
+    moves: int = 0
+    reassignments: int = 0
+    converged: bool = True
+
+    @property
+    def improvement(self) -> float:
+        return self.initial_waiting_time - self.waiting_time
+
+
+def hetero_cds_refine(
+    allocation: ChannelAllocation,
+    bandwidths: Sequence[float],
+    *,
+    max_iterations: Optional[int] = None,
+) -> HeteroCDSResult:
+    """Bandwidth-aware CDS: greedy best moves on the generalised W_b.
+
+    Alternates two phases until neither improves:
+
+    1. single-item moves chosen by :func:`hetero_move_delta` (greedy
+       best-improvement, exactly CDS's structure);
+    2. re-assignment of whole groups to channels via
+       :func:`assign_groups_to_bandwidths` (free with fixed groups, and
+       moves in phase 1 can unbalance the pairing).
+    """
+    values = _check_bandwidths(bandwidths, allocation.num_channels)
+    groups: List[List[DataItem]] = [list(g) for g in allocation.channels]
+    initial = math.fsum(
+        channel_load(g) / b for g, b in zip(groups, values)
+    )
+    moves = 0
+    reassignments = 0
+    converged = True
+
+    while True:
+        improved = False
+        # Phase 1: item moves.
+        while True:
+            if max_iterations is not None and moves >= max_iterations:
+                converged = False
+                break
+            best = _best_hetero_move(groups, values)
+            if best is None:
+                break
+            _, origin, position, destination = best
+            item = groups[origin].pop(position)
+            groups[destination].append(item)
+            moves += 1
+            improved = True
+        if not converged:
+            break
+        # Phase 2: remap groups to bandwidths.
+        mapping = assign_groups_to_bandwidths(groups, values)
+        if mapping != list(range(len(groups))):
+            groups = [groups[mapping[i]] for i in range(len(groups))]
+            reassignments += 1
+            improved = True
+        if not improved:
+            break
+
+    refined = allocation.replace_channels(groups)
+    final = hetero_waiting_time(refined, values)
+    return HeteroCDSResult(
+        allocation=refined,
+        waiting_time=final,
+        initial_waiting_time=initial,
+        moves=moves,
+        reassignments=reassignments,
+        converged=converged,
+    )
+
+
+def _best_hetero_move(
+    groups: List[List[DataItem]],
+    bandwidths: List[float],
+) -> Optional[Tuple[float, int, int, int]]:
+    num_channels = len(groups)
+    agg_f = [math.fsum(i.frequency for i in g) for g in groups]
+    agg_z = [math.fsum(i.size for i in g) for g in groups]
+    best_delta = _IMPROVEMENT_EPSILON
+    best: Optional[Tuple[float, int, int, int]] = None
+    for origin in range(num_channels):
+        if len(groups[origin]) <= 1:
+            continue  # never empty a channel
+        for position, item in enumerate(groups[origin]):
+            for destination in range(num_channels):
+                if destination == origin:
+                    continue
+                delta = hetero_move_delta(
+                    item,
+                    origin_frequency=agg_f[origin],
+                    origin_size=agg_z[origin],
+                    dest_frequency=agg_f[destination],
+                    dest_size=agg_z[destination],
+                    origin_bandwidth=bandwidths[origin],
+                    dest_bandwidth=bandwidths[destination],
+                )
+                if delta > best_delta:
+                    best_delta = delta
+                    best = (delta, origin, position, destination)
+    return best
+
+
+class HeteroDRPCDSAllocator(Allocator):
+    """DRP grouping + optimal channel assignment + bandwidth-aware CDS.
+
+    Channel ``i`` of the returned allocation broadcasts at
+    ``bandwidths[i]``.  The number of channels is implied by the
+    bandwidth vector; the ``num_channels`` argument of ``allocate`` must
+    agree with it.
+    """
+
+    name = "hetero-drp-cds"
+
+    def __init__(self, bandwidths: Sequence[float]) -> None:
+        if not bandwidths:
+            raise InfeasibleProblemError("bandwidths cannot be empty")
+        self._bandwidths = [float(b) for b in bandwidths]
+
+    def _allocate(
+        self, database: BroadcastDatabase, num_channels: int
+    ) -> ChannelAllocation:
+        if num_channels != len(self._bandwidths):
+            raise InfeasibleProblemError(
+                f"allocator configured for {len(self._bandwidths)} channels, "
+                f"asked for {num_channels}"
+            )
+        rough = drp_allocate(database, num_channels)
+        groups = [list(g) for g in rough.allocation.channels]
+        mapping = assign_groups_to_bandwidths(groups, self._bandwidths)
+        seeded = rough.allocation.replace_channels(
+            [groups[mapping[i]] for i in range(num_channels)]
+        )
+        refined = hetero_cds_refine(seeded, self._bandwidths)
+        self._note(
+            hetero_waiting_time=refined.waiting_time,
+            cds_moves=refined.moves,
+            reassignments=refined.reassignments,
+        )
+        return refined.allocation

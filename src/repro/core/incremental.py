@@ -1,0 +1,155 @@
+"""Incremental program maintenance (extension).
+
+A production catalogue changes constantly — items are published and
+retired, popularity estimates move.  Rebuilding the program from
+scratch is cheap with DRP-CDS, but even that is unnecessary for a
+single-item change: this module maintains an existing allocation
+
+* :func:`insert_item` — place a new item on the channel where the
+  marginal cost increase (``F_g·z + Z_g·f + f·z``) is smallest;
+* :func:`remove_item` — drop an item (merging channels if one empties);
+* :func:`update_frequency` — replace one item's access frequency, then
+  renormalise the whole profile (frequencies must keep summing to 1);
+
+each followed by an optional CDS re-polish (on by default) so the
+result is again a local optimum.  Warm-starting CDS from the edited
+allocation converges in a handful of moves instead of rebuilding.
+
+All functions are pure: they return a fresh
+(:class:`~repro.core.database.BroadcastDatabase`,
+:class:`~repro.core.allocation.ChannelAllocation`) pair and never touch
+their inputs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.core.allocation import ChannelAllocation
+from repro.core.cds import cds_refine
+from repro.core.database import BroadcastDatabase
+from repro.core.item import DataItem
+from repro.exceptions import InfeasibleProblemError, InvalidDatabaseError
+
+__all__ = ["insert_item", "remove_item", "update_frequency"]
+
+
+def insert_item(
+    allocation: ChannelAllocation,
+    item: DataItem,
+    *,
+    repolish: bool = True,
+) -> Tuple[BroadcastDatabase, ChannelAllocation]:
+    """Add a new item to the catalogue and place it greedily.
+
+    The new item's frequency is interpreted on the same scale as the
+    existing profile; the returned database is renormalised so
+    frequencies again sum to 1 (scaling every frequency, which rescales
+    the cost function but not the relative quality of groupings).
+    """
+    old = allocation.database
+    if item.item_id in old:
+        raise InvalidDatabaseError(
+            f"item {item.item_id!r} already exists; use update_frequency"
+        )
+    database = BroadcastDatabase(
+        list(old.items) + [item], require_normalized=False
+    ).normalized()
+    # Greedy placement by marginal cost increase on the *old* scale —
+    # renormalisation scales all frequencies equally, so the argmin is
+    # unchanged.
+    stats = allocation.channel_stats
+    target = min(
+        range(allocation.num_channels),
+        key=lambda g: stats[g].frequency * item.size
+        + stats[g].size * item.frequency
+        + item.frequency * item.size,
+    )
+    groups: List[List[DataItem]] = [
+        [database[member.item_id] for member in group]
+        for group in allocation.channels
+    ]
+    groups[target].append(database[item.item_id])
+    refreshed = ChannelAllocation(database, groups)
+    if repolish:
+        refreshed = cds_refine(refreshed).allocation
+    return database, refreshed
+
+
+def remove_item(
+    allocation: ChannelAllocation,
+    item_id: str,
+    *,
+    repolish: bool = True,
+) -> Tuple[BroadcastDatabase, ChannelAllocation]:
+    """Retire an item from the catalogue.
+
+    If its channel empties, the channel count drops by one (an empty
+    broadcast channel is a degenerate program); removing the last item
+    of a single-channel program is infeasible.
+    """
+    old = allocation.database
+    if item_id not in old:
+        raise InvalidDatabaseError(f"no item {item_id!r} in the catalogue")
+    remaining = [item for item in old.items if item.item_id != item_id]
+    if not remaining:
+        raise InfeasibleProblemError(
+            "cannot remove the last item of the catalogue"
+        )
+    database = BroadcastDatabase(
+        remaining, require_normalized=False
+    ).normalized()
+    groups = [
+        [
+            database[member.item_id]
+            for member in group
+            if member.item_id != item_id
+        ]
+        for group in allocation.channels
+    ]
+    groups = [group for group in groups if group]
+    refreshed = ChannelAllocation(database, groups)
+    if repolish:
+        refreshed = cds_refine(refreshed).allocation
+    return database, refreshed
+
+
+def update_frequency(
+    allocation: ChannelAllocation,
+    item_id: str,
+    frequency: float,
+    *,
+    repolish: bool = True,
+) -> Tuple[BroadcastDatabase, ChannelAllocation]:
+    """Replace one item's access frequency (then renormalise).
+
+    The item keeps its channel initially; the optional CDS pass decides
+    whether the new weight justifies moving it (or others).
+    """
+    old = allocation.database
+    if item_id not in old:
+        raise InvalidDatabaseError(f"no item {item_id!r} in the catalogue")
+    if not frequency > 0:
+        raise InvalidDatabaseError(
+            f"frequency must be positive, got {frequency!r}"
+        )
+    updated = [
+        DataItem(
+            item.item_id,
+            frequency if item.item_id == item_id else item.frequency,
+            item.size,
+            label=item.label,
+        )
+        for item in old.items
+    ]
+    database = BroadcastDatabase(
+        updated, require_normalized=False
+    ).normalized()
+    groups = [
+        [database[member.item_id] for member in group]
+        for group in allocation.channels
+    ]
+    refreshed = ChannelAllocation(database, groups)
+    if repolish:
+        refreshed = cds_refine(refreshed).allocation
+    return database, refreshed

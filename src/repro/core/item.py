@@ -1,0 +1,116 @@
+"""Data items disseminated in the diverse broadcasting environment.
+
+The paper models every broadcast object ``d_j^(i)`` with exactly two
+features: an access frequency ``f_j^(i)`` (how often mobile clients
+request it) and a size ``z_j^(i)``.  The *benefit ratio* ``br = f / z``
+collapses the two features into one dimension; it is the quantity DRP
+sorts on (paper, Section 3.1).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.exceptions import InvalidItemError
+
+__all__ = ["DataItem"]
+
+
+@dataclass(frozen=True, order=False)
+class DataItem:
+    """A single broadcast data item.
+
+    Parameters
+    ----------
+    item_id:
+        Stable identifier, unique within a :class:`~repro.core.database.
+        BroadcastDatabase`.  Paper items are named ``d_1 .. d_N``; any
+        string works.
+    frequency:
+        Access frequency ``f`` of the item.  Must be positive.  Within a
+        database the frequencies sum to 1, but a standalone item only
+        requires ``f > 0`` so that intermediate (unnormalised) profiles
+        can be built incrementally.
+    size:
+        Item size ``z`` in abstract size units.  Must be positive — an
+        item of size zero would have an infinite benefit ratio and a
+        zero download time, which the analytical model does not admit.
+    label:
+        Optional human-readable description (e.g. ``"weather-report"``).
+
+    Examples
+    --------
+    >>> d = DataItem("d1", frequency=0.2374, size=21.18)
+    >>> round(d.benefit_ratio, 4)
+    0.0112
+    """
+
+    item_id: str
+    frequency: float
+    size: float
+    label: Optional[str] = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.item_id, str) or not self.item_id:
+            raise InvalidItemError(
+                f"item_id must be a non-empty string, got {self.item_id!r}"
+            )
+        if not _is_finite_number(self.frequency):
+            raise InvalidItemError(
+                f"frequency of {self.item_id!r} must be a finite number, "
+                f"got {self.frequency!r}"
+            )
+        if not _is_finite_number(self.size):
+            raise InvalidItemError(
+                f"size of {self.item_id!r} must be a finite number, "
+                f"got {self.size!r}"
+            )
+        if self.frequency <= 0.0:
+            raise InvalidItemError(
+                f"frequency of {self.item_id!r} must be > 0, "
+                f"got {self.frequency}"
+            )
+        if self.size <= 0.0:
+            raise InvalidItemError(
+                f"size of {self.item_id!r} must be > 0, got {self.size}"
+            )
+
+    @property
+    def benefit_ratio(self) -> float:
+        """Benefit ratio ``br = f / z`` (paper, Section 3.1).
+
+        Frequency is the *profit* of carrying the item in a short cycle,
+        size is the *cost*; items with a large ratio deserve channels
+        with short broadcast cycles.
+        """
+        return self.frequency / self.size
+
+    @property
+    def weight(self) -> float:
+        """The product ``f * z`` — the item's allocation-independent
+        contribution to the download term of :math:`W_b` (Eq. 2)."""
+        return self.frequency * self.size
+
+    def scaled(self, frequency_factor: float = 1.0) -> "DataItem":
+        """Return a copy with the frequency multiplied by ``frequency_factor``.
+
+        Used when renormalising a profile so frequencies sum to 1.
+        """
+        return DataItem(
+            item_id=self.item_id,
+            frequency=self.frequency * frequency_factor,
+            size=self.size,
+            label=self.label,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DataItem({self.item_id!r}, f={self.frequency:.6g}, "
+            f"z={self.size:.6g})"
+        )
+
+
+def _is_finite_number(value: object) -> bool:
+    return isinstance(value, (int, float)) and math.isfinite(value)

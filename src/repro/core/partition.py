@@ -1,0 +1,182 @@
+"""Optimal one-dimensional partitioning of benefit-ratio-ordered items.
+
+DRP reduces the two-dimensional grouping problem to a one-dimensional
+partitioning problem over the sequence of items sorted by benefit ratio
+(paper, Section 3.1).  This module implements:
+
+* :func:`best_split` — Procedure ``Partition(D_x)`` of the paper: the
+  single split point minimising ``cost(left) + cost(right)`` for a given
+  sequence, found in O(N) with prefix sums;
+* :func:`split_costs` — the full cost profile over all split points
+  (useful for tests and diagnostics);
+* :func:`contiguous_optimal` — the *optimal* K-way contiguous partition
+  of a sequence via dynamic programming in O(K·N²).  DRP's recursive
+  bisection searches a subset of contiguous partitions; this DP yields
+  the best contiguous partition outright and is used as a strong
+  baseline and as an ablation reference.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+from repro.core.item import DataItem
+from repro.exceptions import InfeasibleProblemError
+
+__all__ = [
+    "PrefixSums",
+    "best_split",
+    "split_costs",
+    "contiguous_optimal",
+]
+
+
+class PrefixSums:
+    """Prefix sums of frequency and size over an item sequence.
+
+    For a sequence ``d_1 .. d_N``, provides the aggregates of any
+    contiguous slice ``d_i .. d_j`` in O(1), which turns Procedure
+    ``Partition`` into a linear scan and the contiguous DP into O(K·N²).
+    """
+
+    __slots__ = ("_freq", "_size")
+
+    def __init__(self, items: Sequence[DataItem]) -> None:
+        freq = [0.0] * (len(items) + 1)
+        size = [0.0] * (len(items) + 1)
+        for index, item in enumerate(items):
+            freq[index + 1] = freq[index] + item.frequency
+            size[index + 1] = size[index] + item.size
+        self._freq = freq
+        self._size = size
+
+    def __len__(self) -> int:
+        return len(self._freq) - 1
+
+    def frequency(self, start: int, stop: int) -> float:
+        """Aggregate frequency of the half-open slice ``[start, stop)``."""
+        return self._freq[stop] - self._freq[start]
+
+    def size(self, start: int, stop: int) -> float:
+        """Aggregate size of the half-open slice ``[start, stop)``."""
+        return self._size[stop] - self._size[start]
+
+    def cost(self, start: int, stop: int) -> float:
+        """Cost :math:`F \\cdot Z` of the half-open slice ``[start, stop)``."""
+        return self.frequency(start, stop) * self.size(start, stop)
+
+
+def best_split(items: Sequence[DataItem]) -> Tuple[int, float]:
+    """Find the split minimising ``cost(left) + cost(right)``.
+
+    This is Procedure ``Partition(D_x)`` of the paper.  The input should
+    already be sorted by benefit ratio in descending order (the function
+    itself works for any order; DRP guarantees the order).
+
+    Returns
+    -------
+    (p, cost):
+        ``p`` is the split index with ``1 <= p < len(items)``: the left
+        part is ``items[:p]``, the right part ``items[p:]``.  ``cost`` is
+        the minimised ``cost(left) + cost(right)``.  Among ties the
+        smallest ``p`` is returned, making the procedure deterministic.
+
+    Raises
+    ------
+    InfeasibleProblemError
+        If the sequence has fewer than two items (nothing to split).
+    """
+    if len(items) < 2:
+        raise InfeasibleProblemError(
+            f"cannot split a sequence of {len(items)} item(s)"
+        )
+    sums = PrefixSums(items)
+    n = len(items)
+    best_index = 1
+    best_cost = math.inf
+    for p in range(1, n):
+        total = sums.cost(0, p) + sums.cost(p, n)
+        if total < best_cost:
+            best_cost = total
+            best_index = p
+    return best_index, best_cost
+
+
+def split_costs(items: Sequence[DataItem]) -> List[float]:
+    """Cost of every split point: entry ``p-1`` is the cost of split ``p``.
+
+    Exposed mainly for tests and for visualising how sharply the optimum
+    is located; :func:`best_split` is the production entry point.
+    """
+    if len(items) < 2:
+        raise InfeasibleProblemError(
+            f"cannot split a sequence of {len(items)} item(s)"
+        )
+    sums = PrefixSums(items)
+    n = len(items)
+    return [sums.cost(0, p) + sums.cost(p, n) for p in range(1, n)]
+
+
+def contiguous_optimal(
+    items: Sequence[DataItem],
+    num_groups: int,
+) -> Tuple[List[Tuple[int, int]], float]:
+    """Optimal K-way contiguous partition by dynamic programming.
+
+    Partitions the (already ordered) sequence into exactly ``num_groups``
+    non-empty contiguous runs minimising :math:`\\sum_g F_g Z_g`.
+
+    Returns
+    -------
+    (boundaries, cost):
+        ``boundaries`` is a list of ``(start, stop)`` half-open index
+        pairs covering ``range(len(items))`` in order; ``cost`` is the
+        minimal total cost.
+
+    Raises
+    ------
+    InfeasibleProblemError
+        If ``num_groups`` is not in ``[1, len(items)]``.
+
+    Notes
+    -----
+    Complexity O(K·N²) time, O(K·N) space.  DRP explores only the
+    partitions reachable by recursive bisection, so
+    ``contiguous_optimal cost <= DRP cost`` always holds for the same
+    item order — a property the test suite asserts.
+    """
+    n = len(items)
+    if not 1 <= num_groups <= n:
+        raise InfeasibleProblemError(
+            f"cannot split {n} item(s) into {num_groups} non-empty groups"
+        )
+    sums = PrefixSums(items)
+    # dp[g][i] = minimal cost of splitting items[:i] into g groups.
+    infinity = math.inf
+    dp = [[infinity] * (n + 1) for _ in range(num_groups + 1)]
+    choice = [[0] * (n + 1) for _ in range(num_groups + 1)]
+    dp[0][0] = 0.0
+    for g in range(1, num_groups + 1):
+        # items[:i] needs at least g items and must leave enough for
+        # the remaining groups.
+        for i in range(g, n - (num_groups - g) + 1):
+            best_value = infinity
+            best_j = g - 1
+            for j in range(g - 1, i):
+                if dp[g - 1][j] == infinity:
+                    continue
+                value = dp[g - 1][j] + sums.cost(j, i)
+                if value < best_value:
+                    best_value = value
+                    best_j = j
+            dp[g][i] = best_value
+            choice[g][i] = best_j
+    boundaries: List[Tuple[int, int]] = []
+    stop = n
+    for g in range(num_groups, 0, -1):
+        start = choice[g][stop]
+        boundaries.append((start, stop))
+        stop = start
+    boundaries.reverse()
+    return boundaries, dp[num_groups][n]

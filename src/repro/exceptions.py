@@ -1,0 +1,56 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by this library derive from :class:`ReproError`, so
+callers can catch a single base class.  The subclasses draw the line
+between problems in the *inputs* (bad item definitions, inconsistent
+databases, infeasible channel counts) and problems in the *usage* of an
+algorithm (e.g. asking an exact solver for an instance that is too large).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` library."""
+
+
+class InvalidItemError(ReproError):
+    """A data item has an invalid access frequency or size."""
+
+
+class InvalidDatabaseError(ReproError):
+    """A broadcast database violates a structural invariant.
+
+    Examples: empty database, duplicate item identifiers, access
+    frequencies that do not form a probability distribution.
+    """
+
+
+class InvalidAllocationError(ReproError):
+    """A channel allocation is not a valid partition of the database.
+
+    Raised when a channel is empty where non-empty channels are required,
+    when an item appears in more than one channel, or when the allocation
+    does not cover the whole database.
+    """
+
+
+class InfeasibleProblemError(ReproError):
+    """The requested allocation problem has no feasible solution.
+
+    The canonical case: allocating ``N`` items to ``K > N`` non-empty
+    channels.
+    """
+
+
+class SolverLimitError(ReproError):
+    """An exact solver was asked to handle an instance beyond its limit.
+
+    Brute-force enumeration of set partitions grows as the Stirling
+    numbers of the second kind; the solver refuses instances whose size
+    would make enumeration impractical instead of silently hanging.
+    """
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation was configured or driven incorrectly."""

@@ -1,0 +1,66 @@
+"""Experiment harness: configs, runner and per-figure definitions."""
+
+from repro.experiments.config import (
+    ExperimentConfig,
+    ExperimentPoint,
+    FIXED_DIVERSITY,
+    FIXED_NUM_CHANNELS,
+    FIXED_NUM_ITEMS,
+    FIXED_SKEWNESS,
+    PAPER_ALGORITHMS,
+    SWEEPABLE_PARAMETERS,
+    TABLE5_CHANNELS,
+    TABLE5_DIVERSITY,
+    TABLE5_ITEMS,
+    TABLE5_SKEWNESS,
+)
+from repro.experiments.figures import (
+    FIGURE_METRICS,
+    FIGURES,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure_config,
+)
+from repro.experiments.gap import (
+    DEFAULT_GAP_ALGORITHMS,
+    GapReport,
+    run_gap_experiment,
+)
+from repro.experiments.records import ExperimentResult, MeasurementRow
+from repro.experiments.report import generate_report
+from repro.experiments.runner import run_experiment
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentPoint",
+    "ExperimentResult",
+    "MeasurementRow",
+    "run_experiment",
+    "generate_report",
+    "GapReport",
+    "run_gap_experiment",
+    "DEFAULT_GAP_ALGORITHMS",
+    "figure2",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure_config",
+    "FIGURES",
+    "FIGURE_METRICS",
+    "PAPER_ALGORITHMS",
+    "SWEEPABLE_PARAMETERS",
+    "TABLE5_CHANNELS",
+    "TABLE5_ITEMS",
+    "TABLE5_DIVERSITY",
+    "TABLE5_SKEWNESS",
+    "FIXED_NUM_ITEMS",
+    "FIXED_NUM_CHANNELS",
+    "FIXED_DIVERSITY",
+    "FIXED_SKEWNESS",
+]

@@ -1,0 +1,142 @@
+"""Experiment configuration — Table 5 of the paper as code.
+
+An :class:`ExperimentConfig` fixes every simulation parameter except the
+one being swept, names the algorithms to compare, and pins the seeds of
+the replications.  The constants below are the paper's Table 5 ranges;
+where the paper leaves the *fixed* value of a non-swept parameter
+unstated, we fix it mid-range (recorded in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Tuple
+
+from repro.core.cost import DEFAULT_BANDWIDTH
+from repro.exceptions import InvalidDatabaseError
+
+__all__ = [
+    "ExperimentConfig",
+    "SWEEPABLE_PARAMETERS",
+    "TABLE5_CHANNELS",
+    "TABLE5_ITEMS",
+    "TABLE5_DIVERSITY",
+    "TABLE5_SKEWNESS",
+    "FIXED_NUM_ITEMS",
+    "FIXED_NUM_CHANNELS",
+    "FIXED_DIVERSITY",
+    "FIXED_SKEWNESS",
+    "PAPER_ALGORITHMS",
+]
+
+#: Table 5 sweep ranges.
+TABLE5_CHANNELS: Tuple[int, ...] = (4, 5, 6, 7, 8, 9, 10)
+TABLE5_ITEMS: Tuple[int, ...] = (60, 90, 120, 150, 180)
+TABLE5_DIVERSITY: Tuple[float, ...] = (0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0)
+TABLE5_SKEWNESS: Tuple[float, ...] = (0.4, 0.7, 1.0, 1.3, 1.6)
+
+#: Mid-range fixed values used while sweeping a different parameter.
+FIXED_NUM_ITEMS = 120
+FIXED_NUM_CHANNELS = 7
+FIXED_DIVERSITY = 1.5
+FIXED_SKEWNESS = 0.8
+
+#: The algorithm line-up of the paper's Figures 2–5.
+PAPER_ALGORITHMS: Tuple[str, ...] = ("vfk", "drp", "drp-cds", "gopt")
+
+#: Parameters :func:`ExperimentConfig.sweep` accepts.
+SWEEPABLE_PARAMETERS = ("num_channels", "num_items", "diversity", "skewness")
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """One experiment: a sweep over a single parameter.
+
+    Attributes
+    ----------
+    name:
+        Identifier (e.g. ``"figure2"``).
+    description:
+        Human-readable summary printed in reports.
+    sweep_parameter:
+        One of :data:`SWEEPABLE_PARAMETERS`.
+    sweep_values:
+        Values the swept parameter takes.
+    algorithms:
+        Registry names of the algorithms to compare.
+    num_items / num_channels / diversity / skewness:
+        Fixed values for the non-swept parameters.
+    bandwidth:
+        Channel bandwidth ``b``.
+    replications:
+        Independent workloads per sweep value; results are averaged.
+    base_seed:
+        Replication ``r`` of sweep point ``v`` uses seed
+        ``base_seed + 1000·index(v) + r`` so all algorithms see
+        identical databases at each (point, replication).
+    """
+
+    name: str
+    description: str
+    sweep_parameter: str
+    sweep_values: Tuple[float, ...]
+    algorithms: Tuple[str, ...] = PAPER_ALGORITHMS
+    num_items: int = FIXED_NUM_ITEMS
+    num_channels: int = FIXED_NUM_CHANNELS
+    diversity: float = FIXED_DIVERSITY
+    skewness: float = FIXED_SKEWNESS
+    bandwidth: float = DEFAULT_BANDWIDTH
+    replications: int = 5
+    base_seed: int = 20050608  # the ICDCS 2005 conference date
+
+    def __post_init__(self) -> None:
+        if self.sweep_parameter not in SWEEPABLE_PARAMETERS:
+            raise InvalidDatabaseError(
+                f"sweep_parameter must be one of {SWEEPABLE_PARAMETERS}, "
+                f"got {self.sweep_parameter!r}"
+            )
+        if not self.sweep_values:
+            raise InvalidDatabaseError("sweep_values cannot be empty")
+        if not self.algorithms:
+            raise InvalidDatabaseError("algorithms cannot be empty")
+        if self.replications < 1:
+            raise InvalidDatabaseError(
+                f"replications must be >= 1, got {self.replications}"
+            )
+
+    def point_parameters(self, value: float) -> "ExperimentPoint":
+        """Resolve the full parameter set at one sweep value."""
+        params = {
+            "num_items": self.num_items,
+            "num_channels": self.num_channels,
+            "diversity": self.diversity,
+            "skewness": self.skewness,
+        }
+        if self.sweep_parameter in ("num_items", "num_channels"):
+            params[self.sweep_parameter] = int(value)
+        else:
+            params[self.sweep_parameter] = float(value)
+        return ExperimentPoint(
+            num_items=int(params["num_items"]),
+            num_channels=int(params["num_channels"]),
+            diversity=float(params["diversity"]),
+            skewness=float(params["skewness"]),
+        )
+
+    def seed_for(self, value_index: int, replication: int) -> int:
+        """Deterministic workload seed for (sweep index, replication)."""
+        return self.base_seed + 1000 * value_index + replication
+
+    def scaled_down(self, *, replications: int = 2) -> "ExperimentConfig":
+        """A cheaper copy for smoke tests and CI (fewer replications)."""
+        return replace(self, replications=replications)
+
+
+@dataclass(frozen=True)
+class ExperimentPoint:
+    """Fully resolved parameters of one sweep point."""
+
+    num_items: int
+    num_channels: int
+    diversity: float
+    skewness: float

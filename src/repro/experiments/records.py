@@ -1,0 +1,155 @@
+"""Result records of experiment runs, with CSV/JSON export."""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+from repro.analysis.tables import format_table
+
+__all__ = ["MeasurementRow", "ExperimentResult"]
+
+
+@dataclass(frozen=True)
+class MeasurementRow:
+    """Aggregated measurements of one (sweep value, algorithm) cell.
+
+    All aggregates are over the experiment's replications.
+    """
+
+    sweep_value: float
+    algorithm: str
+    mean_cost: float
+    std_cost: float
+    mean_waiting_time: float
+    std_waiting_time: float
+    mean_elapsed_seconds: float
+    std_elapsed_seconds: float
+    replications: int
+
+
+@dataclass
+class ExperimentResult:
+    """All measurements of one experiment, plus provenance.
+
+    ``rows`` holds one :class:`MeasurementRow` per (sweep value,
+    algorithm) pair, in sweep order.
+    """
+
+    name: str
+    description: str
+    sweep_parameter: str
+    algorithms: Tuple[str, ...]
+    rows: List[MeasurementRow] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def sweep_values(self) -> List[float]:
+        seen: List[float] = []
+        for row in self.rows:
+            if row.sweep_value not in seen:
+                seen.append(row.sweep_value)
+        return seen
+
+    def cell(self, sweep_value: float, algorithm: str) -> MeasurementRow:
+        for row in self.rows:
+            if row.sweep_value == sweep_value and row.algorithm == algorithm:
+                return row
+        raise KeyError(
+            f"no measurement for value={sweep_value!r}, "
+            f"algorithm={algorithm!r}"
+        )
+
+    def series(
+        self, algorithm: str, metric: str = "mean_waiting_time"
+    ) -> List[Tuple[float, float]]:
+        """The (sweep value, metric) series of one algorithm."""
+        return [
+            (row.sweep_value, getattr(row, metric))
+            for row in self.rows
+            if row.algorithm == algorithm
+        ]
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def to_text(self, metric: str = "mean_waiting_time", *, precision: int = 4) -> str:
+        """Paper-figure-style table: sweep values × algorithms."""
+        headers = [self.sweep_parameter] + list(self.algorithms)
+        table_rows: List[List[Union[str, float]]] = []
+        for value in self.sweep_values():
+            row: List[Union[str, float]] = [
+                int(value) if float(value).is_integer() else value
+            ]
+            for algorithm in self.algorithms:
+                row.append(getattr(self.cell(value, algorithm), metric))
+            table_rows.append(row)
+        return format_table(
+            headers,
+            table_rows,
+            title=f"{self.name}: {self.description} [{metric}]",
+            precision=precision,
+        )
+
+    # ------------------------------------------------------------------
+    # Export / import
+    # ------------------------------------------------------------------
+    def to_csv(self, path: Union[str, Path]) -> None:
+        path = Path(path)
+        with path.open("w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(
+                [
+                    "sweep_value",
+                    "algorithm",
+                    "mean_cost",
+                    "std_cost",
+                    "mean_waiting_time",
+                    "std_waiting_time",
+                    "mean_elapsed_seconds",
+                    "std_elapsed_seconds",
+                    "replications",
+                ]
+            )
+            for row in self.rows:
+                writer.writerow(
+                    [
+                        row.sweep_value,
+                        row.algorithm,
+                        row.mean_cost,
+                        row.std_cost,
+                        row.mean_waiting_time,
+                        row.std_waiting_time,
+                        row.mean_elapsed_seconds,
+                        row.std_elapsed_seconds,
+                        row.replications,
+                    ]
+                )
+
+    def to_json(self, path: Optional[Union[str, Path]] = None) -> str:
+        payload = {
+            "name": self.name,
+            "description": self.description,
+            "sweep_parameter": self.sweep_parameter,
+            "algorithms": list(self.algorithms),
+            "rows": [asdict(row) for row in self.rows],
+        }
+        text = json.dumps(payload, indent=2)
+        if path is not None:
+            Path(path).write_text(text)
+        return text
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentResult":
+        payload = json.loads(text)
+        return cls(
+            name=payload["name"],
+            description=payload["description"],
+            sweep_parameter=payload["sweep_parameter"],
+            algorithms=tuple(payload["algorithms"]),
+            rows=[MeasurementRow(**row) for row in payload["rows"]],
+        )

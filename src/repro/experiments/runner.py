@@ -1,0 +1,103 @@
+"""Sweep executor: run an :class:`ExperimentConfig` to completion.
+
+For every sweep value and replication the runner synthesises one
+workload (same seed for every algorithm, so all algorithms face
+identical databases), times each allocator, and aggregates cost, waiting
+time and execution time across replications.
+
+Importing :mod:`repro.baselines` as a side effect registers every
+algorithm name the configs refer to.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+import repro.baselines  # noqa: F401  (registers baseline allocators)
+from repro.analysis.stats import aggregate
+from repro.core.cost import average_waiting_time
+from repro.core.scheduler import make_allocator
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.records import ExperimentResult, MeasurementRow
+from repro.workloads.generator import WorkloadSpec, generate_database
+
+__all__ = ["run_experiment"]
+
+ProgressCallback = Callable[[str], None]
+
+
+def run_experiment(
+    config: ExperimentConfig,
+    *,
+    progress: Optional[ProgressCallback] = None,
+) -> ExperimentResult:
+    """Execute every (sweep value × replication × algorithm) cell.
+
+    Parameters
+    ----------
+    config:
+        The experiment definition.
+    progress:
+        Optional callback invoked with a status line per sweep point
+        (the CLI passes ``print``).
+
+    Returns
+    -------
+    ExperimentResult
+        One aggregated row per (sweep value, algorithm).
+    """
+    result = ExperimentResult(
+        name=config.name,
+        description=config.description,
+        sweep_parameter=config.sweep_parameter,
+        algorithms=config.algorithms,
+    )
+    for value_index, value in enumerate(config.sweep_values):
+        point = config.point_parameters(value)
+        costs: Dict[str, List[float]] = {a: [] for a in config.algorithms}
+        waits: Dict[str, List[float]] = {a: [] for a in config.algorithms}
+        times: Dict[str, List[float]] = {a: [] for a in config.algorithms}
+        for replication in range(config.replications):
+            spec = WorkloadSpec(
+                num_items=point.num_items,
+                skewness=point.skewness,
+                diversity=point.diversity,
+                seed=config.seed_for(value_index, replication),
+            )
+            database = generate_database(spec)
+            for algorithm in config.algorithms:
+                allocator = make_allocator(algorithm)
+                outcome = allocator.allocate(database, point.num_channels)
+                costs[algorithm].append(outcome.cost)
+                waits[algorithm].append(
+                    average_waiting_time(
+                        outcome.allocation, bandwidth=config.bandwidth
+                    )
+                )
+                times[algorithm].append(outcome.elapsed_seconds)
+        for algorithm in config.algorithms:
+            cost_agg = aggregate(costs[algorithm])
+            wait_agg = aggregate(waits[algorithm])
+            time_agg = aggregate(times[algorithm])
+            result.rows.append(
+                MeasurementRow(
+                    sweep_value=float(value),
+                    algorithm=algorithm,
+                    mean_cost=cost_agg.mean,
+                    std_cost=cost_agg.std,
+                    mean_waiting_time=wait_agg.mean,
+                    std_waiting_time=wait_agg.std,
+                    mean_elapsed_seconds=time_agg.mean,
+                    std_elapsed_seconds=time_agg.std,
+                    replications=config.replications,
+                )
+            )
+        if progress is not None:
+            progress(
+                f"[{config.name}] {config.sweep_parameter}={value}: "
+                + ", ".join(
+                    f"{algorithm}={aggregate(waits[algorithm]).mean:.4f}"
+                    for algorithm in config.algorithms
+                )
+            )
+    return result

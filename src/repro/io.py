@@ -1,0 +1,186 @@
+"""Persistence: save and load databases, allocations and results.
+
+A deployed broadcast server needs its profile and program to survive
+restarts, and researchers need to archive the exact instances behind
+reported numbers.  Formats:
+
+* **database JSON** — items with id/frequency/size/label;
+* **allocation JSON** — the database plus per-channel item-id lists, so
+  an allocation file is self-contained and re-validatable on load;
+* **database CSV** — interoperable flat table (``item_id,frequency,
+  size,label``).
+
+All loaders re-run the full constructor validation, so a corrupted or
+hand-edited file fails loudly rather than producing a quietly-invalid
+program.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import List, Optional, Union
+
+from repro.core.allocation import ChannelAllocation
+from repro.core.database import BroadcastDatabase
+from repro.core.item import DataItem
+from repro.exceptions import InvalidDatabaseError
+
+__all__ = [
+    "database_to_json",
+    "database_from_json",
+    "save_database",
+    "load_database",
+    "allocation_to_json",
+    "allocation_from_json",
+    "save_allocation",
+    "load_allocation",
+    "save_database_csv",
+    "load_database_csv",
+]
+
+_FORMAT_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Databases — JSON
+# ----------------------------------------------------------------------
+def database_to_json(database: BroadcastDatabase) -> str:
+    """Serialise a database to a JSON string."""
+    payload = {
+        "format": "repro-database",
+        "version": _FORMAT_VERSION,
+        "items": [
+            {
+                "item_id": item.item_id,
+                "frequency": item.frequency,
+                "size": item.size,
+                "label": item.label,
+            }
+            for item in database.items
+        ],
+    }
+    return json.dumps(payload, indent=2)
+
+
+def database_from_json(text: str) -> BroadcastDatabase:
+    """Parse a database from :func:`database_to_json` output."""
+    payload = _parse(text, expected="repro-database")
+    items = [
+        DataItem(
+            item_id=entry["item_id"],
+            frequency=entry["frequency"],
+            size=entry["size"],
+            label=entry.get("label"),
+        )
+        for entry in payload["items"]
+    ]
+    return BroadcastDatabase(items)
+
+
+def save_database(
+    database: BroadcastDatabase, path: Union[str, Path]
+) -> None:
+    Path(path).write_text(database_to_json(database))
+
+
+def load_database(path: Union[str, Path]) -> BroadcastDatabase:
+    return database_from_json(Path(path).read_text())
+
+
+# ----------------------------------------------------------------------
+# Allocations — JSON (self-contained: embeds the database)
+# ----------------------------------------------------------------------
+def allocation_to_json(allocation: ChannelAllocation) -> str:
+    """Serialise an allocation (with its database) to JSON."""
+    payload = {
+        "format": "repro-allocation",
+        "version": _FORMAT_VERSION,
+        "database": json.loads(database_to_json(allocation.database)),
+        "channels": allocation.as_id_lists(),
+    }
+    return json.dumps(payload, indent=2)
+
+
+def allocation_from_json(text: str) -> ChannelAllocation:
+    """Parse and re-validate an allocation from JSON."""
+    payload = _parse(text, expected="repro-allocation")
+    database = database_from_json(json.dumps(payload["database"]))
+    return ChannelAllocation.from_id_lists(database, payload["channels"])
+
+
+def save_allocation(
+    allocation: ChannelAllocation, path: Union[str, Path]
+) -> None:
+    Path(path).write_text(allocation_to_json(allocation))
+
+
+def load_allocation(path: Union[str, Path]) -> ChannelAllocation:
+    return allocation_from_json(Path(path).read_text())
+
+
+# ----------------------------------------------------------------------
+# Databases — CSV
+# ----------------------------------------------------------------------
+def save_database_csv(
+    database: BroadcastDatabase, path: Union[str, Path]
+) -> None:
+    """Write a flat ``item_id,frequency,size,label`` table."""
+    with Path(path).open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["item_id", "frequency", "size", "label"])
+        for item in database.items:
+            writer.writerow(
+                [item.item_id, item.frequency, item.size, item.label or ""]
+            )
+
+
+def load_database_csv(path: Union[str, Path]) -> BroadcastDatabase:
+    """Read a database from :func:`save_database_csv` output."""
+    items: List[DataItem] = []
+    with Path(path).open(newline="") as handle:
+        reader = csv.DictReader(handle)
+        required = {"item_id", "frequency", "size"}
+        if reader.fieldnames is None or not required <= set(reader.fieldnames):
+            raise InvalidDatabaseError(
+                f"CSV must have columns {sorted(required)}, got "
+                f"{reader.fieldnames}"
+            )
+        for row in reader:
+            label: Optional[str] = row.get("label") or None
+            try:
+                frequency = float(row["frequency"])
+                size = float(row["size"])
+            except (TypeError, ValueError) as error:
+                raise InvalidDatabaseError(
+                    f"non-numeric frequency/size in row {row!r}"
+                ) from error
+            items.append(
+                DataItem(
+                    item_id=row["item_id"],
+                    frequency=frequency,
+                    size=size,
+                    label=label,
+                )
+            )
+    return BroadcastDatabase(items)
+
+
+def _parse(text: str, *, expected: str) -> dict:
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise InvalidDatabaseError(f"invalid JSON: {error}") from error
+    if not isinstance(payload, dict) or payload.get("format") != expected:
+        raise InvalidDatabaseError(
+            f"expected a {expected!r} document, got "
+            f"{payload.get('format') if isinstance(payload, dict) else type(payload).__name__!r}"
+        )
+    version = payload.get("version")
+    if version != _FORMAT_VERSION:
+        raise InvalidDatabaseError(
+            f"unsupported format version {version!r} "
+            f"(this build reads version {_FORMAT_VERSION})"
+        )
+    return payload

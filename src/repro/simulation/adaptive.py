@@ -1,0 +1,214 @@
+"""Adaptive broadcasting: re-estimate, re-allocate, repeat.
+
+The paper generates one program from one static profile.  A deployed
+server (its Figure 1) keeps collecting access patterns while interests
+drift, and periodically regenerates the program.  This module simulates
+that loop over epochs:
+
+1. clients issue requests according to the *current true* popularity
+   (which drifts per epoch);
+2. the server measures waiting times under its current program and logs
+   the requests;
+3. at the epoch boundary it re-estimates the profile from the trace
+   (:mod:`repro.workloads.estimator`) and re-runs the allocator.
+
+Comparing the adaptive loop against a static program quantifies how
+much the paper's fast allocator buys operationally: DRP-CDS is cheap
+enough to re-run every epoch, which a GA-based GOPT would not be.
+
+Extension beyond the paper (DESIGN.md §6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.allocation import ChannelAllocation
+from repro.core.cost import DEFAULT_BANDWIDTH
+from repro.core.database import BroadcastDatabase
+from repro.core.scheduler import Allocator
+from repro.exceptions import SimulationError
+from repro.simulation.metrics import SummaryStatistics, summarize
+from repro.simulation.server import BroadcastProgram
+from repro.workloads.estimator import (
+    CountEstimator,
+    DecayEstimator,
+    estimate_database,
+    profile_l1_error,
+)
+from repro.workloads.trace import synthesize_trace
+
+__all__ = ["RotatingDrift", "EpochReport", "run_adaptive_simulation"]
+
+
+class RotatingDrift:
+    """Popularity drift by rank rotation.
+
+    Each epoch, the popularity vector rotates by ``shift_per_epoch``
+    positions over the catalogue: yesterday's hot items cool down, cold
+    items heat up — a simple but harsh drift model (a rotation by N/2
+    eventually inverts the profile).
+    """
+
+    def __init__(
+        self, base_frequencies: Sequence[float], shift_per_epoch: int = 1
+    ) -> None:
+        if shift_per_epoch < 0:
+            raise SimulationError(
+                f"shift_per_epoch must be >= 0, got {shift_per_epoch}"
+            )
+        self._base = np.asarray(base_frequencies, dtype=np.float64)
+        if self._base.ndim != 1 or len(self._base) == 0:
+            raise SimulationError("base_frequencies must be a non-empty vector")
+        self._shift = shift_per_epoch
+
+    def probabilities(self, epoch: int) -> np.ndarray:
+        """The true request distribution during ``epoch`` (0-based)."""
+        if epoch < 0:
+            raise SimulationError(f"epoch must be >= 0, got {epoch}")
+        return np.roll(self._base, epoch * self._shift)
+
+
+@dataclass
+class EpochReport:
+    """Measurements of one adaptation epoch.
+
+    Attributes
+    ----------
+    epoch:
+        0-based epoch index.
+    measured:
+        Waiting-time summary of this epoch's requests.
+    cost_under_truth:
+        Eq.-(3) cost of the epoch's allocation *evaluated against the
+        true popularity* — the quantity the allocator would minimise if
+        it knew the truth.
+    profile_error:
+        L1 distance between the profile the program was built from and
+        the epoch's true distribution (0 = the server knew the truth).
+    reallocated:
+        Whether the program was regenerated before this epoch.
+    """
+
+    epoch: int
+    measured: SummaryStatistics
+    cost_under_truth: float
+    profile_error: float
+    reallocated: bool
+
+
+def run_adaptive_simulation(
+    database: BroadcastDatabase,
+    allocator: Allocator,
+    num_channels: int,
+    *,
+    epochs: int = 8,
+    requests_per_epoch: int = 4000,
+    drift: Optional[RotatingDrift] = None,
+    estimator: "CountEstimator | DecayEstimator | None" = None,
+    adapt: bool = True,
+    bandwidth: float = DEFAULT_BANDWIDTH,
+    seed: int = 0,
+) -> List[EpochReport]:
+    """Simulate epochs of drifting demand with optional re-allocation.
+
+    Parameters
+    ----------
+    database:
+        The catalogue with its *initial* access profile; sizes are fixed
+        throughout, frequencies drift.
+    allocator:
+        Any :class:`Allocator` — regenerates the program at each epoch
+        boundary when ``adapt`` is true.
+    num_channels:
+        Channel count K.
+    epochs / requests_per_epoch:
+        Simulation horizon.
+    drift:
+        The popularity drift model; default rotates by one rank per
+        epoch.
+    estimator:
+        Frequency estimator applied to the previous epoch's trace;
+        default :class:`CountEstimator` (Laplace-smoothed counts).
+    adapt:
+        False freezes the initial program — the static baseline.
+    bandwidth:
+        Channel bandwidth ``b``.
+    seed:
+        Master seed; per-epoch streams derive from it.
+
+    Returns
+    -------
+    list of EpochReport, one per epoch.
+    """
+    if epochs < 1:
+        raise SimulationError(f"epochs must be >= 1, got {epochs}")
+    if requests_per_epoch < 1:
+        raise SimulationError(
+            f"requests_per_epoch must be >= 1, got {requests_per_epoch}"
+        )
+    if drift is None:
+        drift = RotatingDrift(
+            [item.frequency for item in database.items], shift_per_epoch=1
+        )
+    if estimator is None:
+        estimator = CountEstimator()
+
+    sizes: Dict[str, float] = {
+        item.item_id: item.size for item in database.items
+    }
+    ids = list(database.item_ids)
+    believed = database  # the profile the current program was built from
+    allocation: ChannelAllocation = allocator.allocate(
+        believed, num_channels
+    ).allocation
+
+    reports: List[EpochReport] = []
+    reallocated = True  # the initial build counts as a (re)allocation
+    for epoch in range(epochs):
+        truth = drift.probabilities(epoch)
+        program = BroadcastProgram(allocation, bandwidth=bandwidth)
+        trace = synthesize_trace(
+            database,
+            requests_per_epoch,
+            seed=seed + epoch,
+            probabilities=truth.tolist(),
+        )
+        waits = [
+            program.waiting_time(record.item_id, record.timestamp)
+            for record in trace
+        ]
+        believed_profile = {
+            item.item_id: item.frequency for item in believed.items
+        }
+        true_profile = dict(zip(ids, truth.tolist()))
+        reports.append(
+            EpochReport(
+                epoch=epoch,
+                measured=summarize(waits),
+                cost_under_truth=_cost_under_profile(allocation, true_profile),
+                profile_error=profile_l1_error(believed_profile, true_profile),
+                reallocated=reallocated,
+            )
+        )
+        reallocated = False
+        if adapt and epoch + 1 < epochs:
+            believed = estimate_database(trace, sizes, estimator=estimator)
+            allocation = allocator.allocate(believed, num_channels).allocation
+            reallocated = True
+    return reports
+
+
+def _cost_under_profile(
+    allocation: ChannelAllocation, profile: Dict[str, float]
+) -> float:
+    """Eq.-(3) cost of an allocation under a substituted frequency map."""
+    total = 0.0
+    for group in allocation.channels:
+        freq = sum(profile[item.item_id] for item in group)
+        size = sum(item.size for item in group)
+        total += freq * size
+    return total

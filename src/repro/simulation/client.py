@@ -1,0 +1,110 @@
+"""The client side: request generation for the broadcast simulation.
+
+Mobile users are modelled as an aggregate Poisson request stream (the
+standard teletraffic assumption, and the one under which the paper's
+uniform-tune-in expectation holds): requests arrive with exponential
+inter-arrival times, each request asks for item ``d_i`` with probability
+``f_i`` — the access frequencies the broadcast program was optimised
+for.  An optional *mismatch* knob perturbs the request distribution away
+from the profile to study stale-profile behaviour (an extension, used in
+tests and one example).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence
+
+import numpy as np
+
+from repro.core.database import BroadcastDatabase
+from repro.exceptions import SimulationError
+
+__all__ = ["Request", "RequestGenerator"]
+
+
+@dataclass(frozen=True)
+class Request:
+    """One client request: which item, and when the client tuned in."""
+
+    request_id: int
+    item_id: str
+    arrival_time: float
+
+
+class RequestGenerator:
+    """Poisson request stream over a broadcast database.
+
+    Parameters
+    ----------
+    database:
+        The broadcast database; request probabilities default to its
+        access frequencies (renormalised defensively).
+    arrival_rate:
+        Poisson rate λ in requests per second.
+    seed:
+        RNG seed for reproducible streams.
+    request_probabilities:
+        Optional override of the per-item request distribution (same
+        order as ``database.items``); must be non-negative and sum to a
+        positive value.  Used to model client populations whose actual
+        interests drifted from the collected profile.
+    """
+
+    def __init__(
+        self,
+        database: BroadcastDatabase,
+        *,
+        arrival_rate: float = 1.0,
+        seed: int = 0,
+        request_probabilities: Optional[Sequence[float]] = None,
+    ) -> None:
+        if not (isinstance(arrival_rate, (int, float)) and arrival_rate > 0):
+            raise SimulationError(
+                f"arrival_rate must be positive, got {arrival_rate!r}"
+            )
+        self._database = database
+        self._rate = float(arrival_rate)
+        self._rng = np.random.default_rng(seed)
+        if request_probabilities is None:
+            weights = np.array(
+                [item.frequency for item in database.items], dtype=np.float64
+            )
+        else:
+            weights = np.asarray(request_probabilities, dtype=np.float64)
+            if len(weights) != len(database):
+                raise SimulationError(
+                    f"got {len(weights)} request probabilities for "
+                    f"{len(database)} items"
+                )
+            if np.any(weights < 0) or weights.sum() <= 0:
+                raise SimulationError(
+                    "request probabilities must be non-negative with a "
+                    "positive sum"
+                )
+        self._probabilities = weights / weights.sum()
+        self._item_ids = list(database.item_ids)
+
+    @property
+    def arrival_rate(self) -> float:
+        return self._rate
+
+    def generate(self, num_requests: int) -> Iterator[Request]:
+        """Yield ``num_requests`` requests with increasing arrival times."""
+        if num_requests < 0:
+            raise SimulationError(
+                f"num_requests must be >= 0, got {num_requests}"
+            )
+        clock = 0.0
+        # Draw in bulk for speed; numpy choice with p handles the skew.
+        gaps = self._rng.exponential(1.0 / self._rate, size=num_requests)
+        picks = self._rng.choice(
+            len(self._item_ids), size=num_requests, p=self._probabilities
+        )
+        for request_id in range(num_requests):
+            clock += float(gaps[request_id])
+            yield Request(
+                request_id=request_id,
+                item_id=self._item_ids[int(picks[request_id])],
+                arrival_time=clock,
+            )

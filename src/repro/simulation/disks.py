@@ -1,0 +1,232 @@
+"""Broadcast Disks: multi-frequency scheduling *within* a channel.
+
+The paper's model broadcasts every item exactly once per cycle and gets
+its leverage from *which channel* an item lives on.  Acharya et al.'s
+Broadcast Disks (the paper's reference [1]) work the other axis: on a
+single channel, repeat hot items several times per cycle, evenly
+spaced, as if spinning several virtual disks at different speeds.
+
+This module implements:
+
+* :class:`MultiScheduleChannel` — a cyclic channel whose schedule may
+  repeat items; exact expected waiting time via the gap formula
+  (for appearance starts with wrap-around gaps ``g_i`` in a cycle of
+  length ``C``, the expected wait to the next start under uniform
+  tune-in is ``Σ g_i² / (2C)`` — evenly spaced repeats minimise it);
+* :func:`broadcast_disk_schedule` — Acharya's chunk-interleaving
+  program generation: disk ``i`` spins at integer frequency ``f_i``;
+  each minor cycle broadcasts one chunk of every disk, so disk ``i``'s
+  items appear ``f_i`` times per major cycle, evenly spaced;
+* :func:`disks_from_allocation` — reuse a channel-allocation algorithm
+  (e.g. DRP) to form the disks: its "channels" become the disks.
+
+This lets the benchmarks compare the two mechanisms at equal bandwidth:
+K separate channels (the paper) vs one fat channel spinning K disks
+(Broadcast Disks).  Extension beyond the paper (DESIGN.md §6).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.database import BroadcastDatabase
+from repro.core.drp import drp_allocate
+from repro.core.item import DataItem
+from repro.exceptions import SimulationError
+
+__all__ = [
+    "MultiScheduleChannel",
+    "broadcast_disk_schedule",
+    "disks_from_allocation",
+]
+
+
+class MultiScheduleChannel:
+    """A cyclic channel whose schedule may repeat items.
+
+    Parameters
+    ----------
+    channel_id:
+        Channel index.
+    schedule:
+        Transmission order within one (major) cycle; an item may appear
+        multiple times, always as the *same* :class:`DataItem` object
+        value.
+    bandwidth:
+        Size units per second.
+    """
+
+    def __init__(
+        self,
+        channel_id: int,
+        schedule: Sequence[DataItem],
+        bandwidth: float,
+    ) -> None:
+        if not schedule:
+            raise SimulationError(
+                f"channel {channel_id} has an empty schedule"
+            )
+        if not (isinstance(bandwidth, (int, float)) and bandwidth > 0):
+            raise SimulationError(
+                f"bandwidth must be positive, got {bandwidth!r}"
+            )
+        self.channel_id = channel_id
+        self._bandwidth = float(bandwidth)
+        self._starts: Dict[str, List[float]] = {}
+        self._duration: Dict[str, float] = {}
+        clock = 0.0
+        for item in schedule:
+            known = self._duration.get(item.item_id)
+            duration = item.size / self._bandwidth
+            if known is not None and abs(known - duration) > 1e-12:
+                raise SimulationError(
+                    f"item {item.item_id!r} appears with two different "
+                    f"sizes on channel {channel_id}"
+                )
+            self._starts.setdefault(item.item_id, []).append(clock)
+            self._duration[item.item_id] = duration
+            clock += duration
+        self._cycle = clock
+        self._schedule: Tuple[DataItem, ...] = tuple(schedule)
+
+    @property
+    def cycle_length(self) -> float:
+        return self._cycle
+
+    @property
+    def schedule(self) -> Tuple[DataItem, ...]:
+        return self._schedule
+
+    @property
+    def bandwidth(self) -> float:
+        return self._bandwidth
+
+    def carries(self, item_id: str) -> bool:
+        return item_id in self._starts
+
+    def appearances(self, item_id: str) -> int:
+        """How many times the item is transmitted per major cycle."""
+        return len(self._lookup(item_id))
+
+    def next_transmission_start(self, item_id: str, tune_in: float) -> float:
+        """Earliest start ≥ ``tune_in`` of a full transmission."""
+        if tune_in < 0 or not math.isfinite(tune_in):
+            raise SimulationError(
+                f"tune_in must be finite and >= 0, got {tune_in!r}"
+            )
+        starts = self._lookup(item_id)
+        phase = tune_in % self._cycle
+        base = tune_in - phase
+        for start in starts:
+            if start >= phase - 1e-12:
+                return base + start
+        return base + self._cycle + starts[0]
+
+    def waiting_time(self, item_id: str, tune_in: float) -> float:
+        start = self.next_transmission_start(item_id, tune_in)
+        return start + self._duration[item_id] - tune_in
+
+    def expected_waiting_time(self, item_id: str) -> float:
+        """Exact expectation under uniform tune-in — the gap formula.
+
+        With appearance starts ``a_1 < ... < a_m`` and wrap-around gaps
+        ``g_i``, a uniform tune-in lands in gap ``i`` with probability
+        ``g_i / C`` and then waits ``g_i / 2`` on average, giving
+        ``Σ g_i² / (2C)``; plus the download time.
+        """
+        starts = self._lookup(item_id)
+        cycle = self._cycle
+        gaps = [
+            starts[i + 1] - starts[i] for i in range(len(starts) - 1)
+        ]
+        gaps.append(cycle - starts[-1] + starts[0])
+        probe = math.fsum(g * g for g in gaps) / (2.0 * cycle)
+        return probe + self._duration[item_id]
+
+    def _lookup(self, item_id: str) -> List[float]:
+        try:
+            return self._starts[item_id]
+        except KeyError:
+            raise SimulationError(
+                f"channel {self.channel_id} does not carry {item_id!r}"
+            ) from None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MultiScheduleChannel(id={self.channel_id}, "
+            f"slots={len(self._schedule)}, cycle={self._cycle:.6g}s)"
+        )
+
+
+def broadcast_disk_schedule(
+    disks: Sequence[Sequence[DataItem]],
+    frequencies: Sequence[int],
+) -> List[DataItem]:
+    """Acharya's chunk-interleaved broadcast program.
+
+    Disk ``i`` spins at integer relative frequency ``f_i``: split it
+    into ``max_chunks / f_i`` chunks where ``max_chunks`` is the LCM of
+    the frequencies, then emit ``max_chunks`` minor cycles, each
+    carrying the next chunk of every disk (fast disks wrap around more
+    often, so their items recur evenly ``f_i`` times per major cycle).
+
+    Items must not repeat across or within disks; frequencies must be
+    positive integers, one per disk.
+    """
+    if not disks:
+        raise SimulationError("need at least one disk")
+    if len(frequencies) != len(disks):
+        raise SimulationError(
+            f"got {len(frequencies)} frequencies for {len(disks)} disks"
+        )
+    freqs: List[int] = []
+    for value in frequencies:
+        if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+            raise SimulationError(
+                f"frequencies must be positive integers, got {value!r}"
+            )
+        freqs.append(value)
+    seen = set()
+    for disk in disks:
+        if not disk:
+            raise SimulationError("disks cannot be empty")
+        for item in disk:
+            if item.item_id in seen:
+                raise SimulationError(
+                    f"item {item.item_id!r} assigned to two disk slots"
+                )
+            seen.add(item.item_id)
+
+    max_chunks = math.lcm(*freqs)
+    chunked: List[List[List[DataItem]]] = []
+    for disk, frequency in zip(disks, freqs):
+        num_chunks = max_chunks // frequency
+        chunks: List[List[DataItem]] = [[] for _ in range(num_chunks)]
+        for index, item in enumerate(disk):
+            chunks[index % num_chunks].append(item)
+        chunked.append(chunks)
+
+    schedule: List[DataItem] = []
+    for minor in range(max_chunks):
+        for chunks in chunked:
+            schedule.extend(chunks[minor % len(chunks)])
+    return schedule
+
+
+def disks_from_allocation(
+    database: BroadcastDatabase,
+    num_disks: int,
+) -> List[List[DataItem]]:
+    """Form disks with a DRP grouping (hottest benefit-ratio disk first).
+
+    The channel-allocation machinery doubles as the disk-assignment
+    step: DRP's groups, ordered hot-to-cold, become disks 1..n.
+    """
+    result = drp_allocate(database, num_disks)
+    groups = [list(group) for group in result.allocation.channels]
+    groups.sort(
+        key=lambda group: -sum(item.frequency for item in group)
+        / sum(item.size for item in group)
+    )
+    return groups

@@ -1,0 +1,59 @@
+"""Event primitives for the discrete-event simulation kernel.
+
+An :class:`Event` couples a firing time with a callback.  Ordering is
+total and deterministic: time first, then a user-supplied priority (for
+same-instant causality, e.g. "delivery completes before the next request
+at the same timestamp"), then a monotone sequence number (FIFO among
+otherwise equal events).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Any, Callable
+
+__all__ = ["EventPriority", "Event"]
+
+
+class EventPriority(IntEnum):
+    """Coarse same-instant ordering classes.
+
+    Smaller values fire first.  ``DELIVERY`` precedes ``ARRIVAL`` so a
+    client whose download finishes exactly when another request arrives
+    observes a consistent "completed" state.
+    """
+
+    DELIVERY = 0
+    ARRIVAL = 1
+    CONTROL = 2
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Attributes
+    ----------
+    time:
+        Simulated firing time (seconds).
+    priority:
+        Same-instant ordering class.
+    sequence:
+        Monotone tie-breaker assigned by the engine.
+    callback:
+        Zero-argument callable invoked when the event fires.
+    cancelled:
+        Cancelled events stay in the heap but are skipped when popped
+        (lazy deletion — O(1) cancel).
+    """
+
+    time: float
+    priority: int
+    sequence: int
+    callback: Callable[[], Any] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the engine skips it."""
+        self.cancelled = True

@@ -1,0 +1,284 @@
+"""(1, m) air indexing — the energy dimension of broadcasting.
+
+The paper optimises *waiting time* only.  The classic companion concern
+(Imielinski, Viswanathan & Badrinath, "Data on Air" — the paper's
+reference [11]) is *tuning time*: how long the mobile device must
+actively listen, which is what drains its battery.  With **(1, m)
+indexing** the channel interleaves ``m`` copies of a directory (the
+index) into each broadcast cycle; a client
+
+1. listens until the next index block starts (active — it does not yet
+   know the schedule),
+2. reads the index (active),
+3. **dozes** until its item's transmission starts (idle — this is the
+   energy win), and
+4. downloads the item (active).
+
+Larger ``m`` shortens the active probe for an index (≈ cycle/2m), so
+**tuning time decreases monotonically in m**, but each copy lengthens
+the cycle, so **waiting time is U-shaped in m**: the probe shrinks
+like ``D/(2m)`` while the cycle grows like ``m·I``.  Balancing the two
+gives the classic optimum ``m* = sqrt(data_size / index_size)`` for the
+expected *waiting* (access) time.
+
+This module implements the indexed channel layout with *exact*
+expectations (piecewise integration over the tune-in instant, no Monte
+Carlo needed) plus per-request timing for the simulator.  Extension
+beyond the paper (DESIGN.md §6).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.core.item import DataItem
+from repro.exceptions import SimulationError
+
+__all__ = [
+    "IndexedChannel",
+    "IndexedTiming",
+    "optimal_index_replication",
+]
+
+
+@dataclass(frozen=True)
+class IndexedTiming:
+    """Outcome of one indexed retrieval.
+
+    Attributes
+    ----------
+    waiting_time:
+        Tune-in to download completion (seconds) — the latency metric.
+    tuning_time:
+        Active-listening seconds within that window — the energy metric.
+        Always ``<= waiting_time``; the difference is doze time.
+    """
+
+    waiting_time: float
+    tuning_time: float
+
+    @property
+    def doze_time(self) -> float:
+        return self.waiting_time - self.tuning_time
+
+
+def optimal_index_replication(data_size: float, index_size: float) -> int:
+    """The classic (1, m) rule of thumb: ``m* = sqrt(data/index)``.
+
+    Minimises the expected *waiting* (access) time: with data payload
+    ``D`` and one index copy of size ``I`` per segment, the expected
+    wait is ≈ ``(D + mI)·(1/(2m) + 1/2)`` whose minimiser is
+    ``sqrt(D/I)``.  (Tuning time, by contrast, decreases monotonically
+    in ``m`` — more copies only help the probe.)  Returns the positive
+    integer nearest to the continuous optimum (at least 1).
+    """
+    if data_size <= 0 or index_size <= 0:
+        raise SimulationError(
+            "data_size and index_size must be positive"
+        )
+    return max(1, round(math.sqrt(data_size / index_size)))
+
+
+class IndexedChannel:
+    """A cyclic broadcast channel with (1, m) interleaved indexing.
+
+    Parameters
+    ----------
+    channel_id:
+        Channel index within the program.
+    items:
+        Data items, transmitted in this order each cycle.
+    bandwidth:
+        Channel bandwidth in size units per second.
+    replication:
+        ``m`` — number of index copies per cycle.  ``m`` must not exceed
+        the item count (each data segment holds at least one item).
+    index_entry_size:
+        Directory size contributed per item, in size units.  One full
+        index occupies ``len(items) * index_entry_size`` units.
+
+    Layout
+    ------
+    The cycle is ``[I][seg_1][I][seg_2]...[I][seg_m]`` where the data
+    segments partition the item sequence into ``m`` nearly-equal-count
+    contiguous runs.
+    """
+
+    def __init__(
+        self,
+        channel_id: int,
+        items: Sequence[DataItem],
+        bandwidth: float,
+        *,
+        replication: int = 1,
+        index_entry_size: float = 0.1,
+    ) -> None:
+        if not items:
+            raise SimulationError(
+                f"channel {channel_id} has no items to broadcast"
+            )
+        if not (isinstance(bandwidth, (int, float)) and bandwidth > 0):
+            raise SimulationError(
+                f"bandwidth must be positive, got {bandwidth!r}"
+            )
+        if not 1 <= replication <= len(items):
+            raise SimulationError(
+                f"replication must be in [1, {len(items)}], got {replication}"
+            )
+        if index_entry_size <= 0:
+            raise SimulationError(
+                f"index_entry_size must be positive, got {index_entry_size}"
+            )
+        self.channel_id = channel_id
+        self._items: Tuple[DataItem, ...] = tuple(items)
+        self._bandwidth = float(bandwidth)
+        self._replication = replication
+        self._index_duration = (
+            len(items) * index_entry_size / self._bandwidth
+        )
+
+        # Build the cycle layout: index starts and per-item slot starts.
+        ids_seen = set()
+        self._index_starts: List[float] = []
+        self._slot_start: dict = {}
+        self._slot_duration: dict = {}
+        clock = 0.0
+        segments = _split_evenly(list(items), replication)
+        for segment in segments:
+            self._index_starts.append(clock)
+            clock += self._index_duration
+            for item in segment:
+                if item.item_id in ids_seen:
+                    raise SimulationError(
+                        f"item {item.item_id!r} appears twice on channel "
+                        f"{channel_id}"
+                    )
+                ids_seen.add(item.item_id)
+                self._slot_start[item.item_id] = clock
+                duration = item.size / self._bandwidth
+                self._slot_duration[item.item_id] = duration
+                clock += duration
+        self._cycle = clock
+
+    # ------------------------------------------------------------------
+    # Static properties
+    # ------------------------------------------------------------------
+    @property
+    def items(self) -> Tuple[DataItem, ...]:
+        return self._items
+
+    @property
+    def replication(self) -> int:
+        return self._replication
+
+    @property
+    def cycle_length(self) -> float:
+        """Cycle duration including the ``m`` index copies."""
+        return self._cycle
+
+    @property
+    def index_duration(self) -> float:
+        """Transmission time of one full index copy."""
+        return self._index_duration
+
+    @property
+    def index_overhead(self) -> float:
+        """Fraction of the cycle spent on index traffic."""
+        return self._replication * self._index_duration / self._cycle
+
+    def carries(self, item_id: str) -> bool:
+        return item_id in self._slot_start
+
+    # ------------------------------------------------------------------
+    # Per-request timing
+    # ------------------------------------------------------------------
+    def retrieve(self, item_id: str, tune_in: float) -> IndexedTiming:
+        """Timing of the indexed retrieval protocol for one request."""
+        if item_id not in self._slot_start:
+            raise SimulationError(
+                f"channel {self.channel_id} does not carry {item_id!r}"
+            )
+        if tune_in < 0 or not math.isfinite(tune_in):
+            raise SimulationError(
+                f"tune_in must be finite and >= 0, got {tune_in!r}"
+            )
+        phase = tune_in % self._cycle
+        base = tune_in - phase
+        # 1. Active probe to the next index start.
+        index_start = None
+        for start in self._index_starts:
+            if start >= phase - 1e-12:
+                index_start = base + start
+                break
+        if index_start is None:
+            index_start = base + self._cycle + self._index_starts[0]
+        probe = index_start - tune_in
+        # 2. Read the index.
+        ready = index_start + self._index_duration
+        # 3. Doze until the item's next transmission start >= ready
+        #    (the index tells the client the whole schedule).
+        slot = self._slot_start[item_id]
+        cycles_needed = max(0, math.ceil((ready - slot) / self._cycle - 1e-12))
+        start = slot + cycles_needed * self._cycle
+        # 4. Download.
+        duration = self._slot_duration[item_id]
+        completion = start + duration
+        tuning = probe + self._index_duration + duration
+        return IndexedTiming(
+            waiting_time=completion - tune_in, tuning_time=tuning
+        )
+
+    # ------------------------------------------------------------------
+    # Exact expectations (uniform tune-in over one cycle)
+    # ------------------------------------------------------------------
+    def expected_timing(self, item_id: str) -> IndexedTiming:
+        """Exact expectation of :meth:`retrieve` for uniform tune-in.
+
+        Piecewise integration: between consecutive index starts, the
+        request resolves to a *fixed* completion instant and a waiting
+        time linear in the tune-in, so each interval contributes its
+        midpoint value.
+        """
+        if item_id not in self._slot_start:
+            raise SimulationError(
+                f"channel {self.channel_id} does not carry {item_id!r}"
+            )
+        boundaries = list(self._index_starts) + [self._cycle]
+        total_wait = 0.0
+        total_tune = 0.0
+        for left, right in zip(boundaries, boundaries[1:]):
+            width = right - left
+            if width <= 0:
+                continue
+            # Every tune-in in (left, right] probes to index at `right`
+            # (possibly wrapping: right == cycle maps to index 0 of the
+            # next cycle, same phase).  Evaluate at the midpoint — both
+            # metrics are linear in t on the interval.
+            midpoint = left + width / 2.0
+            timing = self.retrieve(item_id, midpoint)
+            total_wait += timing.waiting_time * width
+            total_tune += timing.tuning_time * width
+        return IndexedTiming(
+            waiting_time=total_wait / self._cycle,
+            tuning_time=total_tune / self._cycle,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"IndexedChannel(id={self.channel_id}, m={self._replication}, "
+            f"items={len(self._items)}, cycle={self._cycle:.6g}s)"
+        )
+
+
+def _split_evenly(items: List[DataItem], parts: int) -> List[List[DataItem]]:
+    """Split a list into ``parts`` contiguous runs of near-equal count."""
+    base, extra = divmod(len(items), parts)
+    segments: List[List[DataItem]] = []
+    cursor = 0
+    for index in range(parts):
+        length = base + (1 if index < extra else 0)
+        segments.append(items[cursor: cursor + length])
+        cursor += length
+    return segments

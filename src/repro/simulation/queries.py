@@ -1,0 +1,156 @@
+"""Multi-item query retrieval over a broadcast program (extension).
+
+Models a single-tuner client resolving an unordered query: it can
+listen to only one channel at a time, switches channels instantly, and
+must fully receive every item of the query.  Strategy:
+
+* **greedy** (default) — repeatedly download whichever pending item's
+  next full transmission completes earliest;
+* **fixed** — download the items in the query's listed order (a naive
+  client), used as the comparison floor.
+
+Greedy is a myopic heuristic, not an optimum, and it does not even
+dominate the fixed order on every single instance (grabbing the nearest
+item can make the client miss a rarer slot it should have taken first);
+it does win clearly *on average*, which is what the tests assert.
+
+:func:`simulate_query_workload` measures the mean *query span* (tune-in
+to last completion) of a workload against any allocation — how the
+paper's single-item allocators fare when clients actually need sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.allocation import ChannelAllocation
+from repro.core.cost import DEFAULT_BANDWIDTH
+from repro.exceptions import SimulationError
+from repro.simulation.metrics import SummaryStatistics, summarize
+from repro.simulation.server import BroadcastProgram
+from repro.workloads.queries import QueryWorkload
+
+__all__ = ["QueryRetrieval", "retrieve_query", "simulate_query_workload"]
+
+_STRATEGIES = ("greedy", "fixed")
+
+
+@dataclass(frozen=True)
+class QueryRetrieval:
+    """Outcome of resolving one query.
+
+    Attributes
+    ----------
+    span:
+        Tune-in to the completion of the last item (seconds).
+    order:
+        Item ids in downloaded order.
+    completions:
+        Completion instant of each item, aligned with ``order``.
+    """
+
+    span: float
+    order: Tuple[str, ...]
+    completions: Tuple[float, ...]
+
+
+def retrieve_query(
+    program: BroadcastProgram,
+    item_ids: Sequence[str],
+    tune_in: float,
+    *,
+    strategy: str = "greedy",
+) -> QueryRetrieval:
+    """Resolve an unordered multi-item query with a single tuner.
+
+    The client finishes downloading one item before starting the next
+    (one tuner); between downloads it may retune to any channel
+    instantly.  A transmission must be received from its start, so an
+    item whose slot began mid-download is caught on a later cycle.
+    """
+    if strategy not in _STRATEGIES:
+        raise SimulationError(
+            f"unknown strategy {strategy!r}; choose from {_STRATEGIES}"
+        )
+    if not item_ids:
+        raise SimulationError("a query needs at least one item")
+    if len(set(item_ids)) != len(item_ids):
+        raise SimulationError("query lists an item twice")
+    pending: List[str] = list(item_ids)
+    clock = float(tune_in)
+    order: List[str] = []
+    completions: List[float] = []
+    while pending:
+        if strategy == "greedy":
+            chosen = min(
+                pending,
+                key=lambda item_id: program.channel_for(
+                    item_id
+                ).delivery_completion(item_id, clock),
+            )
+        else:
+            chosen = pending[0]
+        completion = program.channel_for(chosen).delivery_completion(
+            chosen, clock
+        )
+        pending.remove(chosen)
+        order.append(chosen)
+        completions.append(completion)
+        clock = completion
+    return QueryRetrieval(
+        span=clock - tune_in,
+        order=tuple(order),
+        completions=tuple(completions),
+    )
+
+
+def simulate_query_workload(
+    allocation: ChannelAllocation,
+    workload: QueryWorkload,
+    *,
+    num_requests: int = 2000,
+    arrival_rate: float = 1.0,
+    bandwidth: float = DEFAULT_BANDWIDTH,
+    strategy: str = "greedy",
+    seed: int = 0,
+) -> SummaryStatistics:
+    """Measured query-span summary of a workload against an allocation.
+
+    Queries arrive as a Poisson stream; each request samples a query by
+    its frequency, resolves it with :func:`retrieve_query`, and records
+    the span.
+    """
+    if num_requests < 1:
+        raise SimulationError(
+            f"num_requests must be >= 1, got {num_requests}"
+        )
+    if arrival_rate <= 0:
+        raise SimulationError(
+            f"arrival_rate must be positive, got {arrival_rate}"
+        )
+    missing = [
+        item_id
+        for item_id in workload.referenced_item_ids()
+        if item_id not in allocation.database
+    ]
+    if missing:
+        raise SimulationError(
+            f"workload references items not in the allocation: "
+            f"{missing[:5]}"
+        )
+    program = BroadcastProgram(allocation, bandwidth=bandwidth)
+    rng = np.random.default_rng(seed)
+    clock = 0.0
+    spans: List[float] = []
+    gaps = rng.exponential(1.0 / arrival_rate, size=num_requests)
+    for gap in gaps:
+        clock += float(gap)
+        query = workload.sample(rng)
+        result = retrieve_query(
+            program, query.item_ids, clock, strategy=strategy
+        )
+        spans.append(result.span)
+    return summarize(spans)

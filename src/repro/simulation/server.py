@@ -1,0 +1,99 @@
+"""The broadcast server: turns an allocation into a broadcast program.
+
+The server side of Figure 1 of the paper: given a channel allocation it
+instantiates one :class:`~repro.simulation.channel.BroadcastChannel` per
+item group and routes item lookups to the carrying channel.  All
+channels share the same bandwidth (the paper's model); a per-channel
+bandwidth override is provided for the heterogeneous-bandwidth
+extension exercised by one example.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.core.allocation import ChannelAllocation
+from repro.core.cost import DEFAULT_BANDWIDTH
+from repro.exceptions import SimulationError
+from repro.simulation.channel import BroadcastChannel
+
+__all__ = ["BroadcastProgram"]
+
+
+class BroadcastProgram:
+    """An executable broadcast program.
+
+    Parameters
+    ----------
+    allocation:
+        The channel allocation to broadcast.
+    bandwidth:
+        Common channel bandwidth ``b`` (size units per second).
+    bandwidths:
+        Optional per-channel bandwidths; overrides ``bandwidth`` when
+        given and must have one entry per channel.
+    """
+
+    def __init__(
+        self,
+        allocation: ChannelAllocation,
+        *,
+        bandwidth: float = DEFAULT_BANDWIDTH,
+        bandwidths: Optional[Sequence[float]] = None,
+    ) -> None:
+        if bandwidths is not None and len(bandwidths) != allocation.num_channels:
+            raise SimulationError(
+                f"got {len(bandwidths)} bandwidths for "
+                f"{allocation.num_channels} channels"
+            )
+        self._allocation = allocation
+        self._channels: Tuple[BroadcastChannel, ...] = tuple(
+            BroadcastChannel(
+                channel_id=index,
+                items=group,
+                bandwidth=(
+                    bandwidths[index] if bandwidths is not None else bandwidth
+                ),
+            )
+            for index, group in enumerate(allocation.channels)
+        )
+        self._channel_of: Dict[str, int] = {
+            item.item_id: index
+            for index, group in enumerate(allocation.channels)
+            for item in group
+        }
+
+    @property
+    def allocation(self) -> ChannelAllocation:
+        return self._allocation
+
+    @property
+    def channels(self) -> Tuple[BroadcastChannel, ...]:
+        return self._channels
+
+    @property
+    def num_channels(self) -> int:
+        return len(self._channels)
+
+    def channel_for(self, item_id: str) -> BroadcastChannel:
+        """The channel carrying ``item_id``."""
+        try:
+            return self._channels[self._channel_of[item_id]]
+        except KeyError:
+            raise SimulationError(
+                f"no channel carries item {item_id!r}"
+            ) from None
+
+    def waiting_time(self, item_id: str, tune_in: float) -> float:
+        """Waiting time for a request of ``item_id`` arriving at ``tune_in``."""
+        return self.channel_for(item_id).waiting_time(item_id, tune_in)
+
+    def expected_waiting_time(self, item_id: str) -> float:
+        """Analytical per-item expected waiting time (Eq. 1)."""
+        return self.channel_for(item_id).expected_waiting_time(item_id)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BroadcastProgram(K={self.num_channels}, "
+            f"items={len(self._channel_of)})"
+        )

@@ -1,0 +1,127 @@
+"""Workload synthesis: turn simulation parameters into a database.
+
+:class:`WorkloadSpec` captures one row of the paper's Table 5 — item
+count, skewness θ, diversity Φ — plus a seed, and materialises a
+:class:`~repro.core.database.BroadcastDatabase` whose access frequencies
+follow Zipf(θ) and whose sizes follow the ``10^U[0,Φ]`` diversity model.
+
+Frequencies are assigned to items *independently* of sizes: the paper
+treats popularity rank and size as uncorrelated (a popular item may be
+large or small), which is what makes the benefit ratio informative.  An
+optional ``correlation`` knob lets ablations couple the two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+import numpy as np
+
+from repro.core.database import BroadcastDatabase
+from repro.exceptions import InvalidDatabaseError
+from repro.workloads.sizes import DEFAULT_DIVERSITY, diverse_sizes
+from repro.workloads.zipf import DEFAULT_SKEWNESS, zipf_frequencies
+
+__all__ = ["WorkloadSpec", "generate_database"]
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Parameters of one synthetic broadcast database.
+
+    Attributes
+    ----------
+    num_items:
+        Number of broadcast items ``N`` (Table 5: 60–180).
+    skewness:
+        Zipf parameter ``θ`` (Table 5: 0.4–1.6).
+    diversity:
+        Size-exponent range ``Φ`` (Table 5: 0–3).
+    seed:
+        Seed for the size draw (and the popularity-to-item shuffle).
+        Same spec + same seed ⇒ identical database.
+    shuffle_sizes:
+        When true (default), the size of an item is independent of its
+        popularity rank — the paper's model.  When false, sizes are
+        assigned in draw order (rank ``i`` gets the ``i``-th draw), which
+        is only useful for deterministic unit tests.
+    correlation:
+        Optional rank correlation in ``[-1, 1]`` between popularity and
+        size (ablation knob).  ``+1`` makes popular items the largest,
+        ``-1`` the smallest, ``0``/``None`` keeps them independent.
+        Implemented by partially sorting the size draws.
+    """
+
+    num_items: int
+    skewness: float = DEFAULT_SKEWNESS
+    diversity: float = DEFAULT_DIVERSITY
+    seed: int = 0
+    shuffle_sizes: bool = True
+    correlation: Optional[float] = field(default=None)
+
+    def __post_init__(self) -> None:
+        if self.num_items < 1:
+            raise InvalidDatabaseError(
+                f"num_items must be >= 1, got {self.num_items}"
+            )
+        if self.correlation is not None and not -1.0 <= self.correlation <= 1.0:
+            raise InvalidDatabaseError(
+                f"correlation must lie in [-1, 1], got {self.correlation}"
+            )
+
+    def with_seed(self, seed: int) -> "WorkloadSpec":
+        """Copy of this spec with a different seed (for replications)."""
+        return replace(self, seed=seed)
+
+
+def generate_database(spec: WorkloadSpec) -> BroadcastDatabase:
+    """Materialise the database described by ``spec``.
+
+    Item ``d1`` is always the most popular item (frequencies are assigned
+    in Zipf rank order); sizes are drawn from the diversity model and —
+    unless ``shuffle_sizes`` is false — permuted so size is independent
+    of rank.
+    """
+    rng = np.random.default_rng(spec.seed)
+    frequencies = zipf_frequencies(spec.num_items, spec.skewness)
+    sizes = diverse_sizes(spec.num_items, spec.diversity, rng)
+    if spec.correlation is not None:
+        sizes = _correlate_with_rank(sizes, spec.correlation, rng)
+    elif spec.shuffle_sizes:
+        sizes = rng.permutation(sizes)
+    return BroadcastDatabase.from_arrays(frequencies.tolist(), sizes.tolist())
+
+
+def _correlate_with_rank(
+    sizes: np.ndarray, correlation: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Impose an approximate rank correlation between popularity and size.
+
+    A fraction ``|correlation|`` of positions receive sizes in sorted
+    order (descending for positive correlation — hot items get the big
+    sizes — ascending for negative); the remainder stay random.
+    """
+    n = len(sizes)
+    sorted_sizes = np.sort(sizes)
+    if correlation >= 0:
+        sorted_sizes = sorted_sizes[::-1]
+    strength = abs(correlation)
+    num_fixed = int(round(strength * n))
+    result = rng.permutation(sizes)
+    if num_fixed:
+        fixed_positions = rng.choice(n, size=num_fixed, replace=False)
+        fixed_positions.sort()
+        remaining = np.setdiff1d(np.arange(n), fixed_positions)
+        fixed_values = sorted_sizes[fixed_positions]
+        result = np.empty_like(sizes)
+        result[fixed_positions] = fixed_values
+        leftover_pool = np.setdiff1d(sorted_sizes, fixed_values)
+        # setdiff1d drops duplicates; rebuild the leftover pool robustly.
+        if len(leftover_pool) != len(remaining):
+            pool = list(sorted_sizes)
+            for value in fixed_values:
+                pool.remove(value)
+            leftover_pool = np.array(pool)
+        result[remaining] = rng.permutation(leftover_pool)
+    return result

@@ -1,0 +1,215 @@
+"""Multi-item query workloads (extension).
+
+The paper models independent single-item requests.  Its companion
+literature (Huang & Chen — the paper's references [9][10]) studies
+*queries* that need several items; a client is done only when it has
+retrieved all of them.  This module supplies the workload side:
+
+* :class:`Query` — an unordered item set with a request frequency;
+* :class:`QueryWorkload` — a validated collection of queries;
+* :func:`generate_query_workload` — synthetic workloads with Zipf query
+  popularity and size-weighted item membership;
+* :func:`item_frequencies_from_queries` — the standard reduction from
+  query frequencies to per-item access frequencies (an item's frequency
+  is the probability a random query contains it), which lets any
+  single-item allocator (DRP-CDS included) serve query workloads.
+
+The retrieval protocol and its measurement live in
+:mod:`repro.simulation.queries`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.database import BroadcastDatabase
+from repro.exceptions import InvalidDatabaseError
+from repro.workloads.zipf import zipf_frequencies
+
+__all__ = [
+    "Query",
+    "QueryWorkload",
+    "generate_query_workload",
+    "item_frequencies_from_queries",
+]
+
+
+@dataclass(frozen=True)
+class Query:
+    """An unordered multi-item request pattern.
+
+    Attributes
+    ----------
+    query_id:
+        Stable identifier within a workload.
+    item_ids:
+        The items the query needs; non-empty, no duplicates.
+    frequency:
+        How often this query is issued (workload frequencies sum to 1).
+    """
+
+    query_id: str
+    item_ids: Tuple[str, ...]
+    frequency: float
+
+    def __post_init__(self) -> None:
+        if not self.query_id:
+            raise InvalidDatabaseError("query_id cannot be empty")
+        if not self.item_ids:
+            raise InvalidDatabaseError(
+                f"query {self.query_id!r} needs at least one item"
+            )
+        if len(set(self.item_ids)) != len(self.item_ids):
+            raise InvalidDatabaseError(
+                f"query {self.query_id!r} lists an item twice"
+            )
+        if not (self.frequency > 0 and math.isfinite(self.frequency)):
+            raise InvalidDatabaseError(
+                f"query {self.query_id!r} frequency must be positive, "
+                f"got {self.frequency!r}"
+            )
+
+    @property
+    def size(self) -> int:
+        return len(self.item_ids)
+
+
+class QueryWorkload:
+    """A validated, normalised collection of queries."""
+
+    def __init__(self, queries: Iterable[Query]) -> None:
+        query_list = list(queries)
+        if not query_list:
+            raise InvalidDatabaseError("a query workload cannot be empty")
+        seen = set()
+        for query in query_list:
+            if query.query_id in seen:
+                raise InvalidDatabaseError(
+                    f"duplicate query_id {query.query_id!r}"
+                )
+            seen.add(query.query_id)
+        total = math.fsum(query.frequency for query in query_list)
+        if abs(total - 1.0) > 1e-6:
+            raise InvalidDatabaseError(
+                f"query frequencies must sum to 1, got {total:.6f}"
+            )
+        self._queries: Tuple[Query, ...] = tuple(query_list)
+
+    def __len__(self) -> int:
+        return len(self._queries)
+
+    def __iter__(self) -> Iterator[Query]:
+        return iter(self._queries)
+
+    def __getitem__(self, index: int) -> Query:
+        return self._queries[index]
+
+    @property
+    def queries(self) -> Tuple[Query, ...]:
+        return self._queries
+
+    @property
+    def mean_query_size(self) -> float:
+        """Frequency-weighted expected number of items per query."""
+        return math.fsum(q.frequency * q.size for q in self._queries)
+
+    def referenced_item_ids(self) -> List[str]:
+        """Distinct item ids any query touches, in first-seen order."""
+        seen: Dict[str, None] = {}
+        for query in self._queries:
+            for item_id in query.item_ids:
+                seen.setdefault(item_id, None)
+        return list(seen)
+
+    def sample(self, rng: np.random.Generator) -> Query:
+        """Draw one query according to the workload frequencies."""
+        weights = np.array([q.frequency for q in self._queries])
+        index = rng.choice(len(self._queries), p=weights / weights.sum())
+        return self._queries[int(index)]
+
+
+def generate_query_workload(
+    database: BroadcastDatabase,
+    num_queries: int,
+    *,
+    min_items: int = 1,
+    max_items: int = 4,
+    skewness: float = 0.8,
+    seed: int = 0,
+    bias_to_popular: bool = True,
+) -> QueryWorkload:
+    """Synthesise a query workload over a database's catalogue.
+
+    Query popularity follows Zipf(``skewness``); each query contains a
+    uniform-random number of items in ``[min_items, max_items]``, drawn
+    without replacement — weighted by item popularity when
+    ``bias_to_popular`` (hot items co-occur in queries, the realistic
+    case) or uniformly otherwise.
+    """
+    if num_queries < 1:
+        raise InvalidDatabaseError(
+            f"num_queries must be >= 1, got {num_queries}"
+        )
+    if not 1 <= min_items <= max_items <= len(database):
+        raise InvalidDatabaseError(
+            f"need 1 <= min_items <= max_items <= {len(database)}, got "
+            f"[{min_items}, {max_items}]"
+        )
+    rng = np.random.default_rng(seed)
+    frequencies = zipf_frequencies(num_queries, skewness)
+    ids = list(database.item_ids)
+    if bias_to_popular:
+        weights = np.array([item.frequency for item in database.items])
+        weights = weights / weights.sum()
+    else:
+        weights = np.full(len(ids), 1.0 / len(ids))
+    queries: List[Query] = []
+    for index in range(num_queries):
+        size = int(rng.integers(min_items, max_items + 1))
+        members = rng.choice(
+            len(ids), size=size, replace=False, p=weights
+        )
+        queries.append(
+            Query(
+                query_id=f"q{index + 1}",
+                item_ids=tuple(ids[int(i)] for i in members),
+                frequency=float(frequencies[index]),
+            )
+        )
+    return QueryWorkload(queries)
+
+
+def item_frequencies_from_queries(
+    workload: QueryWorkload,
+    catalogue: Sequence[str],
+    *,
+    smoothing: float = 1e-6,
+) -> Dict[str, float]:
+    """Reduce query frequencies to per-item access frequencies.
+
+    The access frequency of item ``x`` is proportional to the total
+    frequency of queries containing ``x`` — the signal a single-item
+    allocator can consume.  Items no query touches receive ``smoothing``
+    mass so the resulting profile stays strictly positive (the model
+    requires ``f > 0``).
+    """
+    if not catalogue:
+        raise InvalidDatabaseError("catalogue cannot be empty")
+    if len(set(catalogue)) != len(catalogue):
+        raise InvalidDatabaseError("catalogue contains duplicates")
+    known = set(catalogue)
+    mass: Dict[str, float] = {item_id: smoothing for item_id in catalogue}
+    for query in workload:
+        for item_id in query.item_ids:
+            if item_id not in known:
+                raise InvalidDatabaseError(
+                    f"query {query.query_id!r} references unknown item "
+                    f"{item_id!r}"
+                )
+            mass[item_id] += query.frequency
+    total = math.fsum(mass.values())
+    return {item_id: value / total for item_id, value in mass.items()}

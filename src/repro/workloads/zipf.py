@@ -1,0 +1,72 @@
+"""Zipf access-frequency generation (paper, Section 4.1).
+
+The paper draws item popularity from the Zipf distribution
+
+.. math::
+
+    f_i = \\frac{(1/i)^{\\theta}}{\\sum_{j=1}^{N} (1/j)^{\\theta}},
+    \\qquad 1 \\le i \\le N,
+
+where the *skewness parameter* ``θ`` controls locality: ``θ = 0`` is a
+uniform popularity profile, larger ``θ`` concentrates requests on a few
+hot items.  Table 5 varies ``θ`` over ``0.4 – 1.6``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.exceptions import InvalidDatabaseError
+
+__all__ = ["zipf_frequencies", "zipf_skewness_of", "DEFAULT_SKEWNESS"]
+
+#: Mid-range skewness used when an experiment fixes θ while sweeping
+#: another parameter (Table 5 gives the range 0.4–1.6).
+DEFAULT_SKEWNESS = 0.8
+
+
+def zipf_frequencies(num_items: int, skewness: float) -> np.ndarray:
+    """Normalised Zipf frequencies for ranks ``1 .. num_items``.
+
+    Parameters
+    ----------
+    num_items:
+        Number of items ``N``; must be positive.
+    skewness:
+        The exponent ``θ``; must be non-negative and finite.  ``θ = 0``
+        yields the uniform distribution.
+
+    Returns
+    -------
+    numpy.ndarray
+        Array of length ``num_items`` summing to 1 (up to float error),
+        in rank order — entry 0 is the most popular item.
+    """
+    if num_items < 1:
+        raise InvalidDatabaseError(f"num_items must be >= 1, got {num_items}")
+    if not np.isfinite(skewness) or skewness < 0:
+        raise InvalidDatabaseError(
+            f"skewness must be finite and >= 0, got {skewness!r}"
+        )
+    ranks = np.arange(1, num_items + 1, dtype=np.float64)
+    weights = ranks ** (-float(skewness))
+    return weights / weights.sum()
+
+
+def zipf_skewness_of(frequencies: List[float]) -> Optional[float]:
+    """Least-squares estimate of θ from an observed frequency profile.
+
+    Fits ``log f_i = -θ log i + c`` over the rank-ordered frequencies.
+    Returns ``None`` for degenerate inputs (fewer than two items).  Used
+    in tests and examples to sanity-check generated workloads.
+    """
+    if len(frequencies) < 2:
+        return None
+    ordered = np.sort(np.asarray(frequencies, dtype=np.float64))[::-1]
+    if np.any(ordered <= 0):
+        raise InvalidDatabaseError("frequencies must be positive")
+    ranks = np.arange(1, len(ordered) + 1, dtype=np.float64)
+    slope, _intercept = np.polyfit(np.log(ranks), np.log(ordered), deg=1)
+    return float(-slope)

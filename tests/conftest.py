@@ -1,0 +1,49 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.database import BroadcastDatabase
+from repro.core.item import DataItem
+from repro.workloads.generator import WorkloadSpec, generate_database
+from repro.workloads.paper_profile import paper_database
+
+
+@pytest.fixture
+def paper_db() -> BroadcastDatabase:
+    """The paper's Table 2 database (15 items)."""
+    return paper_database()
+
+
+@pytest.fixture
+def tiny_db() -> BroadcastDatabase:
+    """Four hand-picked items with easy-to-verify aggregates.
+
+    frequencies sum to 1; total size = 10.
+    """
+    return BroadcastDatabase(
+        [
+            DataItem("a", 0.4, 1.0),
+            DataItem("b", 0.3, 2.0),
+            DataItem("c", 0.2, 3.0),
+            DataItem("d", 0.1, 4.0),
+        ]
+    )
+
+
+@pytest.fixture
+def medium_db() -> BroadcastDatabase:
+    """A reproducible 30-item synthetic workload."""
+    return generate_database(
+        WorkloadSpec(num_items=30, skewness=0.8, diversity=1.5, seed=1234)
+    )
+
+
+@pytest.fixture
+def uniform_db() -> BroadcastDatabase:
+    """Equal-size, equal-frequency items (conventional environment)."""
+    n = 12
+    return BroadcastDatabase(
+        [DataItem(f"u{i}", 1.0 / n, 5.0) for i in range(n)]
+    )

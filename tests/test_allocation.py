@@ -1,0 +1,143 @@
+"""Unit tests for repro.core.allocation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.allocation import ChannelAllocation
+from repro.exceptions import InvalidAllocationError
+
+
+def split_pairs(db):
+    """Helper: two channels of two items each over the tiny fixture."""
+    items = db.items
+    return ChannelAllocation(db, [items[:2], items[2:]])
+
+
+class TestValidation:
+    def test_valid_partition(self, tiny_db):
+        allocation = split_pairs(tiny_db)
+        assert allocation.num_channels == 2
+        assert allocation.database is tiny_db
+
+    def test_no_channels_rejected(self, tiny_db):
+        with pytest.raises(InvalidAllocationError, match="at least 1"):
+            ChannelAllocation(tiny_db, [])
+
+    def test_empty_channel_rejected_by_default(self, tiny_db):
+        with pytest.raises(InvalidAllocationError, match="empty"):
+            ChannelAllocation(tiny_db, [list(tiny_db.items), []])
+
+    def test_empty_channel_allowed_when_requested(self, tiny_db):
+        allocation = ChannelAllocation(
+            tiny_db, [list(tiny_db.items), []], allow_empty_channels=True
+        )
+        assert allocation.channel_stats[1].count == 0
+        assert allocation.channel_stats[1].cost == 0.0
+
+    def test_duplicate_assignment_rejected(self, tiny_db):
+        items = tiny_db.items
+        with pytest.raises(InvalidAllocationError, match="both channel"):
+            ChannelAllocation(tiny_db, [items[:2], items[1:]])
+
+    def test_missing_items_rejected(self, tiny_db):
+        items = tiny_db.items
+        with pytest.raises(InvalidAllocationError, match="missing"):
+            ChannelAllocation(tiny_db, [items[:2], items[2:3]])
+
+    def test_foreign_item_rejected(self, tiny_db, medium_db):
+        groups = [list(tiny_db.items[:3]), [medium_db.items[0]]]
+        with pytest.raises(InvalidAllocationError):
+            ChannelAllocation(tiny_db, groups)
+
+
+class TestStats:
+    def test_channel_stats_aggregates(self, tiny_db):
+        allocation = split_pairs(tiny_db)
+        first, second = allocation.channel_stats
+        assert first.frequency == pytest.approx(0.7)
+        assert first.size == pytest.approx(3.0)
+        assert first.count == 2
+        assert first.cost == pytest.approx(0.7 * 3.0)
+        assert second.frequency == pytest.approx(0.3)
+        assert second.size == pytest.approx(7.0)
+
+    def test_channel_of(self, tiny_db):
+        allocation = split_pairs(tiny_db)
+        assert allocation.channel_of("a") == 0
+        assert allocation.channel_of("d") == 1
+        with pytest.raises(KeyError):
+            allocation.channel_of("zz")
+
+    def test_channel_items(self, tiny_db):
+        allocation = split_pairs(tiny_db)
+        assert [i.item_id for i in allocation.channel_items(1)] == ["c", "d"]
+
+    def test_as_id_lists(self, tiny_db):
+        allocation = split_pairs(tiny_db)
+        assert allocation.as_id_lists() == [["a", "b"], ["c", "d"]]
+
+    def test_assignment_vector_in_catalogue_order(self, tiny_db):
+        allocation = split_pairs(tiny_db)
+        assert allocation.assignment_vector() == [0, 0, 1, 1]
+
+
+class TestConstructors:
+    def test_from_id_lists(self, tiny_db):
+        allocation = ChannelAllocation.from_id_lists(
+            tiny_db, [["d", "a"], ["b", "c"]]
+        )
+        assert allocation.channel_of("d") == 0
+        assert allocation.channel_of("b") == 1
+
+    def test_from_assignment_vector(self, tiny_db):
+        allocation = ChannelAllocation.from_assignment_vector(
+            tiny_db, [0, 1, 0, 1], num_channels=2
+        )
+        assert allocation.as_id_lists() == [["a", "c"], ["b", "d"]]
+
+    def test_from_assignment_vector_length_checked(self, tiny_db):
+        with pytest.raises(InvalidAllocationError, match="length"):
+            ChannelAllocation.from_assignment_vector(tiny_db, [0, 1], 2)
+
+    def test_from_assignment_vector_range_checked(self, tiny_db):
+        with pytest.raises(InvalidAllocationError, match="out of range"):
+            ChannelAllocation.from_assignment_vector(tiny_db, [0, 1, 2, 5], 3)
+
+    def test_replace_channels(self, tiny_db):
+        allocation = split_pairs(tiny_db)
+        items = tiny_db.items
+        moved = allocation.replace_channels([items[:3], items[3:]])
+        assert moved.channel_of("c") == 0
+        # original untouched
+        assert allocation.channel_of("c") == 1
+
+
+class TestEqualityAndCanonical:
+    def test_equality_ignores_within_channel_order(self, tiny_db):
+        items = tiny_db.items
+        left = ChannelAllocation(tiny_db, [items[:2], items[2:]])
+        right = ChannelAllocation(
+            tiny_db, [[items[1], items[0]], [items[3], items[2]]]
+        )
+        assert left == right
+
+    def test_equality_detects_different_grouping(self, tiny_db):
+        items = tiny_db.items
+        left = ChannelAllocation(tiny_db, [items[:2], items[2:]])
+        right = ChannelAllocation(tiny_db, [items[:3], items[3:]])
+        assert left != right
+
+    def test_canonical_sorts_channels_and_items(self, tiny_db):
+        items = tiny_db.items
+        scrambled = ChannelAllocation(
+            tiny_db, [[items[3], items[2]], [items[1], items[0]]]
+        )
+        canonical = scrambled.canonical()
+        assert canonical.as_id_lists() == [["a", "b"], ["c", "d"]]
+
+    def test_canonical_is_idempotent(self, tiny_db):
+        allocation = split_pairs(tiny_db)
+        assert allocation.canonical().as_id_lists() == (
+            allocation.canonical().canonical().as_id_lists()
+        )

@@ -1,0 +1,80 @@
+"""Unit tests for the simulated-annealing comparator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.annealing import AnnealingAllocator, AnnealingParameters
+from repro.core.cost import allocation_cost, move_delta
+from repro.core.drp import drp_allocate
+from repro.exceptions import InfeasibleProblemError
+
+
+def quick_params(**overrides):
+    defaults = dict(epochs=20, moves_per_epoch=50)
+    defaults.update(overrides)
+    return AnnealingParameters(**defaults)
+
+
+class TestParameters:
+    def test_resolved_defaults_scale_with_n(self):
+        params = AnnealingParameters()
+        assert params.resolved_epochs(100) == 110
+        assert params.resolved_moves(100) == 1000
+
+    def test_explicit_values_win(self):
+        params = quick_params()
+        assert params.resolved_epochs(1000) == 20
+        assert params.resolved_moves(1000) == 50
+
+
+class TestAllocator:
+    def test_valid_partition(self, medium_db):
+        outcome = AnnealingAllocator(quick_params()).allocate(medium_db, 5)
+        ids = sorted(
+            i for group in outcome.allocation.as_id_lists() for i in group
+        )
+        assert ids == sorted(medium_db.item_ids)
+        assert all(s.count >= 1 for s in outcome.allocation.channel_stats)
+
+    def test_deterministic_for_seed(self, medium_db):
+        a = AnnealingAllocator(quick_params(), seed=3).allocate(medium_db, 5)
+        b = AnnealingAllocator(quick_params(), seed=3).allocate(medium_db, 5)
+        assert a.allocation.as_id_lists() == b.allocation.as_id_lists()
+
+    def test_never_worse_than_drp_seed(self, medium_db):
+        """The final CDS descent guarantees a local optimum <= DRP."""
+        annealed = AnnealingAllocator(quick_params()).allocate(medium_db, 6)
+        rough = drp_allocate(medium_db, 6)
+        assert annealed.cost <= rough.cost + 1e-9
+
+    def test_result_is_local_optimum(self, medium_db):
+        outcome = AnnealingAllocator(quick_params()).allocate(medium_db, 4)
+        stats = outcome.allocation.channel_stats
+        for origin, group in enumerate(outcome.allocation.channels):
+            for item in group:
+                for dest in range(outcome.allocation.num_channels):
+                    if dest == origin:
+                        continue
+                    assert (
+                        move_delta(
+                            item,
+                            origin_frequency=stats[origin].frequency,
+                            origin_size=stats[origin].size,
+                            dest_frequency=stats[dest].frequency,
+                            dest_size=stats[dest].size,
+                        )
+                        <= 1e-9
+                    )
+
+    def test_metadata(self, medium_db):
+        outcome = AnnealingAllocator(quick_params()).allocate(medium_db, 5)
+        assert outcome.metadata["accepted_moves"] >= 0
+        assert outcome.metadata["final_descent_moves"] >= 0
+        assert outcome.cost == pytest.approx(
+            allocation_cost(outcome.allocation)
+        )
+
+    def test_infeasible_rejected(self, tiny_db):
+        with pytest.raises(InfeasibleProblemError):
+            AnnealingAllocator(quick_params()).allocate(tiny_db, 9)

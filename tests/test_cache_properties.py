@@ -1,0 +1,105 @@
+"""Stateful property tests for the client cache.
+
+Drives :class:`repro.simulation.cache.ClientCache` through arbitrary
+insert/touch sequences and checks the safety invariants after every
+step: the size budget is never exceeded, bookkeeping matches contents,
+and hits are answered only for resident items.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import HealthCheck, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.core.item import DataItem
+from repro.simulation.cache import (
+    ClientCache,
+    LFUPolicy,
+    LRUPolicy,
+    PIXPolicy,
+)
+from repro.simulation.server import BroadcastProgram
+from repro.core.allocation import ChannelAllocation
+from repro.core.database import BroadcastDatabase
+
+_ITEM_POOL = [
+    DataItem(f"p{i}", frequency=(i + 1) / 55.0, size=float(1 + (i * 7) % 13))
+    for i in range(10)
+]
+
+
+def _bound_program():
+    database = BroadcastDatabase(_ITEM_POOL)
+    allocation = ChannelAllocation(
+        database, [_ITEM_POOL[:5], _ITEM_POOL[5:]]
+    )
+    return BroadcastProgram(allocation, bandwidth=10.0)
+
+
+class CacheMachine(RuleBasedStateMachine):
+    @initialize(
+        capacity=st.floats(min_value=0.0, max_value=40.0),
+        policy_index=st.integers(min_value=0, max_value=2),
+    )
+    def setup(self, capacity, policy_index):
+        policy = [LRUPolicy(), LFUPolicy(), PIXPolicy()][policy_index]
+        if isinstance(policy, PIXPolicy):
+            policy.bind(_bound_program())
+        self.cache = ClientCache(capacity, policy)
+        self.clock = 0.0
+        self.resident_model = {}  # item_id -> size
+
+    def _advance(self):
+        self.clock += 1.0
+        return self.clock
+
+    @rule(index=st.integers(min_value=0, max_value=9))
+    def insert(self, index):
+        item = _ITEM_POOL[index]
+        self.cache.insert(item, self._advance())
+        # Model: resident set must mirror the cache's reported ids.
+        self.resident_model = {
+            item_id: next(
+                i.size for i in _ITEM_POOL if i.item_id == item_id
+            )
+            for item_id in self.cache.cached_ids()
+        }
+
+    @rule(index=st.integers(min_value=0, max_value=9))
+    def touch(self, index):
+        item = _ITEM_POOL[index]
+        hit = self.cache.touch(item.item_id, self._advance())
+        assert hit == (item.item_id in self.cache)
+
+    @invariant()
+    def budget_respected(self):
+        assert self.cache.used <= self.cache.capacity + 1e-9
+
+    @invariant()
+    def used_matches_contents(self):
+        expected = math.fsum(
+            next(i.size for i in _ITEM_POOL if i.item_id == item_id)
+            for item_id in self.cache.cached_ids()
+        )
+        assert self.cache.used == expected
+
+    @invariant()
+    def len_matches_ids(self):
+        assert len(self.cache) == len(self.cache.cached_ids())
+
+
+TestCacheStateMachine = CacheMachine.TestCase
+TestCacheStateMachine.settings = settings(
+    max_examples=40,
+    stateful_step_count=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)

@@ -1,0 +1,141 @@
+"""Tests for content-class catalogues (repro.workloads.catalog)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import InvalidDatabaseError
+from repro.workloads.catalog import (
+    ContentClass,
+    MULTIMEDIA_CLASSES,
+    build_catalogue,
+    class_of,
+    per_class_summary,
+)
+
+
+class TestContentClass:
+    def test_valid(self):
+        spec = ContentClass("text", 10, (0.5, 2.0), 0.5)
+        assert spec.skew == 0.9
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(name="", count=1, size_range=(1, 2), share=0.5),
+            dict(name="x", count=0, size_range=(1, 2), share=0.5),
+            dict(name="x", count=1, size_range=(2, 1), share=0.5),
+            dict(name="x", count=1, size_range=(0, 1), share=0.5),
+            dict(name="x", count=1, size_range=(1, 2), share=0.0),
+            dict(name="x", count=1, size_range=(1, 2), share=1.5),
+            dict(name="x", count=1, size_range=(1, 2), share=0.5, skew=-1),
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(InvalidDatabaseError):
+            ContentClass(**kwargs)
+
+
+class TestBuildCatalogue:
+    def test_default_multimedia_catalogue(self):
+        db = build_catalogue(seed=42)
+        assert len(db) == sum(spec.count for spec in MULTIMEDIA_CLASSES)
+        assert db.is_normalized
+
+    def test_class_shares_respected(self):
+        db = build_catalogue(seed=1)
+        summary = per_class_summary(db)
+        for spec in MULTIMEDIA_CLASSES:
+            count, freq, _ = summary[spec.name]
+            assert count == spec.count
+            assert freq == pytest.approx(spec.share, rel=1e-9)
+
+    def test_sizes_within_class_ranges(self):
+        db = build_catalogue(seed=2)
+        for item in db:
+            spec = next(
+                s for s in MULTIMEDIA_CLASSES if s.name == item.label
+            )
+            low, high = spec.size_range
+            assert low <= item.size <= high
+
+    def test_rank1_most_popular_within_class(self):
+        db = build_catalogue(seed=3)
+        for spec in MULTIMEDIA_CLASSES:
+            top = db[f"{spec.name}-1"]
+            second = db[f"{spec.name}-2"]
+            assert top.frequency > second.frequency
+
+    def test_items_labelled(self):
+        db = build_catalogue(seed=0)
+        assert db["video-3"].label == "video"
+
+    def test_reproducible(self):
+        assert build_catalogue(seed=7) == build_catalogue(seed=7)
+
+    def test_custom_classes(self):
+        db = build_catalogue(
+            [
+                ContentClass("hot", 2, (1.0, 1.0), 0.8, skew=0.0),
+                ContentClass("cold", 3, (10.0, 10.0), 0.2, skew=0.0),
+            ],
+            seed=0,
+        )
+        assert len(db) == 5
+        # Zero skew: equal split within class.
+        assert db["hot-1"].frequency == pytest.approx(0.4)
+        assert db["cold-2"].frequency == pytest.approx(0.2 / 3)
+
+    def test_validation(self):
+        with pytest.raises(InvalidDatabaseError, match="at least one"):
+            build_catalogue([])
+        with pytest.raises(InvalidDatabaseError, match="unique"):
+            build_catalogue(
+                [
+                    ContentClass("x", 1, (1, 2), 0.5),
+                    ContentClass("x", 1, (1, 2), 0.5),
+                ]
+            )
+        with pytest.raises(InvalidDatabaseError, match="sum to 1"):
+            build_catalogue([ContentClass("x", 1, (1, 2), 0.5)])
+
+
+class TestHelpers:
+    def test_class_of(self):
+        assert class_of("image-17") == "image"
+        assert class_of("my-class-3") == "my-class"
+
+    def test_class_of_invalid(self):
+        with pytest.raises(InvalidDatabaseError):
+            class_of("noformat")
+
+    def test_per_class_summary_totals(self):
+        db = build_catalogue(seed=5)
+        summary = per_class_summary(db)
+        assert sum(c for c, _, _ in summary.values()) == len(db)
+        assert sum(f for _, f, _ in summary.values()) == pytest.approx(1.0)
+
+
+class TestEndToEnd:
+    def test_allocation_respects_media_classes(self):
+        """DRP-CDS on the multimedia catalogue gives text far shorter
+        waits than video — the motivating scenario, as a test."""
+        from repro.core.scheduler import DRPCDSAllocator
+        from repro.simulation.server import BroadcastProgram
+
+        db = build_catalogue(seed=42)
+        allocation = DRPCDSAllocator().allocate(db, 8).allocation
+        program = BroadcastProgram(allocation, bandwidth=100.0)
+
+        def class_wait(name):
+            members = [i for i in db if i.label == name]
+            mass = sum(i.frequency for i in members)
+            return (
+                sum(
+                    i.frequency * program.expected_waiting_time(i.item_id)
+                    for i in members
+                )
+                / mass
+            )
+
+        assert class_wait("text") < class_wait("video") / 5

@@ -1,0 +1,146 @@
+"""Unit tests for mechanism CDS (repro.core.cds)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.allocation import ChannelAllocation
+from repro.core.cds import cds_refine
+from repro.core.cost import allocation_cost, move_delta
+from repro.core.drp import drp_allocate
+
+
+def worst_case_seed(db, k):
+    """A deliberately bad contiguous allocation in catalogue order."""
+    items = db.items
+    size = max(1, len(items) // k)
+    groups = [list(items[i * size: (i + 1) * size]) for i in range(k - 1)]
+    groups.append(list(items[(k - 1) * size:]))
+    return ChannelAllocation(db, groups)
+
+
+class TestConvergence:
+    def test_cost_never_increases(self, medium_db):
+        seed = worst_case_seed(medium_db, 5)
+        result = cds_refine(seed)
+        assert result.cost <= result.initial_cost + 1e-9
+        assert result.converged
+
+    def test_moves_strictly_decrease_cost(self, medium_db):
+        seed = worst_case_seed(medium_db, 5)
+        result = cds_refine(seed)
+        costs = [result.initial_cost] + [m.cost_after for m in result.moves]
+        assert all(a > b for a, b in zip(costs, costs[1:]))
+
+    def test_result_is_local_optimum(self, medium_db):
+        """No single move can improve the refined allocation."""
+        result = cds_refine(worst_case_seed(medium_db, 4))
+        stats = result.allocation.channel_stats
+        for origin, group in enumerate(result.allocation.channels):
+            for item in group:
+                for dest in range(result.allocation.num_channels):
+                    if dest == origin:
+                        continue
+                    delta = move_delta(
+                        item,
+                        origin_frequency=stats[origin].frequency,
+                        origin_size=stats[origin].size,
+                        dest_frequency=stats[dest].frequency,
+                        dest_size=stats[dest].size,
+                    )
+                    assert delta <= 1e-9
+
+    def test_fixpoint_when_seeded_with_local_optimum(self, medium_db):
+        once = cds_refine(worst_case_seed(medium_db, 5))
+        twice = cds_refine(once.allocation)
+        assert twice.iterations == 0
+        assert twice.cost == pytest.approx(once.cost)
+
+    def test_channels_stay_nonempty(self, medium_db):
+        result = cds_refine(worst_case_seed(medium_db, 6))
+        assert all(
+            stat.count >= 1 for stat in result.allocation.channel_stats
+        )
+
+    def test_partition_preserved(self, medium_db):
+        seed = worst_case_seed(medium_db, 6)
+        result = cds_refine(seed)
+        moved_ids = sorted(
+            item.item_id
+            for group in result.allocation.channels
+            for item in group
+        )
+        assert moved_ids == sorted(medium_db.item_ids)
+
+
+class TestAccounting:
+    def test_reported_cost_matches_allocation(self, medium_db):
+        result = cds_refine(worst_case_seed(medium_db, 5))
+        assert result.cost == pytest.approx(
+            allocation_cost(result.allocation)
+        )
+
+    def test_improvement_property(self, medium_db):
+        result = cds_refine(worst_case_seed(medium_db, 5))
+        assert result.improvement == pytest.approx(
+            result.initial_cost - result.cost
+        )
+
+    def test_moves_sum_to_improvement(self, medium_db):
+        result = cds_refine(worst_case_seed(medium_db, 5))
+        assert sum(m.delta for m in result.moves) == pytest.approx(
+            result.improvement, rel=1e-6
+        )
+
+    def test_iterations_counts_moves(self, medium_db):
+        result = cds_refine(worst_case_seed(medium_db, 5))
+        assert result.iterations == len(result.moves)
+
+
+class TestMaxIterations:
+    def test_zero_budget_returns_seed(self, medium_db):
+        seed = worst_case_seed(medium_db, 5)
+        result = cds_refine(seed, max_iterations=0)
+        assert result.iterations == 0
+        assert result.cost == pytest.approx(allocation_cost(seed))
+
+    def test_budget_caps_moves_and_flags_nonconvergence(self, medium_db):
+        unbounded = cds_refine(worst_case_seed(medium_db, 5))
+        assert unbounded.iterations > 1
+        capped = cds_refine(worst_case_seed(medium_db, 5), max_iterations=1)
+        assert capped.iterations == 1
+        assert not capped.converged
+
+    def test_capped_first_move_is_the_best_move(self, medium_db):
+        unbounded = cds_refine(worst_case_seed(medium_db, 5))
+        capped = cds_refine(worst_case_seed(medium_db, 5), max_iterations=1)
+        assert capped.moves[0] == unbounded.moves[0]
+
+
+class TestWithDRP:
+    def test_refines_drp_output(self, medium_db):
+        rough = drp_allocate(medium_db, 6)
+        refined = cds_refine(rough.allocation)
+        assert refined.cost <= rough.cost + 1e-9
+
+    def test_greedy_move_choice_is_maximal(self, medium_db):
+        """The first executed move has the largest achievable delta."""
+        seed = worst_case_seed(medium_db, 4)
+        result = cds_refine(seed, max_iterations=1)
+        if not result.moves:
+            pytest.skip("seed already locally optimal")
+        best = result.moves[0].delta
+        stats = seed.channel_stats
+        for origin, group in enumerate(seed.channels):
+            for item in group:
+                for dest in range(seed.num_channels):
+                    if dest == origin:
+                        continue
+                    delta = move_delta(
+                        item,
+                        origin_frequency=stats[origin].frequency,
+                        origin_size=stats[origin].size,
+                        dest_frequency=stats[dest].frequency,
+                        dest_size=stats[dest].size,
+                    )
+                    assert delta <= best + 1e-9

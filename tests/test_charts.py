@@ -1,0 +1,115 @@
+"""Unit tests for repro.analysis.charts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.charts import bar_chart, grouped_bar_chart, series_chart
+
+
+class TestBarChart:
+    def test_contains_labels_and_values(self):
+        text = bar_chart(["alpha", "b"], [3.0, 1.5])
+        assert "alpha" in text
+        assert "3" in text
+        assert "1.5" in text
+
+    def test_longest_bar_is_maximum(self):
+        text = bar_chart(["a", "b"], [10.0, 5.0], width=20)
+        lines = text.splitlines()
+        assert lines[0].count("█") == 20
+        assert lines[1].count("█") == 10
+
+    def test_title_and_unit(self):
+        text = bar_chart(["a"], [1.0], title="T", unit="s")
+        assert text.splitlines()[0] == "T"
+        assert "1s" in text
+
+    def test_zero_values_ok(self):
+        text = bar_chart(["a", "b"], [0.0, 0.0])
+        assert "█" not in text
+
+    def test_half_block_for_odd_cells(self):
+        # value 1 of max 4 at width 2 -> 1 of 4 cells -> half block.
+        text = bar_chart(["a", "b"], [1.0, 4.0], width=2)
+        assert "▌" in text.splitlines()[0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            bar_chart([], [])
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [-1.0])
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0], width=0)
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [float("nan")])
+
+
+class TestGroupedBarChart:
+    def test_structure(self):
+        text = grouped_bar_chart(
+            ["K=4", "K=8"],
+            {"drp": [2.0, 1.0], "gopt": [1.9, 0.9]},
+        )
+        lines = text.splitlines()
+        assert lines[0] == "K=4:"
+        assert sum(1 for line in lines if line.endswith(":")) == 2
+        assert sum("drp" in line for line in lines) == 2
+
+    def test_common_scale_across_groups(self):
+        text = grouped_bar_chart(
+            ["g1", "g2"],
+            {"s": [10.0, 5.0]},
+            width=20,
+        )
+        bars = [line for line in text.splitlines() if "█" in line]
+        assert bars[0].count("█") == 20
+        assert bars[1].count("█") == 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            grouped_bar_chart([], {"s": []})
+        with pytest.raises(ValueError):
+            grouped_bar_chart(["g"], {})
+        with pytest.raises(ValueError, match="has 1 values"):
+            grouped_bar_chart(["g1", "g2"], {"s": [1.0]})
+
+
+class TestSeriesChart:
+    def test_marks_every_point(self):
+        text = series_chart([(0, 0), (1, 1), (2, 4)], width=20, height=8)
+        assert text.count("*") == 3
+
+    def test_axis_labels(self):
+        text = series_chart([(4, 10.0), (10, 2.5)], width=20, height=6)
+        assert "10" in text
+        assert "2.5" in text
+        assert "4" in text
+
+    def test_monotone_series_has_monotone_rows(self):
+        """A decreasing series should place later points on lower rows."""
+        points = [(1, 4.0), (2, 3.0), (3, 2.0), (4, 1.0)]
+        text = series_chart(points, width=16, height=8, title=None)
+        rows = [
+            (line_index, line.index("*"))
+            for line_index, line in enumerate(text.splitlines())
+            if "*" in line
+        ]
+        # Sorted by row (top first) the column must decrease: higher
+        # values (top rows) come from smaller x.
+        columns = [column for _, column in rows]
+        assert columns == sorted(columns)
+
+    def test_flat_series_does_not_crash(self):
+        text = series_chart([(0, 1.0), (1, 1.0)], width=10, height=4)
+        assert text.count("*") >= 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            series_chart([(0, 0)])
+        with pytest.raises(ValueError):
+            series_chart([(0, 0), (1, float("inf"))])
+        with pytest.raises(ValueError):
+            series_chart([(0, 0), (1, 1)], width=1)

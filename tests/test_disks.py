@@ -1,0 +1,180 @@
+"""Tests for Broadcast Disks scheduling (repro.simulation.disks)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.item import DataItem
+from repro.exceptions import SimulationError
+from repro.simulation.channel import BroadcastChannel
+from repro.simulation.disks import (
+    MultiScheduleChannel,
+    broadcast_disk_schedule,
+    disks_from_allocation,
+)
+
+
+def items(*specs):
+    return [DataItem(name, f, z) for name, f, z in specs]
+
+
+class TestMultiScheduleChannel:
+    def test_reduces_to_plain_channel_without_repeats(self, tiny_db):
+        plain = BroadcastChannel(0, tiny_db.items, 10.0)
+        multi = MultiScheduleChannel(0, tiny_db.items, 10.0)
+        assert multi.cycle_length == pytest.approx(plain.cycle_length)
+        for item in tiny_db.items:
+            assert multi.expected_waiting_time(
+                item.item_id
+            ) == pytest.approx(plain.expected_waiting_time(item.item_id))
+            for t in (0.0, 0.3, 1.7):
+                assert multi.waiting_time(item.item_id, t) == pytest.approx(
+                    plain.waiting_time(item.item_id, t)
+                )
+
+    def test_repeats_shorten_expected_wait(self):
+        hot, cold = items(("hot", 0.8, 10.0), ("cold", 0.2, 10.0))
+        once = MultiScheduleChannel(0, [hot, cold], 10.0)
+        twice = MultiScheduleChannel(
+            0, [hot, cold, hot, cold], 10.0
+        )
+        # Same per-appearance spacing but the doubled schedule's cycle
+        # doubles too — identical expectation.  Now repeat only hot:
+        hot_heavy = MultiScheduleChannel(0, [hot, cold, hot], 10.0)
+        assert hot_heavy.expected_waiting_time(
+            "hot"
+        ) < once.expected_waiting_time("hot")
+        assert twice.expected_waiting_time("hot") == pytest.approx(
+            once.expected_waiting_time("hot")
+        )
+
+    def test_even_spacing_beats_bursty(self):
+        """The gap formula: evenly spaced repeats minimise the probe."""
+        hot, a, b = items(("hot", 0.5, 10.0), ("a", 0.3, 10.0), ("b", 0.2, 10.0))
+        even = MultiScheduleChannel(0, [hot, a, hot, b], 10.0)
+        bursty = MultiScheduleChannel(0, [hot, hot, a, b], 10.0)
+        assert even.expected_waiting_time("hot") < (
+            bursty.expected_waiting_time("hot")
+        )
+
+    def test_expected_matches_uniform_average(self):
+        hot, a, b = items(("hot", 0.5, 7.0), ("a", 0.3, 13.0), ("b", 0.2, 5.0))
+        channel = MultiScheduleChannel(0, [hot, a, hot, b], 10.0)
+        steps = 20000
+        for item_id in ("hot", "a", "b"):
+            total = sum(
+                channel.waiting_time(
+                    item_id, (k + 0.5) * channel.cycle_length / steps
+                )
+                for k in range(steps)
+            )
+            assert total / steps == pytest.approx(
+                channel.expected_waiting_time(item_id), rel=1e-3
+            )
+
+    def test_appearances(self):
+        hot, a = items(("hot", 0.7, 1.0), ("a", 0.3, 1.0))
+        channel = MultiScheduleChannel(0, [hot, a, hot], 10.0)
+        assert channel.appearances("hot") == 2
+        assert channel.appearances("a") == 1
+        assert channel.carries("hot")
+        assert not channel.carries("zz")
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            MultiScheduleChannel(0, [], 10.0)
+        hot = DataItem("hot", 0.5, 10.0)
+        with pytest.raises(SimulationError):
+            MultiScheduleChannel(0, [hot], 0.0)
+        resized = DataItem("hot", 0.5, 20.0)
+        with pytest.raises(SimulationError, match="different sizes"):
+            MultiScheduleChannel(0, [hot, resized], 10.0)
+        channel = MultiScheduleChannel(0, [hot], 10.0)
+        with pytest.raises(SimulationError):
+            channel.waiting_time("zz", 0.0)
+        with pytest.raises(SimulationError):
+            channel.waiting_time("hot", -1.0)
+
+
+class TestBroadcastDiskSchedule:
+    def test_frequencies_realised(self):
+        disk1 = items(("h1", 0.4, 1.0), ("h2", 0.3, 1.0))
+        disk2 = items(("c1", 0.1, 1.0), ("c2", 0.1, 1.0), ("c3", 0.05, 1.0), ("c4", 0.05, 1.0))
+        schedule = broadcast_disk_schedule([disk1, disk2], [2, 1])
+        channel = MultiScheduleChannel(0, schedule, 10.0)
+        assert channel.appearances("h1") == 2
+        assert channel.appearances("c1") == 1
+
+    def test_equal_frequencies_single_pass(self):
+        disk1 = items(("a", 0.5, 1.0))
+        disk2 = items(("b", 0.5, 1.0))
+        schedule = broadcast_disk_schedule([disk1, disk2], [1, 1])
+        assert [item.item_id for item in schedule] == ["a", "b"]
+
+    def test_hot_disk_waits_less(self):
+        disk1 = items(("hot", 0.6, 5.0))
+        disk2 = items(
+            ("c1", 0.1, 5.0), ("c2", 0.1, 5.0), ("c3", 0.1, 5.0), ("c4", 0.1, 5.0)
+        )
+        flat = MultiScheduleChannel(
+            0, broadcast_disk_schedule([disk1, disk2], [1, 1]), 10.0
+        )
+        spun = MultiScheduleChannel(
+            0, broadcast_disk_schedule([disk1, disk2], [4, 1]), 10.0
+        )
+        assert spun.expected_waiting_time("hot") < flat.expected_waiting_time(
+            "hot"
+        )
+        # The cold items pay for it.
+        assert spun.expected_waiting_time("c1") > flat.expected_waiting_time(
+            "c1"
+        )
+
+    def test_validation(self):
+        disk = items(("a", 1.0, 1.0))
+        with pytest.raises(SimulationError):
+            broadcast_disk_schedule([], [])
+        with pytest.raises(SimulationError):
+            broadcast_disk_schedule([disk], [1, 2])
+        with pytest.raises(SimulationError):
+            broadcast_disk_schedule([disk], [0])
+        with pytest.raises(SimulationError):
+            broadcast_disk_schedule([disk], [1.5])  # type: ignore[list-item]
+        with pytest.raises(SimulationError):
+            broadcast_disk_schedule([disk, disk], [1, 1])
+        with pytest.raises(SimulationError):
+            broadcast_disk_schedule([[]], [1])
+
+
+class TestDisksFromAllocation:
+    def test_partition_and_order(self, medium_db):
+        disks = disks_from_allocation(medium_db, 3)
+        assert len(disks) == 3
+        ids = sorted(item.item_id for disk in disks for item in disk)
+        assert ids == sorted(medium_db.item_ids)
+        # Disks ordered hot (high aggregate br) to cold.
+        ratios = [
+            sum(i.frequency for i in disk) / sum(i.size for i in disk)
+            for disk in disks
+        ]
+        assert ratios == sorted(ratios, reverse=True)
+
+    def test_weighted_wait_improves_with_spin(self, medium_db):
+        """Spinning the hot disk faster lowers the frequency-weighted
+        expected wait versus a flat single-frequency schedule."""
+        disks = disks_from_allocation(medium_db, 3)
+        flat = MultiScheduleChannel(
+            0, broadcast_disk_schedule(disks, [1, 1, 1]), 10.0
+        )
+        spun = MultiScheduleChannel(
+            0, broadcast_disk_schedule(disks, [4, 2, 1]), 10.0
+        )
+
+        def weighted(channel):
+            return sum(
+                item.frequency * channel.expected_waiting_time(item.item_id)
+                for item in medium_db
+            )
+
+        assert weighted(spun) < weighted(flat)

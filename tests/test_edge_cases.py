@@ -1,0 +1,156 @@
+"""Edge-case tests across the core: degenerate and adversarial inputs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.allocation import ChannelAllocation
+from repro.core.cds import cds_refine
+from repro.core.cost import allocation_cost, average_waiting_time
+from repro.core.database import BroadcastDatabase
+from repro.core.drp import drp_allocate
+from repro.core.item import DataItem
+from repro.core.partition import best_split, contiguous_optimal
+
+
+def uniform_items(n, size=1.0):
+    return [DataItem(f"u{i}", 1.0 / n, size) for i in range(n)]
+
+
+class TestIdenticalItems:
+    """All items equal — every algorithm must still behave sanely."""
+
+    def test_drp_balances_group_sizes(self):
+        db = BroadcastDatabase(uniform_items(16))
+        result = drp_allocate(db, 4)
+        counts = sorted(s.count for s in result.allocation.channel_stats)
+        assert counts == [4, 4, 4, 4]
+
+    def test_drp_with_non_power_of_two(self):
+        db = BroadcastDatabase(uniform_items(10))
+        result = drp_allocate(db, 3)
+        counts = sorted(s.count for s in result.allocation.channel_stats)
+        assert sum(counts) == 10
+        assert counts[0] >= 2  # reasonably balanced
+
+    def test_cds_fixpoint_on_balanced_identical(self):
+        db = BroadcastDatabase(uniform_items(12))
+        allocation = drp_allocate(db, 4).allocation
+        refined = cds_refine(allocation)
+        assert refined.iterations == 0
+
+    def test_contiguous_dp_matches_drp_on_identical(self):
+        db = BroadcastDatabase(uniform_items(16))
+        dp_cost = contiguous_optimal(db.items, 4)[1]
+        assert drp_allocate(db, 4).cost == pytest.approx(dp_cost)
+
+
+class TestExtremeSkew:
+    """One item dominates the profile."""
+
+    @pytest.fixture
+    def skewed(self):
+        items = [DataItem("whale", 0.96, 5.0)] + [
+            DataItem(f"m{i}", 0.005, 5.0) for i in range(8)
+        ]
+        return BroadcastDatabase(items)
+
+    def test_whale_gets_isolated(self, skewed):
+        result = drp_allocate(skewed, 3)
+        refined = cds_refine(result.allocation)
+        whale_channel = refined.allocation.channel_of("whale")
+        assert refined.allocation.channel_stats[whale_channel].count == 1
+
+    def test_waiting_time_dominated_by_whale(self, skewed):
+        allocation = cds_refine(drp_allocate(skewed, 3).allocation).allocation
+        wb = average_waiting_time(allocation, bandwidth=10.0)
+        # Whale alone: probe 5/20 + download 5/10 = 0.75, weighted 0.96.
+        assert wb < 2.0
+
+
+class TestExtremeSizes:
+    """Sizes spanning many orders of magnitude must not break math."""
+
+    @pytest.fixture
+    def extreme(self):
+        return BroadcastDatabase(
+            [
+                DataItem("tiny", 0.4, 1e-6),
+                DataItem("small", 0.3, 1e-2),
+                DataItem("big", 0.2, 1e2),
+                DataItem("huge", 0.1, 1e6),
+            ]
+        )
+
+    def test_drp_cds_runs_and_orders_sanely(self, extreme):
+        refined = cds_refine(drp_allocate(extreme, 2).allocation)
+        # The huge item must not share a channel with the tiny one.
+        assert refined.allocation.channel_of(
+            "huge"
+        ) != refined.allocation.channel_of("tiny")
+
+    def test_costs_remain_finite(self, extreme):
+        for k in (1, 2, 3, 4):
+            result = drp_allocate(extreme, k)
+            assert result.cost > 0
+            assert result.cost < 1e12
+
+    def test_best_split_separates_scales(self, extreme):
+        ordered = extreme.sorted_by_benefit_ratio()
+        p, _ = best_split(ordered)
+        left_ids = {item.item_id for item in ordered[:p]}
+        assert "huge" not in left_ids
+
+
+class TestTinyInstances:
+    def test_two_items_two_channels(self):
+        db = BroadcastDatabase(
+            [DataItem("a", 0.6, 1.0), DataItem("b", 0.4, 2.0)]
+        )
+        result = drp_allocate(db, 2)
+        assert sorted(
+            s.count for s in result.allocation.channel_stats
+        ) == [1, 1]
+        assert result.cost == pytest.approx(0.6 * 1.0 + 0.4 * 2.0)
+
+    def test_single_item_single_channel(self):
+        db = BroadcastDatabase([DataItem("only", 1.0, 3.0)])
+        result = drp_allocate(db, 1)
+        assert result.cost == pytest.approx(3.0)
+        refined = cds_refine(result.allocation)
+        assert refined.iterations == 0
+
+    def test_cds_with_two_singleton_channels_is_stable(self):
+        db = BroadcastDatabase(
+            [DataItem("a", 0.6, 1.0), DataItem("b", 0.4, 2.0)]
+        )
+        allocation = ChannelAllocation(
+            db, [[db["a"]], [db["b"]]]
+        )
+        refined = cds_refine(allocation)
+        assert refined.iterations == 0
+        assert allocation_cost(refined.allocation) == pytest.approx(
+            0.6 * 1.0 + 0.4 * 2.0
+        )
+
+
+class TestNearTiedBenefitRatios:
+    def test_equal_ratios_with_different_magnitudes(self):
+        """Same f/z but very different f and z — the 1-D reduction
+        treats them alike; grouping must still be a valid partition and
+        CDS must still terminate."""
+        db = BroadcastDatabase(
+            [
+                DataItem("big", 0.5, 50.0),
+                DataItem("mid", 0.3, 30.0),
+                DataItem("small", 0.2, 20.0),
+                DataItem("extra", 1e-4, 1e-2),
+            ],
+            require_normalized=False,
+        ).normalized()
+        refined = cds_refine(drp_allocate(db, 2).allocation)
+        ids = sorted(
+            i.item_id for g in refined.allocation.channels for i in g
+        )
+        assert ids == sorted(db.item_ids)
+        assert refined.converged

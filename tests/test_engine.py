@@ -1,0 +1,178 @@
+"""Unit tests for the DES kernel (repro.simulation.engine, .events)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.events import Event, EventPriority
+
+
+class TestEventOrdering:
+    def test_time_orders_first(self):
+        a = Event(1.0, 0, 5, callback=lambda: None)
+        b = Event(2.0, 0, 1, callback=lambda: None)
+        assert a < b
+
+    def test_priority_breaks_time_ties(self):
+        delivery = Event(1.0, EventPriority.DELIVERY, 9, callback=lambda: None)
+        arrival = Event(1.0, EventPriority.ARRIVAL, 1, callback=lambda: None)
+        assert delivery < arrival
+
+    def test_sequence_breaks_remaining_ties(self):
+        first = Event(1.0, 0, 1, callback=lambda: None)
+        second = Event(1.0, 0, 2, callback=lambda: None)
+        assert first < second
+
+    def test_cancel_flag(self):
+        event = Event(1.0, 0, 1, callback=lambda: None)
+        assert not event.cancelled
+        event.cancel()
+        assert event.cancelled
+
+
+class TestScheduling:
+    def test_schedule_at_runs_in_time_order(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule_at(3.0, lambda: fired.append("late"))
+        engine.schedule_at(1.0, lambda: fired.append("early"))
+        engine.schedule_at(2.0, lambda: fired.append("middle"))
+        assert engine.run() == 3
+        assert fired == ["early", "middle", "late"]
+
+    def test_schedule_after_is_relative(self):
+        engine = SimulationEngine()
+        times = []
+        engine.schedule_at(5.0, lambda: engine.schedule_after(
+            2.5, lambda: times.append(engine.now)
+        ))
+        engine.run()
+        assert times == [7.5]
+
+    def test_past_scheduling_rejected(self):
+        engine = SimulationEngine()
+        engine.schedule_at(5.0, lambda: None)
+        engine.run()
+        with pytest.raises(SimulationError, match="before current time"):
+            engine.schedule_at(1.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        engine = SimulationEngine()
+        with pytest.raises(SimulationError):
+            engine.schedule_after(-1.0, lambda: None)
+
+    @pytest.mark.parametrize("bad", [math.nan, math.inf])
+    def test_nonfinite_time_rejected(self, bad):
+        engine = SimulationEngine()
+        with pytest.raises(SimulationError):
+            engine.schedule_at(bad, lambda: None)
+
+    def test_same_time_fifo(self):
+        engine = SimulationEngine()
+        fired = []
+        for tag in ("a", "b", "c"):
+            engine.schedule_at(
+                1.0, lambda t=tag: fired.append(t)
+            )
+        engine.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_priority_overrides_fifo(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule_at(
+            1.0, lambda: fired.append("arrival"),
+            priority=EventPriority.ARRIVAL,
+        )
+        engine.schedule_at(
+            1.0, lambda: fired.append("delivery"),
+            priority=EventPriority.DELIVERY,
+        )
+        engine.run()
+        assert fired == ["delivery", "arrival"]
+
+
+class TestExecution:
+    def test_clock_monotone(self):
+        engine = SimulationEngine()
+        observed = []
+        for t in (4.0, 1.0, 3.0, 2.0):
+            engine.schedule_at(t, lambda: observed.append(engine.now))
+        engine.run()
+        assert observed == sorted(observed)
+
+    def test_step_returns_false_when_empty(self):
+        engine = SimulationEngine()
+        assert engine.step() is False
+
+    def test_run_until_stops_and_advances_clock(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule_at(1.0, lambda: fired.append(1))
+        engine.schedule_at(10.0, lambda: fired.append(10))
+        executed = engine.run(until=5.0)
+        assert executed == 1
+        assert fired == [1]
+        assert engine.now == 5.0
+        # Remaining event still runs later.
+        engine.run()
+        assert fired == [1, 10]
+
+    def test_max_events_cap(self):
+        engine = SimulationEngine()
+
+        def reschedule():
+            engine.schedule_after(1.0, reschedule)
+
+        engine.schedule_at(0.0, reschedule)
+        executed = engine.run(max_events=25)
+        assert executed == 25
+
+    def test_cancelled_events_skipped(self):
+        engine = SimulationEngine()
+        fired = []
+        keep = engine.schedule_at(1.0, lambda: fired.append("keep"))
+        drop = engine.schedule_at(2.0, lambda: fired.append("drop"))
+        drop.cancel()
+        engine.run()
+        assert fired == ["keep"]
+        del keep
+
+    def test_processed_and_pending_counters(self):
+        engine = SimulationEngine()
+        engine.schedule_at(1.0, lambda: None)
+        cancelled = engine.schedule_at(2.0, lambda: None)
+        cancelled.cancel()
+        engine.schedule_at(3.0, lambda: None)
+        assert engine.pending_events == 2
+        engine.run()
+        assert engine.processed_events == 2
+        assert engine.pending_events == 0
+
+    def test_run_not_reentrant(self):
+        engine = SimulationEngine()
+
+        def nested():
+            engine.run()
+
+        engine.schedule_at(1.0, nested)
+        with pytest.raises(SimulationError, match="re-entrant"):
+            engine.run()
+
+    def test_callbacks_can_chain(self):
+        """A three-stage pipeline driven purely by event chaining."""
+        engine = SimulationEngine()
+        stages = []
+
+        def stage(n):
+            stages.append((n, engine.now))
+            if n < 3:
+                engine.schedule_after(n + 1.0, lambda: stage(n + 1))
+
+        engine.schedule_at(0.0, lambda: stage(1))
+        engine.run()
+        assert stages == [(1, 0.0), (2, 2.0), (3, 5.0)]

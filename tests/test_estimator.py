@@ -1,0 +1,172 @@
+"""Unit tests for repro.workloads.estimator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.workloads.estimator import (
+    CountEstimator,
+    DecayEstimator,
+    estimate_database,
+    profile_l1_error,
+)
+from repro.workloads.trace import RequestTrace, synthesize_trace
+
+
+def make_trace(pairs):
+    trace = RequestTrace()
+    for t, item in pairs:
+        trace.record(t, item)
+    return trace
+
+
+class TestCountEstimator:
+    def test_unsmoothed_relative_counts(self):
+        trace = make_trace([(0, "a"), (1, "a"), (2, "b"), (3, "c")])
+        estimate = CountEstimator(smoothing=0.0).estimate(
+            trace, ["a", "b", "c"]
+        )
+        assert estimate == pytest.approx({"a": 0.5, "b": 0.25, "c": 0.25})
+
+    def test_smoothing_gives_unseen_items_mass(self):
+        trace = make_trace([(0, "a")])
+        estimate = CountEstimator(smoothing=1.0).estimate(trace, ["a", "b"])
+        assert estimate["b"] > 0
+        assert estimate["a"] > estimate["b"]
+        assert sum(estimate.values()) == pytest.approx(1.0)
+
+    def test_empty_trace_with_smoothing_is_uniform(self):
+        estimate = CountEstimator().estimate(RequestTrace(), ["a", "b"])
+        assert estimate == pytest.approx({"a": 0.5, "b": 0.5})
+
+    def test_empty_trace_without_smoothing_rejected(self):
+        with pytest.raises(SimulationError):
+            CountEstimator(smoothing=0.0).estimate(RequestTrace(), ["a"])
+
+    def test_foreign_items_rejected(self):
+        trace = make_trace([(0, "zz")])
+        with pytest.raises(SimulationError, match="outside the catalogue"):
+            CountEstimator().estimate(trace, ["a"])
+
+    def test_negative_smoothing_rejected(self):
+        with pytest.raises(SimulationError):
+            CountEstimator(smoothing=-1.0)
+
+    def test_duplicate_catalogue_rejected(self):
+        with pytest.raises(SimulationError, match="duplicate"):
+            CountEstimator().estimate(RequestTrace(), ["a", "a"])
+
+    def test_recovers_true_profile_from_large_trace(self, medium_db):
+        trace = synthesize_trace(medium_db, 60000, seed=0)
+        estimate = CountEstimator(smoothing=0.5).estimate(
+            trace, list(medium_db.item_ids)
+        )
+        truth = {item.item_id: item.frequency for item in medium_db}
+        assert profile_l1_error(estimate, truth) < 0.05
+
+
+class TestDecayEstimator:
+    def test_recent_requests_dominate(self):
+        # Item "old" was popular long ago; "new" recently.
+        trace = make_trace(
+            [(0, "old"), (1, "old"), (2, "old"), (100, "new"), (101, "new")]
+        )
+        estimate = DecayEstimator(half_life=5.0, smoothing=0.0).estimate(
+            trace, ["old", "new"]
+        )
+        assert estimate["new"] > 0.9
+
+    def test_long_half_life_approaches_plain_counts(self):
+        trace = make_trace([(0, "a"), (1, "a"), (2, "b")])
+        decayed = DecayEstimator(half_life=1e9, smoothing=0.0).estimate(
+            trace, ["a", "b"]
+        )
+        plain = CountEstimator(smoothing=0.0).estimate(trace, ["a", "b"])
+        assert decayed["a"] == pytest.approx(plain["a"], rel=1e-6)
+
+    def test_normalised(self):
+        trace = make_trace([(0, "a"), (10, "b"), (20, "a")])
+        estimate = DecayEstimator(half_life=7.0).estimate(
+            trace, ["a", "b", "c"]
+        )
+        assert sum(estimate.values()) == pytest.approx(1.0)
+
+    def test_empty_trace_with_smoothing_is_uniform(self):
+        estimate = DecayEstimator(half_life=1.0).estimate(
+            RequestTrace(), ["a", "b"]
+        )
+        assert estimate == pytest.approx({"a": 0.5, "b": 0.5})
+
+    @pytest.mark.parametrize("half_life", [0.0, -1.0, float("inf")])
+    def test_bad_half_life(self, half_life):
+        with pytest.raises(SimulationError):
+            DecayEstimator(half_life=half_life)
+
+    def test_foreign_items_rejected(self):
+        trace = make_trace([(0, "zz")])
+        with pytest.raises(SimulationError, match="outside"):
+            DecayEstimator(half_life=1.0).estimate(trace, ["a"])
+
+
+class TestEstimateDatabase:
+    def test_builds_normalised_database(self, medium_db):
+        trace = synthesize_trace(medium_db, 5000, seed=1)
+        sizes = {item.item_id: item.size for item in medium_db}
+        estimated = estimate_database(trace, sizes)
+        assert len(estimated) == len(medium_db)
+        assert estimated.is_normalized
+        for item in estimated:
+            assert item.size == sizes[item.item_id]
+
+    def test_custom_estimator(self, medium_db):
+        trace = synthesize_trace(medium_db, 2000, seed=1)
+        sizes = {item.item_id: item.size for item in medium_db}
+        estimated = estimate_database(
+            trace, sizes, estimator=DecayEstimator(half_life=100.0)
+        )
+        assert estimated.is_normalized
+
+    def test_empty_catalogue_rejected(self):
+        with pytest.raises(SimulationError):
+            estimate_database(RequestTrace(), {})
+
+    def test_allocation_quality_from_estimated_profile(self, medium_db):
+        """An allocation built from a large trace is nearly as good as
+        one built from the truth — the closed-loop sanity check."""
+        from repro.core.cost import allocation_cost
+        from repro.core.scheduler import DRPCDSAllocator
+
+        trace = synthesize_trace(medium_db, 50000, seed=3)
+        sizes = {item.item_id: item.size for item in medium_db}
+        estimated = estimate_database(trace, sizes)
+        allocator = DRPCDSAllocator()
+        from_truth = allocator.allocate(medium_db, 5).cost
+        # Evaluate the estimated-profile allocation under the TRUE
+        # frequencies.
+        allocation = allocator.allocate(estimated, 5).allocation
+        groups = [
+            [medium_db[item.item_id] for item in group]
+            for group in allocation.channels
+        ]
+        from repro.core.allocation import ChannelAllocation
+
+        under_truth = allocation_cost(
+            ChannelAllocation(medium_db, groups)
+        )
+        assert under_truth <= from_truth * 1.05
+
+
+class TestProfileL1Error:
+    def test_zero_for_identical(self):
+        profile = {"a": 0.3, "b": 0.7}
+        assert profile_l1_error(profile, dict(profile)) == 0.0
+
+    def test_known_distance(self):
+        assert profile_l1_error(
+            {"a": 1.0, "b": 0.0}, {"a": 0.0, "b": 1.0}
+        ) == pytest.approx(2.0)
+
+    def test_mismatched_keys_rejected(self):
+        with pytest.raises(SimulationError):
+            profile_l1_error({"a": 1.0}, {"b": 1.0})

@@ -1,0 +1,185 @@
+"""Tests for the experiment harness (config, records, runner, figures)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.config import (
+    ExperimentConfig,
+    PAPER_ALGORITHMS,
+    TABLE5_CHANNELS,
+    TABLE5_ITEMS,
+)
+from repro.experiments.figures import (
+    FIGURE_METRICS,
+    FIGURES,
+    figure2,
+    figure6,
+    figure_config,
+)
+from repro.experiments.records import ExperimentResult, MeasurementRow
+from repro.experiments.runner import run_experiment
+from repro.exceptions import InvalidDatabaseError
+
+
+def quick_config(**overrides):
+    defaults = dict(
+        name="unit-test",
+        description="unit test sweep",
+        sweep_parameter="num_channels",
+        sweep_values=(3.0, 4.0),
+        algorithms=("drp", "drp-cds"),
+        num_items=25,
+        replications=2,
+    )
+    defaults.update(overrides)
+    return ExperimentConfig(**defaults)
+
+
+class TestConfig:
+    def test_point_parameters_override_swept_value(self):
+        config = quick_config()
+        point = config.point_parameters(4.0)
+        assert point.num_channels == 4
+        assert point.num_items == 25
+
+    def test_float_sweeps_stay_float(self):
+        config = quick_config(
+            sweep_parameter="diversity", sweep_values=(0.5, 1.0)
+        )
+        assert config.point_parameters(0.5).diversity == 0.5
+
+    def test_seed_scheme_is_deterministic_and_distinct(self):
+        config = quick_config()
+        assert config.seed_for(0, 0) != config.seed_for(0, 1)
+        assert config.seed_for(0, 0) != config.seed_for(1, 0)
+        assert config.seed_for(1, 1) == config.seed_for(1, 1)
+
+    def test_scaled_down(self):
+        config = quick_config(replications=10)
+        assert config.scaled_down(replications=2).replications == 2
+
+    def test_invalid_sweep_parameter(self):
+        with pytest.raises(InvalidDatabaseError):
+            quick_config(sweep_parameter="bogus")
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(InvalidDatabaseError):
+            quick_config(sweep_values=())
+
+    def test_no_algorithms_rejected(self):
+        with pytest.raises(InvalidDatabaseError):
+            quick_config(algorithms=())
+
+    def test_bad_replications_rejected(self):
+        with pytest.raises(InvalidDatabaseError):
+            quick_config(replications=0)
+
+
+class TestRunner:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment(quick_config())
+
+    def test_one_row_per_cell(self, result):
+        assert len(result.rows) == 2 * 2  # 2 sweep values x 2 algorithms
+
+    def test_rows_carry_all_metrics(self, result):
+        for row in result.rows:
+            assert row.mean_cost > 0
+            assert row.mean_waiting_time > 0
+            assert row.mean_elapsed_seconds >= 0
+            assert row.replications == 2
+
+    def test_drp_cds_never_worse_than_drp(self, result):
+        for value in result.sweep_values():
+            drp = result.cell(value, "drp")
+            both = result.cell(value, "drp-cds")
+            assert both.mean_cost <= drp.mean_cost + 1e-9
+
+    def test_progress_callback_called_per_point(self):
+        lines = []
+        run_experiment(quick_config(), progress=lines.append)
+        assert len(lines) == 2
+        assert all("unit-test" in line for line in lines)
+
+    def test_deterministic_across_runs(self):
+        a = run_experiment(quick_config())
+        b = run_experiment(quick_config())
+        assert [r.mean_cost for r in a.rows] == [r.mean_cost for r in b.rows]
+
+
+class TestRecords:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment(quick_config())
+
+    def test_series_extraction(self, result):
+        series = result.series("drp", "mean_cost")
+        assert [value for value, _ in series] == [3.0, 4.0]
+
+    def test_cell_lookup_missing(self, result):
+        with pytest.raises(KeyError):
+            result.cell(99.0, "drp")
+        with pytest.raises(KeyError):
+            result.cell(3.0, "nope")
+
+    def test_to_text_contains_all_algorithms(self, result):
+        text = result.to_text()
+        for algorithm in ("drp", "drp-cds"):
+            assert algorithm in text
+
+    def test_csv_round_trip(self, result, tmp_path):
+        path = tmp_path / "rows.csv"
+        result.to_csv(path)
+        content = path.read_text().splitlines()
+        assert content[0].startswith("sweep_value,algorithm")
+        assert len(content) == len(result.rows) + 1
+
+    def test_json_round_trip(self, result, tmp_path):
+        path = tmp_path / "result.json"
+        text = result.to_json(path)
+        assert json.loads(path.read_text()) == json.loads(text)
+        restored = ExperimentResult.from_json(text)
+        assert restored.name == result.name
+        assert restored.rows == result.rows
+
+
+class TestFigureDefinitions:
+    def test_all_six_figures_defined(self):
+        assert set(FIGURES) == {
+            "figure2", "figure3", "figure4", "figure5", "figure6", "figure7",
+        }
+        assert set(FIGURE_METRICS) == set(FIGURES)
+
+    def test_figure2_sweeps_channels_with_paper_lineup(self):
+        config = figure2()
+        assert config.sweep_parameter == "num_channels"
+        assert config.sweep_values == tuple(float(k) for k in TABLE5_CHANNELS)
+        assert config.algorithms == PAPER_ALGORITHMS
+
+    def test_figure6_reports_execution_time(self):
+        config = figure6()
+        assert FIGURE_METRICS["figure6"] == "mean_elapsed_seconds"
+        assert set(config.algorithms) == {"drp-cds", "gopt"}
+
+    def test_figure3_and_7_sweep_items(self):
+        for figure_id in ("figure3", "figure7"):
+            config = figure_config(figure_id)
+            assert config.sweep_parameter == "num_items"
+            assert config.sweep_values == tuple(float(n) for n in TABLE5_ITEMS)
+
+    def test_unknown_figure(self):
+        with pytest.raises(KeyError, match="unknown figure"):
+            figure_config("figure99")
+
+    def test_every_figure_algorithm_is_registered(self):
+        import repro.baselines  # noqa: F401
+        from repro.core.scheduler import available_allocators
+
+        registry = available_allocators()
+        for factory in FIGURES.values():
+            for algorithm in factory().algorithms:
+                assert algorithm in registry

@@ -1,0 +1,83 @@
+"""Unit tests for the simple baselines (repro.baselines.flat)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.flat import (
+    GreedyCostAllocator,
+    RandomAllocator,
+    RoundRobinAllocator,
+)
+from repro.core.cost import allocation_cost
+from repro.exceptions import InfeasibleProblemError
+
+
+class TestRoundRobin:
+    def test_deals_in_catalogue_order(self, tiny_db):
+        outcome = RoundRobinAllocator().allocate(tiny_db, 2)
+        assert outcome.allocation.as_id_lists() == [["a", "c"], ["b", "d"]]
+
+    def test_channel_counts_balanced(self, medium_db):
+        outcome = RoundRobinAllocator().allocate(medium_db, 4)
+        counts = [s.count for s in outcome.allocation.channel_stats]
+        assert max(counts) - min(counts) <= 1
+
+    def test_infeasible_rejected(self, tiny_db):
+        with pytest.raises(InfeasibleProblemError):
+            RoundRobinAllocator().allocate(tiny_db, 5)
+
+
+class TestRandom:
+    def test_same_seed_same_allocation(self, medium_db):
+        first = RandomAllocator(seed=9).allocate(medium_db, 5)
+        second = RandomAllocator(seed=9).allocate(medium_db, 5)
+        assert first.allocation.as_id_lists() == second.allocation.as_id_lists()
+
+    def test_different_seeds_usually_differ(self, medium_db):
+        first = RandomAllocator(seed=1).allocate(medium_db, 5)
+        second = RandomAllocator(seed=2).allocate(medium_db, 5)
+        assert first.allocation.as_id_lists() != second.allocation.as_id_lists()
+
+    def test_every_channel_nonempty(self, medium_db):
+        for seed in range(10):
+            outcome = RandomAllocator(seed=seed).allocate(medium_db, 7)
+            assert all(
+                s.count >= 1 for s in outcome.allocation.channel_stats
+            )
+
+    def test_k_equals_n(self, tiny_db):
+        outcome = RandomAllocator(seed=0).allocate(tiny_db, 4)
+        assert all(s.count == 1 for s in outcome.allocation.channel_stats)
+
+    def test_seed_recorded_in_metadata(self, tiny_db):
+        outcome = RandomAllocator(seed=42).allocate(tiny_db, 2)
+        assert outcome.metadata["seed"] == 42
+
+
+class TestGreedy:
+    def test_valid_partition(self, medium_db):
+        outcome = GreedyCostAllocator().allocate(medium_db, 5)
+        ids = sorted(
+            item for group in outcome.allocation.as_id_lists() for item in group
+        )
+        assert ids == sorted(medium_db.item_ids)
+
+    def test_beats_random_on_average(self, medium_db):
+        greedy = GreedyCostAllocator().allocate(medium_db, 5).cost
+        random_costs = [
+            RandomAllocator(seed=s).allocate(medium_db, 5).cost
+            for s in range(10)
+        ]
+        assert greedy < sum(random_costs) / len(random_costs)
+
+    def test_deterministic(self, medium_db):
+        a = GreedyCostAllocator().allocate(medium_db, 5)
+        b = GreedyCostAllocator().allocate(medium_db, 5)
+        assert a.allocation.as_id_lists() == b.allocation.as_id_lists()
+
+    def test_greedy_cost_is_reported_consistently(self, medium_db):
+        outcome = GreedyCostAllocator().allocate(medium_db, 5)
+        assert outcome.cost == pytest.approx(
+            allocation_cost(outcome.allocation)
+        )

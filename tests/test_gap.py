@@ -1,0 +1,112 @@
+"""Tests for the optimality-gap experiment (repro.experiments.gap)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import InvalidDatabaseError
+from repro.experiments.gap import (
+    DEFAULT_GAP_ALGORITHMS,
+    GapReport,
+    run_gap_experiment,
+)
+
+
+@pytest.fixture(scope="module")
+def reports():
+    return run_gap_experiment(
+        num_items=9,
+        num_channels=3,
+        instances=4,
+        algorithms=("vfk", "drp", "drp-cds"),
+    )
+
+
+class TestRunGapExperiment:
+    def test_one_report_per_algorithm(self, reports):
+        assert [r.algorithm for r in reports] == ["vfk", "drp", "drp-cds"]
+        assert all(isinstance(r, GapReport) for r in reports)
+
+    def test_gaps_are_nonnegative(self, reports):
+        for report in reports:
+            assert all(gap >= -1e-9 for gap in report.gaps)
+
+    def test_one_gap_per_instance(self, reports):
+        assert all(len(r.gaps) == 4 for r in reports)
+
+    def test_quality_ordering(self, reports):
+        by_name = {r.algorithm: r for r in reports}
+        assert (
+            by_name["drp-cds"].summary.mean
+            <= by_name["drp"].summary.mean + 1e-12
+        )
+        assert by_name["drp"].summary.mean <= by_name["vfk"].summary.mean
+
+    def test_drp_cds_gap_is_small(self, reports):
+        by_name = {r.algorithm: r for r in reports}
+        assert by_name["drp-cds"].summary.mean < 0.03
+
+    def test_hit_rate_and_worst(self, reports):
+        for report in reports:
+            assert 0.0 <= report.hit_rate <= 1.0
+            assert report.worst == max(report.gaps)
+            assert report.exact_hits == sum(
+                1 for gap in report.gaps if gap < 1e-9
+            )
+
+    def test_deterministic(self):
+        kwargs = dict(
+            num_items=8, num_channels=2, instances=3, algorithms=("drp",)
+        )
+        first = run_gap_experiment(**kwargs)
+        second = run_gap_experiment(**kwargs)
+        assert first[0].gaps == second[0].gaps
+
+    def test_default_algorithms(self):
+        assert "drp-cds" in DEFAULT_GAP_ALGORITHMS
+        assert "gopt" in DEFAULT_GAP_ALGORITHMS
+
+    def test_validation(self):
+        with pytest.raises(InvalidDatabaseError):
+            run_gap_experiment(instances=0)
+        with pytest.raises(InvalidDatabaseError):
+            run_gap_experiment(algorithms=())
+
+
+class TestGapCLI:
+    def test_gap_subcommand(self, capsys):
+        from repro.cli import main
+
+        assert (
+            main(
+                [
+                    "gap",
+                    "--items", "8",
+                    "--channels", "2",
+                    "--instances", "2",
+                    "--algorithms", "drp-cds",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "mean gap" in output
+        assert "drp-cds" in output
+
+    def test_figure_chart_flag(self, capsys):
+        from repro.cli import main
+
+        assert (
+            main(
+                [
+                    "figure", "figure6",
+                    "--replications", "1",
+                    "--quiet",
+                    "--chart",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "figure6 shape" in output
+        assert "█" in output

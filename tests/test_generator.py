@@ -1,0 +1,129 @@
+"""Unit tests for repro.workloads.generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidDatabaseError
+from repro.workloads.generator import WorkloadSpec, generate_database
+from repro.workloads.zipf import zipf_frequencies
+
+
+class TestWorkloadSpec:
+    def test_defaults(self):
+        spec = WorkloadSpec(num_items=10)
+        assert spec.skewness == 0.8
+        assert spec.diversity == 1.5
+        assert spec.seed == 0
+
+    def test_with_seed(self):
+        spec = WorkloadSpec(num_items=10, seed=1)
+        replica = spec.with_seed(99)
+        assert replica.seed == 99
+        assert replica.num_items == spec.num_items
+        assert spec.seed == 1  # original untouched
+
+    def test_bad_num_items(self):
+        with pytest.raises(InvalidDatabaseError):
+            WorkloadSpec(num_items=0)
+
+    @pytest.mark.parametrize("corr", [-1.5, 1.5])
+    def test_bad_correlation(self, corr):
+        with pytest.raises(InvalidDatabaseError):
+            WorkloadSpec(num_items=10, correlation=corr)
+
+
+class TestGeneration:
+    def test_size_and_normalisation(self):
+        db = generate_database(WorkloadSpec(num_items=80, seed=0))
+        assert len(db) == 80
+        assert db.is_normalized
+
+    def test_frequencies_are_zipf_in_catalogue_order(self):
+        spec = WorkloadSpec(num_items=40, skewness=1.2, seed=0)
+        db = generate_database(spec)
+        expected = zipf_frequencies(40, 1.2)
+        actual = [item.frequency for item in db.items]
+        assert actual == pytest.approx(expected)
+
+    def test_reproducible(self):
+        spec = WorkloadSpec(num_items=30, seed=77)
+        a = generate_database(spec)
+        b = generate_database(spec)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = generate_database(WorkloadSpec(num_items=30, seed=1))
+        b = generate_database(WorkloadSpec(num_items=30, seed=2))
+        assert a != b
+
+    def test_sizes_within_diversity_range(self):
+        db = generate_database(
+            WorkloadSpec(num_items=200, diversity=2.0, seed=0)
+        )
+        for item in db:
+            assert 1.0 <= item.size <= 100.0
+
+    def test_diversity_zero_gives_conventional_environment(self):
+        db = generate_database(WorkloadSpec(num_items=50, diversity=0.0))
+        assert all(item.size == pytest.approx(1.0) for item in db)
+
+    def test_no_shuffle_assigns_sizes_in_draw_order(self):
+        spec = WorkloadSpec(num_items=20, seed=4, shuffle_sizes=False)
+        db = generate_database(spec)
+        from repro.workloads.sizes import diverse_sizes
+
+        rng = np.random.default_rng(4)
+        expected = diverse_sizes(20, spec.diversity, rng)
+        assert [item.size for item in db.items] == pytest.approx(expected)
+
+
+class TestCorrelation:
+    @staticmethod
+    def _rank_correlation(db):
+        freqs = np.array([item.frequency for item in db.items])
+        sizes = np.array([item.size for item in db.items])
+        freq_ranks = np.argsort(np.argsort(-freqs))
+        size_ranks = np.argsort(np.argsort(-sizes))
+        return np.corrcoef(freq_ranks, size_ranks)[0, 1]
+
+    def test_positive_correlation(self):
+        db = generate_database(
+            WorkloadSpec(num_items=100, seed=0, correlation=1.0)
+        )
+        assert self._rank_correlation(db) > 0.95
+
+    def test_negative_correlation(self):
+        db = generate_database(
+            WorkloadSpec(num_items=100, seed=0, correlation=-1.0)
+        )
+        assert self._rank_correlation(db) < -0.95
+
+    def test_zero_correlation_stays_near_zero(self):
+        db = generate_database(
+            WorkloadSpec(num_items=200, seed=0, correlation=0.0)
+        )
+        assert abs(self._rank_correlation(db)) < 0.3
+
+    def test_partial_correlation_is_intermediate(self):
+        strong = generate_database(
+            WorkloadSpec(num_items=150, seed=0, correlation=1.0)
+        )
+        partial = generate_database(
+            WorkloadSpec(num_items=150, seed=0, correlation=0.5)
+        )
+        assert (
+            self._rank_correlation(partial)
+            < self._rank_correlation(strong) + 1e-9
+        )
+        assert self._rank_correlation(partial) > 0.1
+
+    def test_correlation_preserves_multiset_of_sizes(self):
+        base = generate_database(WorkloadSpec(num_items=60, seed=3))
+        corr = generate_database(
+            WorkloadSpec(num_items=60, seed=3, correlation=0.7)
+        )
+        assert sorted(i.size for i in base.items) == pytest.approx(
+            sorted(i.size for i in corr.items)
+        )

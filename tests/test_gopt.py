@@ -1,0 +1,141 @@
+"""Unit tests for the GOPT genetic algorithm (repro.baselines.gopt)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.gopt import (
+    GAParameters,
+    GOPTAllocator,
+    _population_costs,
+    _repair,
+    _tournament,
+)
+from repro.core.cost import allocation_cost
+from repro.core.scheduler import DRPCDSAllocator
+from repro.exceptions import InfeasibleProblemError
+
+
+def quick_params(**overrides):
+    defaults = dict(
+        population_size=40,
+        generations=60,
+        stagnation_limit=None,
+    )
+    defaults.update(overrides)
+    return GAParameters(**defaults)
+
+
+class TestParameters:
+    def test_resolved_population_scales_with_n(self):
+        params = GAParameters()
+        assert params.resolved_population(10) == 60
+        assert params.resolved_population(100) == 200
+
+    def test_resolved_generations_scales_with_n(self):
+        params = GAParameters()
+        assert params.resolved_generations(100) == 350
+
+    def test_explicit_values_win(self):
+        params = GAParameters(population_size=7, generations=9)
+        assert params.resolved_population(1000) == 7
+        assert params.resolved_generations(1000) == 9
+
+
+class TestGOPTAllocator:
+    def test_valid_partition(self, medium_db):
+        outcome = GOPTAllocator(quick_params()).allocate(medium_db, 5)
+        ids = sorted(
+            i for group in outcome.allocation.as_id_lists() for i in group
+        )
+        assert ids == sorted(medium_db.item_ids)
+        assert all(s.count >= 1 for s in outcome.allocation.channel_stats)
+
+    def test_deterministic_for_fixed_seed(self, medium_db):
+        a = GOPTAllocator(quick_params(), seed=5).allocate(medium_db, 5)
+        b = GOPTAllocator(quick_params(), seed=5).allocate(medium_db, 5)
+        assert a.allocation.as_id_lists() == b.allocation.as_id_lists()
+
+    def test_never_worse_than_drp_cds_when_seeded(self, medium_db):
+        gopt = GOPTAllocator(quick_params()).allocate(medium_db, 6)
+        drpcds = DRPCDSAllocator().allocate(medium_db, 6)
+        assert gopt.cost <= drpcds.cost + 1e-9
+
+    def test_unseeded_still_valid(self, medium_db):
+        outcome = GOPTAllocator(
+            quick_params(), seed_with_heuristics=False
+        ).allocate(medium_db, 5)
+        assert outcome.cost == pytest.approx(
+            allocation_cost(outcome.allocation)
+        )
+
+    def test_finds_exact_optimum_on_small_instance(self, tiny_db):
+        from repro.baselines.exact import brute_force_optimal
+
+        _, optimal = brute_force_optimal(tiny_db, 2)
+        outcome = GOPTAllocator(quick_params()).allocate(tiny_db, 2)
+        assert outcome.cost == pytest.approx(optimal)
+
+    def test_metadata(self, medium_db):
+        outcome = GOPTAllocator(quick_params()).allocate(medium_db, 5)
+        assert outcome.metadata["generations"] == 60
+        assert outcome.metadata["population_size"] == 40
+        assert outcome.metadata["ga_best_cost"] >= outcome.cost - 1e-9
+
+    def test_stagnation_stops_early(self, medium_db):
+        outcome = GOPTAllocator(
+            quick_params(generations=500, stagnation_limit=5)
+        ).allocate(medium_db, 5)
+        assert outcome.metadata["generations"] < 500
+
+    def test_polish_disabled_keeps_ga_result(self, medium_db):
+        outcome = GOPTAllocator(
+            quick_params(), polish=False
+        ).allocate(medium_db, 5)
+        assert outcome.metadata["polish_moves"] == 0
+        assert outcome.cost == pytest.approx(outcome.metadata["ga_best_cost"])
+
+    def test_infeasible_rejected(self, tiny_db):
+        with pytest.raises(InfeasibleProblemError):
+            GOPTAllocator(quick_params()).allocate(tiny_db, 5)
+
+
+class TestGAPrimitives:
+    def test_population_costs_match_scalar(self, tiny_db):
+        frequencies = np.array([i.frequency for i in tiny_db.items])
+        sizes = np.array([i.size for i in tiny_db.items])
+        population = np.array([[0, 0, 1, 1], [0, 1, 0, 1]])
+        costs = _population_costs(population, frequencies, sizes, 2)
+        # Row 0: {a,b} and {c,d}
+        expected0 = (0.7 * 3.0) + (0.3 * 7.0)
+        # Row 1: {a,c} and {b,d}
+        expected1 = (0.6 * 4.0) + (0.4 * 6.0)
+        assert costs[0] == pytest.approx(expected0)
+        assert costs[1] == pytest.approx(expected1)
+
+    def test_repair_fills_empty_channels(self):
+        rng = np.random.default_rng(0)
+        population = np.zeros((3, 6), dtype=np.int64)  # channel 1 empty
+        _repair(population, 2, rng)
+        for row in population:
+            assert set(row.tolist()) == {0, 1}
+
+    def test_repair_noop_for_feasible(self):
+        rng = np.random.default_rng(0)
+        population = np.array([[0, 1, 0, 1]])
+        before = population.copy()
+        _repair(population, 2, rng)
+        assert (population == before).all()
+
+    def test_tournament_prefers_lower_cost(self):
+        rng = np.random.default_rng(0)
+        costs = np.array([10.0, 1.0, 5.0])
+        winners = _tournament(
+            costs, tournament_size=3, num_parents=3000, rng=rng
+        )
+        # Entrants are drawn with replacement: the best individual wins
+        # whenever it is sampled at least once, P = 1 - (2/3)^3 ≈ 0.70.
+        fractions = np.bincount(winners, minlength=3) / len(winners)
+        assert fractions[1] == pytest.approx(1 - (2 / 3) ** 3, abs=0.05)
+        assert fractions[1] > fractions[2] > fractions[0]

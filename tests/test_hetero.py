@@ -1,0 +1,230 @@
+"""Tests for the heterogeneous-bandwidth extension (repro.core.hetero)."""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+import pytest
+
+from repro.core.allocation import ChannelAllocation
+from repro.core.cost import average_waiting_time
+from repro.core.drp import drp_allocate
+from repro.core.hetero import (
+    HeteroDRPCDSAllocator,
+    assign_groups_to_bandwidths,
+    channel_load,
+    hetero_cds_refine,
+    hetero_move_delta,
+    hetero_waiting_time,
+)
+from repro.core.scheduler import DRPCDSAllocator
+from repro.exceptions import InfeasibleProblemError, InvalidAllocationError
+
+
+@pytest.fixture
+def allocation(medium_db):
+    return drp_allocate(medium_db, 4).allocation
+
+
+class TestObjective:
+    def test_reduces_to_homogeneous_model(self, allocation):
+        """Equal bandwidths must reproduce Eq. (2) exactly."""
+        b = 10.0
+        hetero = hetero_waiting_time(allocation, [b] * 4)
+        assert hetero == pytest.approx(
+            average_waiting_time(allocation, bandwidth=b)
+        )
+
+    def test_channel_load_definition(self, tiny_db):
+        items = tiny_db.items[:2]
+        expected = (0.7 * 3.0) / 2 + (0.4 * 1.0 + 0.3 * 2.0)
+        assert channel_load(items) == pytest.approx(expected)
+
+    def test_faster_channels_lower_waits(self, allocation):
+        slow = hetero_waiting_time(allocation, [10.0] * 4)
+        fast = hetero_waiting_time(allocation, [20.0] * 4)
+        assert fast == pytest.approx(slow / 2.0)
+
+    def test_bandwidth_count_validated(self, allocation):
+        with pytest.raises(InvalidAllocationError):
+            hetero_waiting_time(allocation, [10.0] * 3)
+
+    def test_bad_bandwidth_values(self, allocation):
+        with pytest.raises(InvalidAllocationError):
+            hetero_waiting_time(allocation, [10.0, -1.0, 10.0, 10.0])
+
+
+class TestMoveDelta:
+    def test_matches_recomputation(self, allocation):
+        bandwidths = [5.0, 10.0, 20.0, 40.0]
+        before = hetero_waiting_time(allocation, bandwidths)
+        groups = [list(g) for g in allocation.channels]
+        agg_f = [math.fsum(i.frequency for i in g) for g in groups]
+        agg_z = [math.fsum(i.size for i in g) for g in groups]
+        for origin in range(4):
+            if len(groups[origin]) < 2:
+                continue
+            item = groups[origin][0]
+            for dest in range(4):
+                if dest == origin:
+                    continue
+                predicted = hetero_move_delta(
+                    item,
+                    origin_frequency=agg_f[origin],
+                    origin_size=agg_z[origin],
+                    dest_frequency=agg_f[dest],
+                    dest_size=agg_z[dest],
+                    origin_bandwidth=bandwidths[origin],
+                    dest_bandwidth=bandwidths[dest],
+                )
+                moved = [list(g) for g in groups]
+                moved[origin] = moved[origin][1:]
+                moved[dest] = moved[dest] + [item]
+                after = hetero_waiting_time(
+                    allocation.replace_channels(moved), bandwidths
+                )
+                assert predicted == pytest.approx(
+                    before - after, rel=1e-9, abs=1e-12
+                )
+
+    def test_collapses_to_eq4_when_equal(self, allocation):
+        """With b_p = b_q the delta is Eq. (4) / (2b)."""
+        from repro.core.cost import move_delta
+
+        b = 10.0
+        stats = allocation.channel_stats
+        item = allocation.channels[0][0]
+        hetero = hetero_move_delta(
+            item,
+            origin_frequency=stats[0].frequency,
+            origin_size=stats[0].size,
+            dest_frequency=stats[1].frequency,
+            dest_size=stats[1].size,
+            origin_bandwidth=b,
+            dest_bandwidth=b,
+        )
+        classic = move_delta(
+            item,
+            origin_frequency=stats[0].frequency,
+            origin_size=stats[0].size,
+            dest_frequency=stats[1].frequency,
+            dest_size=stats[1].size,
+        )
+        assert hetero == pytest.approx(classic / (2.0 * b))
+
+
+class TestAssignment:
+    def test_optimal_over_all_permutations(self, allocation):
+        bandwidths = [5.0, 12.0, 25.0, 50.0]
+        groups = list(allocation.channels)
+        mapping = assign_groups_to_bandwidths(groups, bandwidths)
+        chosen = sum(
+            channel_load(groups[mapping[i]]) / bandwidths[i]
+            for i in range(4)
+        )
+        best = min(
+            sum(
+                channel_load(groups[perm[i]]) / bandwidths[i]
+                for i in range(4)
+            )
+            for perm in itertools.permutations(range(4))
+        )
+        assert chosen == pytest.approx(best)
+
+    def test_mapping_is_permutation(self, allocation):
+        mapping = assign_groups_to_bandwidths(
+            list(allocation.channels), [1.0, 2.0, 3.0, 4.0]
+        )
+        assert sorted(mapping) == [0, 1, 2, 3]
+
+    def test_heaviest_group_on_fastest_channel(self, allocation):
+        bandwidths = [1.0, 100.0, 2.0, 3.0]
+        groups = list(allocation.channels)
+        mapping = assign_groups_to_bandwidths(groups, bandwidths)
+        heaviest = max(range(4), key=lambda g: channel_load(groups[g]))
+        assert mapping[1] == heaviest  # channel 1 is fastest
+
+
+class TestHeteroCDS:
+    BANDWIDTHS = [4.0, 8.0, 16.0, 32.0]
+
+    def test_never_increases_waiting_time(self, allocation):
+        result = hetero_cds_refine(allocation, self.BANDWIDTHS)
+        assert result.waiting_time <= result.initial_waiting_time + 1e-9
+        assert result.converged
+
+    def test_result_is_move_stable(self, allocation):
+        result = hetero_cds_refine(allocation, self.BANDWIDTHS)
+        again = hetero_cds_refine(result.allocation, self.BANDWIDTHS)
+        assert again.moves == 0
+        assert again.reassignments == 0
+
+    def test_preserves_partition(self, allocation, medium_db):
+        result = hetero_cds_refine(allocation, self.BANDWIDTHS)
+        ids = sorted(
+            i.item_id for g in result.allocation.channels for i in g
+        )
+        assert ids == sorted(medium_db.item_ids)
+        assert all(
+            s.count >= 1 for s in result.allocation.channel_stats
+        )
+
+    def test_equal_bandwidths_match_classic_cds(self, allocation):
+        """With equal bandwidths the refined cost equals classic CDS's."""
+        from repro.core.cds import cds_refine
+
+        hetero = hetero_cds_refine(allocation, [10.0] * 4)
+        classic = cds_refine(allocation)
+        assert hetero.waiting_time == pytest.approx(
+            average_waiting_time(classic.allocation, bandwidth=10.0)
+        )
+
+    def test_max_iterations(self, allocation):
+        result = hetero_cds_refine(
+            allocation, self.BANDWIDTHS, max_iterations=0
+        )
+        assert result.moves == 0
+        assert not result.converged
+
+
+class TestHeteroAllocator:
+    BANDWIDTHS = [4.0, 8.0, 16.0, 32.0]
+
+    def test_beats_bandwidth_oblivious_pipeline(self, medium_db):
+        """The hetero-aware pipeline must beat classic DRP-CDS dropped
+        naively onto unequal channels."""
+        hetero = HeteroDRPCDSAllocator(self.BANDWIDTHS)
+        outcome = hetero.allocate(medium_db, 4)
+        aware = hetero_waiting_time(outcome.allocation, self.BANDWIDTHS)
+
+        oblivious = DRPCDSAllocator().allocate(medium_db, 4).allocation
+        naive = hetero_waiting_time(oblivious, self.BANDWIDTHS)
+        assert aware < naive
+
+    def test_metadata(self, medium_db):
+        outcome = HeteroDRPCDSAllocator(self.BANDWIDTHS).allocate(
+            medium_db, 4
+        )
+        assert outcome.metadata["hetero_waiting_time"] == pytest.approx(
+            hetero_waiting_time(outcome.allocation, self.BANDWIDTHS)
+        )
+
+    def test_channel_count_must_match(self, medium_db):
+        with pytest.raises(InfeasibleProblemError, match="configured for"):
+            HeteroDRPCDSAllocator(self.BANDWIDTHS).allocate(medium_db, 3)
+
+    def test_empty_bandwidths_rejected(self):
+        with pytest.raises(InfeasibleProblemError):
+            HeteroDRPCDSAllocator([])
+
+    def test_equal_bandwidths_recover_paper_quality(self, medium_db):
+        """Degenerate hetero == the paper's pipeline, cost-wise."""
+        hetero = HeteroDRPCDSAllocator([10.0] * 5).allocate(medium_db, 5)
+        classic = DRPCDSAllocator().allocate(medium_db, 5)
+        assert hetero_waiting_time(
+            hetero.allocation, [10.0] * 5
+        ) == pytest.approx(
+            average_waiting_time(classic.allocation, bandwidth=10.0),
+            rel=1e-6,
+        )

@@ -1,0 +1,201 @@
+"""Tests for (1, m) air indexing (repro.simulation.indexing)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.item import DataItem
+from repro.exceptions import SimulationError
+from repro.simulation.indexing import (
+    IndexedChannel,
+    IndexedTiming,
+    optimal_index_replication,
+)
+
+
+@pytest.fixture
+def items():
+    return [
+        DataItem("x", 0.5, 10.0),
+        DataItem("y", 0.3, 20.0),
+        DataItem("z", 0.2, 10.0),
+    ]
+
+
+def make_channel(items, m=1, entry=1.0, bandwidth=10.0):
+    return IndexedChannel(
+        0, items, bandwidth, replication=m, index_entry_size=entry
+    )
+
+
+class TestLayout:
+    def test_cycle_includes_index_copies(self, items):
+        # Data 40 units -> 4 s; index = 3 entries * 1 unit / 10 = 0.3 s.
+        single = make_channel(items, m=1)
+        assert single.index_duration == pytest.approx(0.3)
+        assert single.cycle_length == pytest.approx(4.3)
+        double = make_channel(items, m=2)
+        assert double.cycle_length == pytest.approx(4.6)
+
+    def test_index_overhead(self, items):
+        channel = make_channel(items, m=2)
+        assert channel.index_overhead == pytest.approx(0.6 / 4.6)
+
+    def test_carries(self, items):
+        channel = make_channel(items)
+        assert channel.carries("y")
+        assert not channel.carries("nope")
+
+    def test_validation(self, items):
+        with pytest.raises(SimulationError):
+            IndexedChannel(0, [], 10.0)
+        with pytest.raises(SimulationError):
+            make_channel(items, m=0)
+        with pytest.raises(SimulationError):
+            make_channel(items, m=4)  # more copies than items
+        with pytest.raises(SimulationError):
+            make_channel(items, entry=0.0)
+        with pytest.raises(SimulationError):
+            IndexedChannel(0, items, 0.0)
+
+    def test_duplicate_items_rejected(self):
+        item = DataItem("x", 0.5, 1.0)
+        with pytest.raises(SimulationError, match="twice"):
+            IndexedChannel(0, [item, item], 10.0)
+
+
+class TestRetrieve:
+    def test_hand_computed_case(self, items):
+        """m=1, b=10: [I 0-0.3][x 0.3-1.3][y 1.3-3.3][z 3.3-4.3]."""
+        channel = make_channel(items, m=1)
+        timing = channel.retrieve("y", 0.0)
+        # Probe 0 (index starts immediately), read 0.3, doze to 1.3,
+        # download 2.0 -> completes 3.3.
+        assert timing.waiting_time == pytest.approx(3.3)
+        assert timing.tuning_time == pytest.approx(0.3 + 2.0)
+        assert timing.doze_time == pytest.approx(1.0)
+
+    def test_missed_item_waits_next_cycle(self, items):
+        channel = make_channel(items, m=1)
+        # Tune in at 1.0: next index at 4.3, read to 4.6, x starts 4.6,
+        # completes 5.6.
+        timing = channel.retrieve("x", 1.0)
+        assert timing.waiting_time == pytest.approx(4.6)
+
+    def test_unknown_item(self, items):
+        with pytest.raises(SimulationError, match="does not carry"):
+            make_channel(items).retrieve("nope", 0.0)
+
+    def test_negative_time(self, items):
+        with pytest.raises(SimulationError):
+            make_channel(items).retrieve("x", -1.0)
+
+    def test_tuning_never_exceeds_waiting(self, items):
+        channel = make_channel(items, m=2)
+        for tune_in in np.linspace(0, 3 * channel.cycle_length, 200):
+            timing = channel.retrieve("y", float(tune_in))
+            assert timing.tuning_time <= timing.waiting_time + 1e-9
+
+    def test_periodicity(self, items):
+        channel = make_channel(items, m=2)
+        a = channel.retrieve("z", 1.234)
+        b = channel.retrieve("z", 1.234 + channel.cycle_length)
+        assert a.waiting_time == pytest.approx(b.waiting_time)
+        assert a.tuning_time == pytest.approx(b.tuning_time)
+
+
+class TestExpectations:
+    def test_expected_matches_uniform_average(self, items):
+        channel = make_channel(items, m=2)
+        expected = channel.expected_timing("y")
+        steps = 20000
+        waits = []
+        tunes = []
+        for k in range(steps):
+            t = (k + 0.5) * channel.cycle_length / steps
+            timing = channel.retrieve("y", t)
+            waits.append(timing.waiting_time)
+            tunes.append(timing.tuning_time)
+        assert np.mean(waits) == pytest.approx(expected.waiting_time, rel=1e-3)
+        assert np.mean(tunes) == pytest.approx(expected.tuning_time, rel=1e-3)
+
+    def test_tradeoff_more_replication(self):
+        """Tuning falls monotonically in m; waiting is U-shaped."""
+        rng = np.random.default_rng(0)
+        many = [
+            DataItem(f"i{k}", 1.0 / 24, float(rng.uniform(5, 20)))
+            for k in range(24)
+        ]
+        tuning = {}
+        waiting = {}
+        for m in (1, 4, 24):
+            channel = make_channel(many, m=m, entry=0.5)
+            tune_total = 0.0
+            wait_total = 0.0
+            for item in many:
+                timing = channel.expected_timing(item.item_id)
+                tune_total += item.frequency * timing.tuning_time
+                wait_total += item.frequency * timing.waiting_time
+            tuning[m] = tune_total
+            waiting[m] = wait_total
+        # Tuning: strictly better with more index copies.
+        assert tuning[24] < tuning[4] < tuning[1]
+        # Waiting: U-shaped — both extremes worse than the middle.
+        assert waiting[1] > waiting[4]
+        assert waiting[24] > waiting[4]
+
+    def test_unindexed_limit(self, items):
+        """Tiny index, m=1: waiting approaches the plain channel model."""
+        from repro.simulation.channel import BroadcastChannel
+
+        channel = make_channel(items, m=1, entry=1e-9)
+        plain = BroadcastChannel(0, items, 10.0)
+        indexed = channel.expected_timing("y").waiting_time
+        # The indexed protocol can only start a download after an index
+        # read, so it waits at least as long as the plain client; with a
+        # vanishing index the penalty is bounded by an extra partial
+        # cycle fraction.
+        assert indexed >= plain.expected_waiting_time("y") - 1e-6
+        assert indexed <= plain.expected_waiting_time("y") + plain.cycle_length
+
+
+class TestOptimalReplication:
+    def test_sqrt_rule(self):
+        assert optimal_index_replication(100.0, 1.0) == 10
+        assert optimal_index_replication(50.0, 2.0) == 5
+        assert optimal_index_replication(1.0, 100.0) == 1  # floor at 1
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            optimal_index_replication(0.0, 1.0)
+        with pytest.raises(SimulationError):
+            optimal_index_replication(1.0, -1.0)
+
+    def test_rule_is_near_empirical_waiting_optimum(self):
+        """m* should land near the m minimising expected waiting time."""
+        rng = np.random.default_rng(3)
+        many = [
+            DataItem(f"i{k}", 1.0 / 36, float(rng.uniform(5, 15)))
+            for k in range(36)
+        ]
+        entry = 0.5
+        data_size = sum(i.size for i in many)
+        index_size = len(many) * entry
+        rule = optimal_index_replication(data_size, index_size)
+        waits = {}
+        for m in range(1, 13):
+            channel = make_channel(many, m=m, entry=entry)
+            waits[m] = sum(
+                item.frequency
+                * channel.expected_timing(item.item_id).waiting_time
+                for item in many
+            )
+        empirical = min(waits, key=waits.get)
+        assert abs(empirical - rule) <= 2
+
+
+class TestIndexedTiming:
+    def test_doze_property(self):
+        timing = IndexedTiming(waiting_time=10.0, tuning_time=3.0)
+        assert timing.doze_time == 7.0

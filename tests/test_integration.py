@@ -1,0 +1,194 @@
+"""Cross-module integration tests.
+
+These tie the layers together: algorithm quality orderings on shared
+workloads, the analytical model against the discrete-event simulator,
+and the experiment harness against the paper's qualitative claims.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.baselines  # noqa: F401
+from repro.analysis.stats import relative_gap
+from repro.analysis.theory import cost_lower_bound
+from repro.baselines.exact import brute_force_optimal
+from repro.core.cost import average_waiting_time
+from repro.core.scheduler import make_allocator
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+from repro.simulation.simulator import run_broadcast_simulation
+from repro.workloads.generator import WorkloadSpec, generate_database
+
+
+class TestQualityOrdering:
+    """The paper's headline ordering on shared random workloads."""
+
+    @pytest.fixture(scope="class")
+    def workloads(self):
+        return [
+            generate_database(
+                WorkloadSpec(num_items=60, skewness=0.8, diversity=1.5, seed=s)
+            )
+            for s in range(3)
+        ]
+
+    def test_gopt_dominates_drp_cds_dominates_drp(self, workloads):
+        for db in workloads:
+            gopt = make_allocator("gopt").allocate(db, 6).cost
+            drpcds = make_allocator("drp-cds").allocate(db, 6).cost
+            drp = make_allocator("drp").allocate(db, 6).cost
+            assert gopt <= drpcds + 1e-9
+            assert drpcds <= drp + 1e-9
+
+    def test_drp_cds_beats_vfk_in_diverse_environment(self, workloads):
+        for db in workloads:
+            vfk = make_allocator("vfk").allocate(db, 6).cost
+            drpcds = make_allocator("drp-cds").allocate(db, 6).cost
+            assert drpcds < vfk
+
+    def test_drp_cds_close_to_optimum(self, workloads):
+        """The paper reports ~3% error vs GOPT; allow a little slack."""
+        for db in workloads:
+            gopt = make_allocator("gopt").allocate(db, 6).cost
+            drpcds = make_allocator("drp-cds").allocate(db, 6).cost
+            assert relative_gap(drpcds, gopt) < 0.05
+
+    def test_every_algorithm_respects_lower_bound(self, workloads):
+        for db in workloads:
+            bound = cost_lower_bound(db, 6)
+            for name in ("vfk", "drp", "drp-cds", "gopt", "greedy", "random"):
+                cost = make_allocator(name).allocate(db, 6).cost
+                assert cost >= bound - 1e-9
+
+
+class TestExactGroundTruth:
+    def test_drp_cds_optimality_gap_small_instances(self):
+        """Exact gap measurement — the claim GOPT can only approximate."""
+        gaps = []
+        for seed in range(5):
+            db = generate_database(WorkloadSpec(num_items=10, seed=seed))
+            _, optimal = brute_force_optimal(db, 3)
+            drpcds = make_allocator("drp-cds").allocate(db, 3).cost
+            gaps.append(relative_gap(drpcds, optimal))
+        assert all(gap >= -1e-9 for gap in gaps)
+        assert sum(gaps) / len(gaps) < 0.03
+
+    def test_gopt_finds_optimum_on_small_instances(self):
+        for seed in range(3):
+            db = generate_database(WorkloadSpec(num_items=9, seed=seed))
+            _, optimal = brute_force_optimal(db, 3)
+            gopt = make_allocator("gopt").allocate(db, 3).cost
+            assert gopt == pytest.approx(optimal, rel=1e-6)
+
+
+class TestModelVersusSimulation:
+    def test_simulator_validates_model_for_all_algorithms(self):
+        db = generate_database(WorkloadSpec(num_items=40, seed=2))
+        for name in ("vfk", "drp-cds", "round-robin"):
+            allocation = make_allocator(name).allocate(db, 5).allocation
+            report = run_broadcast_simulation(
+                allocation, num_requests=30000, seed=3
+            )
+            assert report.relative_error < 0.03, name
+
+    def test_better_allocations_measure_better(self):
+        """The cost ordering survives the trip through the simulator."""
+        db = generate_database(WorkloadSpec(num_items=40, seed=4))
+        good = make_allocator("drp-cds").allocate(db, 5).allocation
+        bad = make_allocator("round-robin").allocate(db, 5).allocation
+        good_report = run_broadcast_simulation(good, num_requests=30000, seed=1)
+        bad_report = run_broadcast_simulation(bad, num_requests=30000, seed=1)
+        assert good_report.measured.mean < bad_report.measured.mean
+
+
+class TestHarnessQualitativeClaims:
+    """Scaled-down versions of the paper's figure-level observations."""
+
+    @pytest.fixture(scope="class")
+    def channel_sweep(self):
+        return run_experiment(
+            ExperimentConfig(
+                name="mini-fig2",
+                description="K sweep",
+                sweep_parameter="num_channels",
+                sweep_values=(4.0, 8.0),
+                algorithms=("vfk", "drp", "drp-cds", "gopt"),
+                num_items=60,
+                replications=2,
+            )
+        )
+
+    def test_waiting_time_decreases_with_k(self, channel_sweep):
+        for algorithm in channel_sweep.algorithms:
+            series = channel_sweep.series(algorithm)
+            assert series[-1][1] < series[0][1]
+
+    def test_vfk_trails_gopt(self, channel_sweep):
+        for value in channel_sweep.sweep_values():
+            vfk = channel_sweep.cell(value, "vfk").mean_waiting_time
+            gopt = channel_sweep.cell(value, "gopt").mean_waiting_time
+            assert vfk > gopt
+
+    def test_diversity_zero_makes_vfk_competitive(self):
+        result = run_experiment(
+            ExperimentConfig(
+                name="mini-fig4",
+                description="diversity endpoints",
+                sweep_parameter="diversity",
+                sweep_values=(0.0, 3.0),
+                algorithms=("vfk", "gopt"),
+                num_items=60,
+                replications=2,
+            )
+        )
+        gap_low = relative_gap(
+            result.cell(0.0, "vfk").mean_waiting_time,
+            result.cell(0.0, "gopt").mean_waiting_time,
+        )
+        gap_high = relative_gap(
+            result.cell(3.0, "vfk").mean_waiting_time,
+            result.cell(3.0, "gopt").mean_waiting_time,
+        )
+        assert gap_low < 0.02       # near-optimal in conventional setting
+        assert gap_high > gap_low   # falls behind as diversity grows
+
+    def test_waiting_time_decreases_with_skewness(self):
+        result = run_experiment(
+            ExperimentConfig(
+                name="mini-fig5",
+                description="skewness endpoints",
+                sweep_parameter="skewness",
+                sweep_values=(0.4, 1.6),
+                algorithms=("drp-cds",),
+                num_items=60,
+                replications=2,
+            )
+        )
+        series = result.series("drp-cds")
+        assert series[1][1] < series[0][1]
+
+    def test_gopt_much_slower_than_drp_cds(self):
+        result = run_experiment(
+            ExperimentConfig(
+                name="mini-fig6",
+                description="execution time",
+                sweep_parameter="num_channels",
+                sweep_values=(7.0,),
+                algorithms=("drp-cds", "gopt"),
+                num_items=90,
+                replications=2,
+            )
+        )
+        drpcds = result.cell(7.0, "drp-cds").mean_elapsed_seconds
+        gopt = result.cell(7.0, "gopt").mean_elapsed_seconds
+        assert gopt > 5 * drpcds
+
+
+class TestWaitingTimeConsistency:
+    def test_outcome_waiting_time_equals_model(self):
+        db = generate_database(WorkloadSpec(num_items=30, seed=0))
+        outcome = make_allocator("drp-cds").allocate(db, 4)
+        assert outcome.waiting_time(bandwidth=10.0) == pytest.approx(
+            average_waiting_time(outcome.allocation, bandwidth=10.0)
+        )

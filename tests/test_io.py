@@ -1,0 +1,152 @@
+"""Unit tests for repro.io (persistence)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.allocation import ChannelAllocation
+from repro.core.database import BroadcastDatabase
+from repro.core.item import DataItem
+from repro.exceptions import InvalidAllocationError, InvalidDatabaseError
+from repro.io import (
+    allocation_from_json,
+    allocation_to_json,
+    database_from_json,
+    database_to_json,
+    load_allocation,
+    load_database,
+    load_database_csv,
+    save_allocation,
+    save_database,
+    save_database_csv,
+)
+
+
+class TestDatabaseJSON:
+    def test_round_trip(self, paper_db):
+        restored = database_from_json(database_to_json(paper_db))
+        assert restored == paper_db
+
+    def test_labels_preserved(self):
+        db = BroadcastDatabase(
+            [
+                DataItem("a", 0.5, 1.0, label="news"),
+                DataItem("b", 0.5, 2.0),
+            ]
+        )
+        restored = database_from_json(database_to_json(db))
+        assert restored["a"].label == "news"
+        assert restored["b"].label is None
+
+    def test_file_round_trip(self, medium_db, tmp_path):
+        path = tmp_path / "db.json"
+        save_database(medium_db, path)
+        assert load_database(path) == medium_db
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(InvalidDatabaseError, match="invalid JSON"):
+            database_from_json("{not json")
+
+    def test_wrong_format_tag_rejected(self):
+        payload = json.dumps({"format": "something-else", "version": 1})
+        with pytest.raises(InvalidDatabaseError, match="expected"):
+            database_from_json(payload)
+
+    def test_wrong_version_rejected(self, paper_db):
+        payload = json.loads(database_to_json(paper_db))
+        payload["version"] = 999
+        with pytest.raises(InvalidDatabaseError, match="version"):
+            database_from_json(json.dumps(payload))
+
+    def test_corrupted_items_fail_validation(self, paper_db):
+        payload = json.loads(database_to_json(paper_db))
+        payload["items"][0]["frequency"] = -1.0
+        with pytest.raises(Exception):
+            database_from_json(json.dumps(payload))
+
+
+class TestAllocationJSON:
+    @pytest.fixture
+    def allocation(self, tiny_db):
+        return ChannelAllocation(
+            tiny_db, [tiny_db.items[:2], tiny_db.items[2:]]
+        )
+
+    def test_round_trip(self, allocation):
+        restored = allocation_from_json(allocation_to_json(allocation))
+        assert restored == allocation
+        assert restored.database == allocation.database
+
+    def test_file_round_trip(self, allocation, tmp_path):
+        path = tmp_path / "alloc.json"
+        save_allocation(allocation, path)
+        assert load_allocation(path) == allocation
+
+    def test_self_contained(self, allocation):
+        """The JSON embeds the database — no external reference."""
+        payload = json.loads(allocation_to_json(allocation))
+        assert payload["database"]["items"]
+        assert payload["channels"] == [["a", "b"], ["c", "d"]]
+
+    def test_tampered_channels_fail_validation(self, allocation):
+        payload = json.loads(allocation_to_json(allocation))
+        payload["channels"][0].append("c")  # duplicate assignment
+        with pytest.raises(InvalidAllocationError):
+            allocation_from_json(json.dumps(payload))
+
+    def test_wrong_format_tag(self, allocation, paper_db):
+        with pytest.raises(InvalidDatabaseError, match="expected"):
+            allocation_from_json(database_to_json(paper_db))
+
+
+class TestDatabaseCSV:
+    def test_round_trip(self, medium_db, tmp_path):
+        path = tmp_path / "db.csv"
+        save_database_csv(medium_db, path)
+        restored = load_database_csv(path)
+        assert restored.item_ids == medium_db.item_ids
+        for original, loaded in zip(medium_db.items, restored.items):
+            assert loaded.frequency == pytest.approx(original.frequency)
+            assert loaded.size == pytest.approx(original.size)
+
+    def test_labels_round_trip(self, tmp_path):
+        db = BroadcastDatabase(
+            [
+                DataItem("a", 0.6, 1.0, label="hot"),
+                DataItem("b", 0.4, 2.0),
+            ]
+        )
+        path = tmp_path / "db.csv"
+        save_database_csv(db, path)
+        restored = load_database_csv(path)
+        assert restored["a"].label == "hot"
+        assert restored["b"].label is None
+
+    def test_missing_columns_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("item_id,frequency\na,0.5\n")
+        with pytest.raises(InvalidDatabaseError, match="columns"):
+            load_database_csv(path)
+
+    def test_non_numeric_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text(
+            "item_id,frequency,size,label\na,abc,1.0,\n"
+        )
+        with pytest.raises(InvalidDatabaseError, match="non-numeric"):
+            load_database_csv(path)
+
+
+class TestEndToEnd:
+    def test_allocate_save_load_evaluate(self, medium_db, tmp_path):
+        """An archived program re-loads and evaluates identically."""
+        from repro.core.cost import allocation_cost
+        from repro.core.scheduler import DRPCDSAllocator
+
+        outcome = DRPCDSAllocator().allocate(medium_db, 5)
+        path = tmp_path / "program.json"
+        save_allocation(outcome.allocation, path)
+        restored = load_allocation(path)
+        assert allocation_cost(restored) == pytest.approx(outcome.cost)

@@ -1,0 +1,79 @@
+"""Unit tests for repro.core.item."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.item import DataItem
+from repro.exceptions import InvalidItemError
+
+
+class TestConstruction:
+    def test_valid_item(self):
+        item = DataItem("d1", frequency=0.25, size=4.0)
+        assert item.item_id == "d1"
+        assert item.frequency == 0.25
+        assert item.size == 4.0
+
+    def test_label_is_optional(self):
+        assert DataItem("d1", 0.1, 1.0).label is None
+        assert DataItem("d1", 0.1, 1.0, label="news").label == "news"
+
+    def test_label_does_not_affect_equality(self):
+        assert DataItem("d1", 0.1, 1.0, label="x") == DataItem(
+            "d1", 0.1, 1.0, label="y"
+        )
+
+    def test_items_are_frozen(self):
+        item = DataItem("d1", 0.1, 1.0)
+        with pytest.raises(AttributeError):
+            item.frequency = 0.2  # type: ignore[misc]
+
+    def test_integer_inputs_accepted(self):
+        item = DataItem("d1", frequency=1, size=3)
+        assert item.benefit_ratio == pytest.approx(1 / 3)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("bad_id", ["", None, 42])
+    def test_rejects_bad_item_id(self, bad_id):
+        with pytest.raises(InvalidItemError):
+            DataItem(bad_id, 0.1, 1.0)
+
+    @pytest.mark.parametrize("freq", [0.0, -0.1, math.nan, math.inf, "x", None])
+    def test_rejects_bad_frequency(self, freq):
+        with pytest.raises(InvalidItemError):
+            DataItem("d1", freq, 1.0)
+
+    @pytest.mark.parametrize("size", [0.0, -3.0, math.nan, math.inf, "x", None])
+    def test_rejects_bad_size(self, size):
+        with pytest.raises(InvalidItemError):
+            DataItem("d1", 0.1, size)
+
+
+class TestDerivedQuantities:
+    def test_benefit_ratio(self):
+        assert DataItem("d", 0.2, 4.0).benefit_ratio == pytest.approx(0.05)
+
+    def test_benefit_ratio_matches_paper_d1(self):
+        # d1 in Table 2: f=0.2374, z=21.18.
+        item = DataItem("d1", 0.2374, 21.18)
+        assert item.benefit_ratio == pytest.approx(0.2374 / 21.18)
+
+    def test_weight_is_frequency_times_size(self):
+        assert DataItem("d", 0.2, 4.0).weight == pytest.approx(0.8)
+
+    def test_scaled_rescales_frequency_only(self):
+        item = DataItem("d", 0.2, 4.0, label="x")
+        scaled = item.scaled(frequency_factor=2.5)
+        assert scaled.frequency == pytest.approx(0.5)
+        assert scaled.size == item.size
+        assert scaled.item_id == item.item_id
+        assert scaled.label == "x"
+
+    def test_scaled_returns_new_object(self):
+        item = DataItem("d", 0.2, 4.0)
+        assert item.scaled(1.0) == item
+        assert item.scaled(1.0) is not item

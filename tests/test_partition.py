@@ -1,0 +1,165 @@
+"""Unit tests for repro.core.partition."""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+import pytest
+
+from repro.core.database import BroadcastDatabase
+from repro.core.item import DataItem
+from repro.core.partition import (
+    PrefixSums,
+    best_split,
+    contiguous_optimal,
+    split_costs,
+)
+from repro.exceptions import InfeasibleProblemError
+
+
+def make_items(pairs):
+    total = sum(f for f, _ in pairs)
+    return [
+        DataItem(f"i{k}", f / total, z) for k, (f, z) in enumerate(pairs)
+    ]
+
+
+class TestPrefixSums:
+    def test_slice_aggregates(self, tiny_db):
+        sums = PrefixSums(tiny_db.items)
+        assert len(sums) == 4
+        assert sums.frequency(0, 4) == pytest.approx(1.0)
+        assert sums.size(1, 3) == pytest.approx(5.0)
+        assert sums.cost(1, 3) == pytest.approx(0.5 * 5.0)
+
+    def test_empty_slice(self, tiny_db):
+        sums = PrefixSums(tiny_db.items)
+        assert sums.frequency(2, 2) == 0.0
+        assert sums.cost(2, 2) == 0.0
+
+    def test_matches_direct_computation(self, medium_db):
+        items = medium_db.sorted_by_benefit_ratio()
+        sums = PrefixSums(items)
+        for start, stop in [(0, 5), (3, 17), (10, 30)]:
+            freq = math.fsum(i.frequency for i in items[start:stop])
+            size = math.fsum(i.size for i in items[start:stop])
+            assert sums.frequency(start, stop) == pytest.approx(freq)
+            assert sums.size(start, stop) == pytest.approx(size)
+
+
+class TestBestSplit:
+    def test_matches_exhaustive_scan(self, medium_db):
+        items = medium_db.sorted_by_benefit_ratio()
+        p, cost = best_split(items)
+        sums = PrefixSums(items)
+        exhaustive = min(
+            sums.cost(0, q) + sums.cost(q, len(items))
+            for q in range(1, len(items))
+        )
+        assert cost == pytest.approx(exhaustive)
+        assert cost == pytest.approx(
+            sums.cost(0, p) + sums.cost(p, len(items))
+        )
+
+    def test_two_items_split_between_them(self):
+        items = make_items([(0.6, 1.0), (0.4, 3.0)])
+        p, cost = best_split(items)
+        assert p == 1
+        assert cost == pytest.approx(0.6 * 1.0 + 0.4 * 3.0)
+
+    def test_tie_broken_to_smallest_index(self):
+        # Four identical items: splits at p=2 are optimal; p=1 and p=3
+        # are symmetric ties worse than p=2, so p=2 wins outright; with
+        # two items identical costs arise at p=1 only.  Build an exact
+        # tie: two identical halves.
+        items = make_items([(0.25, 1.0)] * 4)
+        p, _ = best_split(items)
+        assert p == 2  # balanced split is strictly best here
+
+    def test_paper_first_split(self, paper_db):
+        # Table 3(b): the first split separates after d12 (position 8).
+        items = paper_db.sorted_by_benefit_ratio()
+        p, cost = best_split(items)
+        assert p == 8
+        assert [i.item_id for i in items[:p]][-1] == "d12"
+        assert cost == pytest.approx(29.04 + 28.62, abs=0.02)
+
+    def test_rejects_short_sequences(self, tiny_db):
+        with pytest.raises(InfeasibleProblemError):
+            best_split(tiny_db.items[:1])
+        with pytest.raises(InfeasibleProblemError):
+            best_split([])
+
+
+class TestSplitCosts:
+    def test_profile_length_and_minimum(self, paper_db):
+        items = paper_db.sorted_by_benefit_ratio()
+        profile = split_costs(items)
+        assert len(profile) == len(items) - 1
+        p, cost = best_split(items)
+        assert min(profile) == pytest.approx(cost)
+        assert profile.index(min(profile)) == p - 1
+
+    def test_rejects_single_item(self, tiny_db):
+        with pytest.raises(InfeasibleProblemError):
+            split_costs(tiny_db.items[:1])
+
+
+class TestContiguousOptimal:
+    def test_one_group_is_whole_sequence(self, tiny_db):
+        boundaries, cost = contiguous_optimal(tiny_db.items, 1)
+        assert boundaries == [(0, 4)]
+        assert cost == pytest.approx(1.0 * 10.0)
+
+    def test_n_groups_are_singletons(self, tiny_db):
+        boundaries, cost = contiguous_optimal(tiny_db.items, 4)
+        assert boundaries == [(0, 1), (1, 2), (2, 3), (3, 4)]
+        expected = sum(i.frequency * i.size for i in tiny_db.items)
+        assert cost == pytest.approx(expected)
+
+    def test_boundaries_cover_range_in_order(self, medium_db):
+        items = medium_db.sorted_by_benefit_ratio()
+        boundaries, _ = contiguous_optimal(items, 5)
+        assert boundaries[0][0] == 0
+        assert boundaries[-1][1] == len(items)
+        for (_, stop), (start, _) in zip(boundaries, boundaries[1:]):
+            assert stop == start
+        assert all(stop > start for start, stop in boundaries)
+
+    def test_matches_exhaustive_enumeration(self):
+        items = make_items(
+            [(0.3, 2.0), (0.25, 1.0), (0.2, 5.0), (0.15, 3.0), (0.1, 8.0)]
+        )
+        sums = PrefixSums(items)
+        k = 3
+        # All ways to choose 2 interior boundaries among 4 positions.
+        exhaustive = min(
+            sums.cost(0, a) + sums.cost(a, b) + sums.cost(b, len(items))
+            for a, b in itertools.combinations(range(1, len(items)), 2)
+        )
+        _, cost = contiguous_optimal(items, k)
+        assert cost == pytest.approx(exhaustive)
+
+    def test_cost_non_increasing_in_group_count(self, medium_db):
+        items = medium_db.sorted_by_benefit_ratio()
+        costs = [contiguous_optimal(items, k)[1] for k in range(1, 8)]
+        assert all(a >= b - 1e-9 for a, b in zip(costs, costs[1:]))
+
+    def test_infeasible_group_counts_rejected(self, tiny_db):
+        with pytest.raises(InfeasibleProblemError):
+            contiguous_optimal(tiny_db.items, 0)
+        with pytest.raises(InfeasibleProblemError):
+            contiguous_optimal(tiny_db.items, 5)
+
+
+def test_contiguous_dp_never_worse_than_recursive_bisection(medium_db):
+    """DRP explores a subset of contiguous partitions; DP is optimal."""
+    from repro.core.drp import drp_allocate
+
+    for k in (2, 3, 5, 8):
+        dp_cost = contiguous_optimal(
+            medium_db.sorted_by_benefit_ratio(), k
+        )[1]
+        drp_cost = drp_allocate(medium_db, k).cost
+        assert dp_cost <= drp_cost + 1e-9

@@ -1,0 +1,215 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+Strategies generate arbitrary valid broadcast databases; properties
+assert the paper's structural claims hold for *all* of them, not just
+the fixtures:
+
+* every algorithm returns an exact partition into K non-empty groups;
+* the Eq.-(4) move delta always equals the recomputed cost difference;
+* CDS never increases cost and always lands on a move-stable point;
+* DRP's cost is bounded below by the contiguous DP and above by the
+  single-channel cost;
+* the analytical identities tie waiting time, cost and the fixed
+  download term together for any allocation.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.allocation import ChannelAllocation
+from repro.core.cds import cds_refine
+from repro.core.cost import (
+    allocation_cost,
+    average_waiting_time,
+    group_cost,
+    move_delta,
+    waiting_time_from_cost,
+)
+from repro.core.database import BroadcastDatabase
+from repro.core.drp import drp_allocate
+from repro.core.item import DataItem
+from repro.core.partition import best_split, contiguous_optimal
+from repro.analysis.theory import cost_lower_bound
+
+_positive = st.floats(
+    min_value=1e-3, max_value=1e3, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def databases(draw, min_items=2, max_items=24):
+    """A normalised broadcast database with random frequencies/sizes."""
+    n = draw(st.integers(min_value=min_items, max_value=max_items))
+    raw_freqs = draw(
+        st.lists(_positive, min_size=n, max_size=n)
+    )
+    sizes = draw(st.lists(_positive, min_size=n, max_size=n))
+    total = math.fsum(raw_freqs)
+    items = [
+        DataItem(f"d{i}", frequency=f / total, size=z)
+        for i, (f, z) in enumerate(zip(raw_freqs, sizes))
+    ]
+    return BroadcastDatabase(items)
+
+
+@st.composite
+def databases_with_k(draw, min_items=2, max_items=24):
+    db = draw(databases(min_items=min_items, max_items=max_items))
+    k = draw(st.integers(min_value=1, max_value=len(db)))
+    return db, k
+
+
+@st.composite
+def allocations(draw, max_items=16):
+    """A random valid allocation (via assignment vector + repair)."""
+    db, k = draw(databases_with_k(min_items=2, max_items=max_items))
+    n = len(db)
+    assignment = [
+        draw(st.integers(min_value=0, max_value=k - 1)) for _ in range(n)
+    ]
+    # Repair: force channel c to own item c so no channel is empty.
+    for channel in range(k):
+        assignment[channel] = channel
+    return ChannelAllocation.from_assignment_vector(db, assignment, k)
+
+
+common_settings = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestPartitionProperties:
+    @common_settings
+    @given(databases_with_k())
+    def test_drp_is_exact_partition(self, db_k):
+        db, k = db_k
+        result = drp_allocate(db, k)
+        ids = sorted(
+            item.item_id
+            for group in result.allocation.channels
+            for item in group
+        )
+        assert ids == sorted(db.item_ids)
+        assert result.allocation.num_channels == k
+        assert all(stat.count >= 1 for stat in result.allocation.channel_stats)
+
+    @common_settings
+    @given(databases_with_k())
+    def test_drp_cost_sandwiched(self, db_k):
+        db, k = db_k
+        result = drp_allocate(db, k)
+        dp_cost = contiguous_optimal(db.sorted_by_benefit_ratio(), k)[1]
+        single = db.total_frequency * db.total_size
+        assert dp_cost <= result.cost + 1e-7 * max(1.0, abs(result.cost))
+        assert result.cost <= single + 1e-7 * max(1.0, single)
+
+    @common_settings
+    @given(databases(min_items=2))
+    def test_best_split_never_worse_than_any_split(self, db):
+        items = db.sorted_by_benefit_ratio()
+        _, best_cost = best_split(items)
+        for p in range(1, len(items)):
+            split_total = group_cost(items[:p]) + group_cost(items[p:])
+            assert best_cost <= split_total + 1e-9 * max(1.0, split_total)
+
+    @common_settings
+    @given(databases_with_k())
+    def test_lower_bound_holds_for_drp(self, db_k):
+        db, k = db_k
+        result = drp_allocate(db, k)
+        bound = cost_lower_bound(db, k)
+        assert bound <= result.cost + 1e-7 * max(1.0, result.cost)
+
+
+class TestMoveDeltaProperties:
+    @common_settings
+    @given(allocations())
+    def test_delta_matches_recomputation_for_all_moves(self, allocation):
+        stats = allocation.channel_stats
+        before = allocation_cost(allocation)
+        groups = [list(group) for group in allocation.channels]
+        for origin in range(allocation.num_channels):
+            if len(groups[origin]) < 2:
+                continue
+            item = groups[origin][0]
+            for dest in range(allocation.num_channels):
+                if dest == origin:
+                    continue
+                predicted = move_delta(
+                    item,
+                    origin_frequency=stats[origin].frequency,
+                    origin_size=stats[origin].size,
+                    dest_frequency=stats[dest].frequency,
+                    dest_size=stats[dest].size,
+                )
+                moved = [list(g) for g in groups]
+                moved[origin] = moved[origin][1:]
+                moved[dest] = moved[dest] + [item]
+                after = allocation_cost(
+                    allocation.replace_channels(moved)
+                )
+                assert predicted == (
+                    __import__("pytest").approx(
+                        before - after, rel=1e-6, abs=1e-9
+                    )
+                )
+
+
+class TestCDSProperties:
+    @common_settings
+    @given(allocations())
+    def test_cds_monotone_and_stable(self, allocation):
+        result = cds_refine(allocation)
+        assert result.cost <= result.initial_cost + 1e-9
+        # Stability: refining again performs no moves.
+        again = cds_refine(result.allocation)
+        assert again.iterations == 0
+
+    @common_settings
+    @given(allocations())
+    def test_cds_preserves_partition(self, allocation):
+        result = cds_refine(allocation)
+        ids = sorted(
+            item.item_id
+            for group in result.allocation.channels
+            for item in group
+        )
+        assert ids == sorted(allocation.database.item_ids)
+        assert all(
+            stat.count >= 1 for stat in result.allocation.channel_stats
+        )
+
+
+class TestModelIdentities:
+    @common_settings
+    @given(allocations(), st.floats(min_value=0.1, max_value=100.0))
+    def test_waiting_time_identity(self, allocation, bandwidth):
+        direct = average_waiting_time(allocation, bandwidth=bandwidth)
+        from_cost = waiting_time_from_cost(
+            allocation_cost(allocation),
+            allocation.database.fixed_download_cost,
+            bandwidth=bandwidth,
+        )
+        assert math.isclose(direct, from_cost, rel_tol=1e-9)
+
+    @common_settings
+    @given(allocations())
+    def test_cost_is_sum_of_channel_costs(self, allocation):
+        total = allocation_cost(allocation)
+        channel_sum = sum(stat.cost for stat in allocation.channel_stats)
+        assert math.isclose(total, channel_sum, rel_tol=1e-9)
+
+    @common_settings
+    @given(databases())
+    def test_single_group_cost_is_f_times_z(self, db):
+        assert math.isclose(
+            group_cost(db.items),
+            db.total_frequency * db.total_size,
+            rel_tol=1e-9,
+        )

@@ -1,0 +1,173 @@
+"""Property-based tests (hypothesis) for the simulation substrates.
+
+Invariants of channel timing, Broadcast-Disks scheduling, the on-demand
+server and query retrieval, for arbitrary valid inputs.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.database import BroadcastDatabase
+from repro.core.item import DataItem
+from repro.simulation.channel import BroadcastChannel
+from repro.simulation.disks import (
+    MultiScheduleChannel,
+    broadcast_disk_schedule,
+)
+from repro.simulation.ondemand import (
+    MRFPolicy,
+    RxWPolicy,
+    simulate_on_demand,
+)
+
+_positive = st.floats(
+    min_value=1e-2, max_value=1e2, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def item_lists(draw, min_items=1, max_items=10):
+    n = draw(st.integers(min_value=min_items, max_value=max_items))
+    raw = draw(st.lists(_positive, min_size=n, max_size=n))
+    sizes = draw(st.lists(_positive, min_size=n, max_size=n))
+    total = math.fsum(raw)
+    return [
+        DataItem(f"d{i}", f / total, z)
+        for i, (f, z) in enumerate(zip(raw, sizes))
+    ]
+
+
+common = settings(
+    max_examples=50,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestChannelProperties:
+    @common
+    @given(item_lists(), st.floats(min_value=0.0, max_value=1e4))
+    def test_waiting_time_bounds(self, items, tune_in):
+        channel = BroadcastChannel(0, items, 10.0)
+        item = items[0]
+        wait = channel.waiting_time(item.item_id, tune_in)
+        download = item.size / 10.0
+        # At least the download, at most a full cycle plus the download.
+        assert wait >= download - 1e-9
+        assert wait <= channel.cycle_length + download + 1e-9
+
+    @common
+    @given(item_lists(min_items=2), st.floats(min_value=0.0, max_value=1e3))
+    def test_next_start_is_a_real_slot(self, items, tune_in):
+        channel = BroadcastChannel(0, items, 10.0)
+        item = items[-1]
+        start = channel.next_transmission_start(item.item_id, tune_in)
+        assert start >= tune_in - 1e-9
+        # Start lies on the item's slot grid: offset + n*cycle.
+        offset = channel.slot_offset(item.item_id)
+        n = (start - offset) / channel.cycle_length
+        assert abs(n - round(n)) < 1e-6
+
+    @common
+    @given(item_lists())
+    def test_expectation_is_frequency_decomposable(self, items):
+        """W^(i) computed two ways agrees (Eq. 1 vs Eq. 2 pieces)."""
+        from repro.core.cost import channel_waiting_time, item_waiting_time
+
+        direct = channel_waiting_time(items, bandwidth=10.0)
+        total_f = math.fsum(i.frequency for i in items)
+        weighted = (
+            math.fsum(
+                i.frequency * item_waiting_time(i, items, bandwidth=10.0)
+                for i in items
+            )
+            / total_f
+        )
+        assert direct == pytest.approx(weighted, rel=1e-9)
+
+
+class TestDiskProperties:
+    @common
+    @given(
+        item_lists(min_items=2, max_items=8),
+        st.integers(min_value=1, max_value=4),
+    )
+    def test_schedule_preserves_items_and_frequencies(self, items, hot_freq):
+        middle = max(1, len(items) // 2)
+        disks = [items[:middle], items[middle:]]
+        if not disks[1]:
+            disks = [items[:1], items[1:]] if len(items) > 1 else [items]
+        frequencies = [hot_freq, 1][: len(disks)]
+        schedule = broadcast_disk_schedule(disks, frequencies)
+        channel = MultiScheduleChannel(0, schedule, 10.0)
+        for disk, frequency in zip(disks, frequencies):
+            for item in disk:
+                assert channel.appearances(item.item_id) == frequency
+
+    @common
+    @given(item_lists(min_items=2, max_items=8))
+    def test_gap_formula_matches_sampling(self, items):
+        # Repeat the first item twice, arbitrary positions.
+        schedule = [items[0]] + items[1:] + [items[0]]
+        channel = MultiScheduleChannel(0, schedule, 10.0)
+        expected = channel.expected_waiting_time(items[0].item_id)
+        steps = 4000
+        sampled = (
+            sum(
+                channel.waiting_time(
+                    items[0].item_id,
+                    (k + 0.5) * channel.cycle_length / steps,
+                )
+                for k in range(steps)
+            )
+            / steps
+        )
+        assert sampled == pytest.approx(expected, rel=5e-3)
+
+
+class TestOnDemandProperties:
+    @common
+    @given(
+        item_lists(min_items=2, max_items=6),
+        st.floats(min_value=0.1, max_value=20.0),
+        st.integers(min_value=0, max_value=3),
+    )
+    def test_conservation_and_bounds(self, items, rate, seed):
+        database = BroadcastDatabase(items)
+        report = simulate_on_demand(
+            database,
+            policy=RxWPolicy(),
+            num_requests=120,
+            arrival_rate=rate,
+            seed=seed,
+        )
+        # Every request served exactly once.
+        assert report.waiting.count == 120
+        # Waits at least the item's own transmission time.
+        min_transmission = min(i.size for i in items) / 10.0
+        assert report.waiting.minimum >= min_transmission - 1e-9
+        # Stretch >= 1 by definition.
+        assert report.stretch.minimum >= 1.0 - 1e-9
+        # Broadcast count never exceeds request count.
+        assert 1 <= report.broadcasts <= 120
+
+    @common
+    @given(item_lists(min_items=2, max_items=6), st.integers(0, 3))
+    def test_policies_serve_identical_request_sets(self, items, seed):
+        database = BroadcastDatabase(items)
+        reports = [
+            simulate_on_demand(
+                database,
+                policy=policy,
+                num_requests=80,
+                arrival_rate=5.0,
+                seed=seed,
+            )
+            for policy in (RxWPolicy(), MRFPolicy())
+        ]
+        assert reports[0].waiting.count == reports[1].waiting.count == 80

@@ -1,0 +1,254 @@
+"""Tests for multi-item query workloads and retrieval."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.allocation import ChannelAllocation
+from repro.core.database import BroadcastDatabase
+from repro.core.item import DataItem
+from repro.core.scheduler import DRPCDSAllocator
+from repro.exceptions import InvalidDatabaseError, SimulationError
+from repro.simulation.queries import (
+    retrieve_query,
+    simulate_query_workload,
+)
+from repro.simulation.server import BroadcastProgram
+from repro.workloads.queries import (
+    Query,
+    QueryWorkload,
+    generate_query_workload,
+    item_frequencies_from_queries,
+)
+
+
+class TestQuery:
+    def test_valid(self):
+        query = Query("q1", ("a", "b"), 0.5)
+        assert query.size == 2
+
+    def test_validation(self):
+        with pytest.raises(InvalidDatabaseError):
+            Query("", ("a",), 0.5)
+        with pytest.raises(InvalidDatabaseError):
+            Query("q", (), 0.5)
+        with pytest.raises(InvalidDatabaseError):
+            Query("q", ("a", "a"), 0.5)
+        with pytest.raises(InvalidDatabaseError):
+            Query("q", ("a",), 0.0)
+
+
+class TestQueryWorkload:
+    def test_basic(self):
+        workload = QueryWorkload(
+            [Query("q1", ("a",), 0.6), Query("q2", ("a", "b"), 0.4)]
+        )
+        assert len(workload) == 2
+        assert workload.mean_query_size == pytest.approx(1.4)
+        assert workload.referenced_item_ids() == ["a", "b"]
+
+    def test_frequencies_must_sum_to_one(self):
+        with pytest.raises(InvalidDatabaseError, match="sum to 1"):
+            QueryWorkload([Query("q1", ("a",), 0.5)])
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(InvalidDatabaseError, match="duplicate"):
+            QueryWorkload(
+                [Query("q1", ("a",), 0.5), Query("q1", ("b",), 0.5)]
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidDatabaseError):
+            QueryWorkload([])
+
+    def test_sample_follows_frequencies(self):
+        workload = QueryWorkload(
+            [Query("hot", ("a",), 0.9), Query("cold", ("b",), 0.1)]
+        )
+        rng = np.random.default_rng(0)
+        draws = [workload.sample(rng).query_id for _ in range(2000)]
+        assert draws.count("hot") / len(draws) == pytest.approx(0.9, abs=0.03)
+
+
+class TestGeneration:
+    def test_shape(self, medium_db):
+        workload = generate_query_workload(
+            medium_db, 20, min_items=2, max_items=5, seed=0
+        )
+        assert len(workload) == 20
+        for query in workload:
+            assert 2 <= query.size <= 5
+            for item_id in query.item_ids:
+                assert item_id in medium_db
+
+    def test_reproducible(self, medium_db):
+        a = generate_query_workload(medium_db, 10, seed=4)
+        b = generate_query_workload(medium_db, 10, seed=4)
+        assert [q.item_ids for q in a] == [q.item_ids for q in b]
+
+    def test_popularity_bias(self, medium_db):
+        biased = generate_query_workload(
+            medium_db, 200, seed=1, bias_to_popular=True
+        )
+        hottest = medium_db.sorted_by_frequency()[0].item_id
+        hits = sum(
+            1 for query in biased if hottest in query.item_ids
+        )
+        unbiased = generate_query_workload(
+            medium_db, 200, seed=1, bias_to_popular=False
+        )
+        unbiased_hits = sum(
+            1 for query in unbiased if hottest in query.item_ids
+        )
+        assert hits > unbiased_hits
+
+    def test_validation(self, medium_db):
+        with pytest.raises(InvalidDatabaseError):
+            generate_query_workload(medium_db, 0)
+        with pytest.raises(InvalidDatabaseError):
+            generate_query_workload(medium_db, 5, min_items=3, max_items=2)
+
+
+class TestItemFrequencyReduction:
+    def test_membership_mass(self):
+        workload = QueryWorkload(
+            [Query("q1", ("a", "b"), 0.7), Query("q2", ("b",), 0.3)]
+        )
+        freqs = item_frequencies_from_queries(
+            workload, ["a", "b", "c"], smoothing=0.0
+        )
+        # a: 0.7, b: 1.0, c: 0 -> normalised by 1.7.
+        assert freqs["a"] == pytest.approx(0.7 / 1.7)
+        assert freqs["b"] == pytest.approx(1.0 / 1.7)
+        assert freqs["c"] == 0.0
+
+    def test_smoothing_keeps_untouched_items_positive(self):
+        workload = QueryWorkload([Query("q1", ("a",), 1.0)])
+        freqs = item_frequencies_from_queries(workload, ["a", "b"])
+        assert freqs["b"] > 0
+        assert sum(freqs.values()) == pytest.approx(1.0)
+
+    def test_unknown_items_rejected(self):
+        workload = QueryWorkload([Query("q1", ("zz",), 1.0)])
+        with pytest.raises(InvalidDatabaseError, match="unknown item"):
+            item_frequencies_from_queries(workload, ["a"])
+
+
+class TestRetrieveQuery:
+    @pytest.fixture
+    def program(self, tiny_db):
+        allocation = ChannelAllocation(
+            tiny_db, [tiny_db.items[:2], tiny_db.items[2:]]
+        )
+        return BroadcastProgram(allocation, bandwidth=10.0)
+
+    def test_single_item_matches_plain_waiting(self, program):
+        result = retrieve_query(program, ["c"], 0.05)
+        assert result.span == pytest.approx(
+            program.waiting_time("c", 0.05)
+        )
+        assert result.order == ("c",)
+
+    def test_span_covers_all_items(self, program):
+        result = retrieve_query(program, ["a", "d"], 0.0)
+        assert len(result.order) == 2
+        assert set(result.order) == {"a", "d"}
+        assert result.completions == tuple(sorted(result.completions))
+        assert result.span == pytest.approx(result.completions[-1] - 0.0)
+
+    def test_greedy_beats_fixed_on_average(self, medium_db):
+        """Greedy is myopic — it can lose on a single instance — but it
+        must win clearly on average over random queries."""
+        allocation = DRPCDSAllocator().allocate(medium_db, 4).allocation
+        program = BroadcastProgram(allocation)
+        rng = np.random.default_rng(0)
+        ids = list(medium_db.item_ids)
+        greedy_total = 0.0
+        fixed_total = 0.0
+        for _trial in range(60):
+            members = rng.choice(len(ids), size=4, replace=False)
+            query = [ids[int(i)] for i in members]
+            tune_in = float(rng.uniform(0, 100))
+            greedy_total += retrieve_query(program, query, tune_in).span
+            fixed_total += retrieve_query(
+                program, query, tune_in, strategy="fixed"
+            ).span
+        assert greedy_total < fixed_total
+
+    def test_validation(self, program):
+        with pytest.raises(SimulationError):
+            retrieve_query(program, [], 0.0)
+        with pytest.raises(SimulationError):
+            retrieve_query(program, ["a", "a"], 0.0)
+        with pytest.raises(SimulationError):
+            retrieve_query(program, ["a"], 0.0, strategy="bogus")
+
+
+class TestSimulateQueryWorkload:
+    def test_summary_shape(self, medium_db):
+        allocation = DRPCDSAllocator().allocate(medium_db, 4).allocation
+        workload = generate_query_workload(
+            medium_db, 30, min_items=1, max_items=3, seed=2
+        )
+        summary = simulate_query_workload(
+            allocation, workload, num_requests=500, seed=3
+        )
+        assert summary.count == 500
+        assert summary.mean > 0
+
+    def test_query_aware_profile_beats_round_robin(self, medium_db):
+        """Allocating on query-derived frequencies beats a flat deal."""
+        from repro.baselines.flat import RoundRobinAllocator
+
+        workload = generate_query_workload(
+            medium_db, 40, min_items=1, max_items=3, seed=5
+        )
+        freqs = item_frequencies_from_queries(
+            workload, list(medium_db.item_ids)
+        )
+        derived = BroadcastDatabase(
+            [
+                DataItem(item.item_id, freqs[item.item_id], item.size)
+                for item in medium_db.items
+            ]
+        )
+        smart = DRPCDSAllocator().allocate(derived, 4).allocation
+        # Evaluate both against the original database items.
+        smart_eval = ChannelAllocation(
+            medium_db,
+            [
+                [medium_db[i.item_id] for i in group]
+                for group in smart.channels
+            ],
+        )
+        flat = RoundRobinAllocator().allocate(medium_db, 4).allocation
+        smart_span = simulate_query_workload(
+            smart_eval, workload, num_requests=1500, seed=7
+        ).mean
+        flat_span = simulate_query_workload(
+            flat, workload, num_requests=1500, seed=7
+        ).mean
+        assert smart_span < flat_span
+
+    def test_unknown_workload_items_rejected(self, medium_db, tiny_db):
+        allocation = DRPCDSAllocator().allocate(tiny_db, 2).allocation
+        workload = generate_query_workload(medium_db, 5, seed=0)
+        with pytest.raises(SimulationError, match="not in the allocation"):
+            simulate_query_workload(allocation, workload)
+
+    def test_larger_queries_take_longer(self, medium_db):
+        allocation = DRPCDSAllocator().allocate(medium_db, 4).allocation
+        small = generate_query_workload(
+            medium_db, 30, min_items=1, max_items=1, seed=1
+        )
+        large = generate_query_workload(
+            medium_db, 30, min_items=4, max_items=4, seed=1
+        )
+        small_span = simulate_query_workload(
+            allocation, small, num_requests=800, seed=2
+        ).mean
+        large_span = simulate_query_workload(
+            allocation, large, num_requests=800, seed=2
+        ).mean
+        assert large_span > small_span

@@ -1,0 +1,71 @@
+"""Tests for the reproduction report generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.report import generate_report
+
+
+@pytest.fixture(scope="module")
+def report_text():
+    return generate_report(replications=1, gap_instances=2)
+
+
+class TestGenerateReport:
+    def test_contains_all_sections(self, report_text):
+        assert "# Reproduction report" in report_text
+        assert "## Worked example" in report_text
+        for figure_id in ("figure2", "figure3", "figure4", "figure5",
+                          "figure6", "figure7"):
+            assert f"## {figure_id}:" in report_text
+        assert "True optimality gaps" in report_text
+
+    def test_worked_example_matches(self, report_text):
+        assert "24.08 (paper 24.09) — MATCH" in report_text
+        assert "22.29 (paper 22.29) — MATCH" in report_text
+        assert "MISMATCH" not in report_text
+
+    def test_gap_summaries_present(self, report_text):
+        assert "Gap vs GOPT" in report_text
+        assert "drp-cds:" in report_text
+
+    def test_shape_checks_pass(self, report_text):
+        assert report_text.count("— OK.") == 4
+        assert "— CHECK." not in report_text
+
+    def test_markdown_tables_well_formed(self, report_text):
+        for line in report_text.splitlines():
+            if line.startswith("|") and not line.startswith("|---"):
+                assert line.endswith("|")
+
+    def test_output_file(self, tmp_path):
+        path = tmp_path / "report.md"
+        text = generate_report(
+            replications=1, gap_instances=2, output=path
+        )
+        assert path.read_text() == text
+
+    def test_progress_callback(self):
+        seen = []
+        generate_report(
+            replications=1, gap_instances=2, progress=seen.append
+        )
+        assert any("figure2" in line for line in seen)
+        assert any("worked example" in line for line in seen)
+
+    def test_cli_report_command(self, capsys, tmp_path):
+        from repro.cli import main
+
+        path = tmp_path / "out.md"
+        code = main(
+            [
+                "report",
+                "--replications", "1",
+                "--output", str(path),
+                "--quiet",
+            ]
+        )
+        assert code == 0
+        assert path.exists()
+        assert "wrote" in capsys.readouterr().out

@@ -1,0 +1,122 @@
+"""Unit tests for repro.core.scheduler (Allocator interface, registry)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.allocation import ChannelAllocation
+from repro.core.cost import allocation_cost, average_waiting_time
+from repro.core.database import BroadcastDatabase
+from repro.core.scheduler import (
+    AllocationOutcome,
+    Allocator,
+    CDSOnlyAllocator,
+    DRPAllocator,
+    DRPCDSAllocator,
+    available_allocators,
+    make_allocator,
+    register_allocator,
+)
+
+
+class TestDRPAllocator:
+    def test_outcome_fields(self, medium_db):
+        outcome = DRPAllocator().allocate(medium_db, 5)
+        assert isinstance(outcome, AllocationOutcome)
+        assert outcome.algorithm == "drp"
+        assert outcome.cost == pytest.approx(
+            allocation_cost(outcome.allocation)
+        )
+        assert outcome.elapsed_seconds >= 0.0
+        assert outcome.metadata["drp_iterations"] == 4
+
+    def test_waiting_time_helper(self, medium_db):
+        outcome = DRPAllocator().allocate(medium_db, 5)
+        assert outcome.waiting_time(bandwidth=10.0) == pytest.approx(
+            average_waiting_time(outcome.allocation, bandwidth=10.0)
+        )
+
+
+class TestDRPCDSAllocator:
+    def test_never_worse_than_drp_alone(self, medium_db):
+        drp = DRPAllocator().allocate(medium_db, 6)
+        both = DRPCDSAllocator().allocate(medium_db, 6)
+        assert both.cost <= drp.cost + 1e-9
+
+    def test_metadata_records_both_stages(self, medium_db):
+        outcome = DRPCDSAllocator().allocate(medium_db, 6)
+        assert "drp_cost" in outcome.metadata
+        assert "cds_moves" in outcome.metadata
+        assert outcome.metadata["cds_converged"] is True
+        assert outcome.metadata["drp_cost"] >= outcome.cost - 1e-9
+
+    def test_iteration_cap_propagates(self, medium_db):
+        outcome = DRPCDSAllocator(max_cds_iterations=0).allocate(medium_db, 6)
+        assert outcome.metadata["cds_moves"] == 0
+
+
+class TestCDSOnlyAllocator:
+    def test_produces_valid_local_optimum(self, medium_db):
+        outcome = CDSOnlyAllocator().allocate(medium_db, 5)
+        assert outcome.allocation.num_channels == 5
+        assert outcome.metadata["cds_converged"] is True
+
+    def test_metadata_has_no_drp_fields(self, medium_db):
+        outcome = CDSOnlyAllocator().allocate(medium_db, 5)
+        assert "drp_cost" not in outcome.metadata
+
+
+class TestMetadataIsolation:
+    def test_metadata_does_not_leak_between_runs(self, medium_db, tiny_db):
+        allocator = DRPCDSAllocator()
+        first = allocator.allocate(medium_db, 6)
+        second = allocator.allocate(tiny_db, 2)
+        assert first.metadata is not second.metadata
+        assert second.metadata["drp_iterations"] == 1
+
+
+class TestRegistry:
+    def test_core_algorithms_registered(self):
+        registry = available_allocators()
+        for name in ("drp", "drp-cds", "cds-only"):
+            assert name in registry
+
+    def test_baselines_registered_after_import(self):
+        import repro.baselines  # noqa: F401
+
+        registry = available_allocators()
+        for name in ("vfk", "gopt", "round-robin", "brute-force"):
+            assert name in registry
+
+    def test_make_allocator_instantiates(self):
+        allocator = make_allocator("drp")
+        assert isinstance(allocator, DRPAllocator)
+
+    def test_make_allocator_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown allocator"):
+            make_allocator("definitely-not-registered")
+
+    def test_register_custom_allocator(self, tiny_db):
+        class EverythingOnChannelZero(Allocator):
+            name = "test-single"
+
+            def _allocate(self, database, num_channels):
+                groups = [[] for _ in range(num_channels)]
+                for item in database.items:
+                    groups[0].append(item)
+                return ChannelAllocation(
+                    database, groups, allow_empty_channels=True
+                )
+
+        register_allocator("test-single", EverythingOnChannelZero)
+        try:
+            outcome = make_allocator("test-single").allocate(tiny_db, 1)
+            assert outcome.algorithm == "test-single"
+        finally:
+            # Leave the global registry as we found it.
+            available_allocators().pop("test-single", None)
+
+    def test_available_allocators_returns_copy(self):
+        snapshot = available_allocators()
+        snapshot["bogus-entry"] = DRPAllocator
+        assert "bogus-entry" not in available_allocators()

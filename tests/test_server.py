@@ -1,0 +1,72 @@
+"""Unit tests for repro.simulation.server."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.allocation import ChannelAllocation
+from repro.core.cost import average_waiting_time
+from repro.exceptions import SimulationError
+from repro.simulation.server import BroadcastProgram
+
+
+@pytest.fixture
+def allocation(tiny_db):
+    return ChannelAllocation(tiny_db, [tiny_db.items[:2], tiny_db.items[2:]])
+
+
+class TestConstruction:
+    def test_one_channel_per_group(self, allocation):
+        program = BroadcastProgram(allocation, bandwidth=10.0)
+        assert program.num_channels == 2
+        assert [len(c.items) for c in program.channels] == [2, 2]
+
+    def test_bandwidth_applies_to_all_channels(self, allocation):
+        program = BroadcastProgram(allocation, bandwidth=5.0)
+        assert all(c.bandwidth == 5.0 for c in program.channels)
+
+    def test_per_channel_bandwidths(self, allocation):
+        program = BroadcastProgram(allocation, bandwidths=[5.0, 20.0])
+        assert program.channels[0].bandwidth == 5.0
+        assert program.channels[1].bandwidth == 20.0
+
+    def test_bandwidth_count_mismatch(self, allocation):
+        with pytest.raises(SimulationError, match="bandwidths"):
+            BroadcastProgram(allocation, bandwidths=[5.0])
+
+
+class TestRouting:
+    def test_channel_for(self, allocation):
+        program = BroadcastProgram(allocation)
+        assert program.channel_for("a").channel_id == 0
+        assert program.channel_for("d").channel_id == 1
+
+    def test_channel_for_unknown(self, allocation):
+        program = BroadcastProgram(allocation)
+        with pytest.raises(SimulationError, match="no channel"):
+            program.channel_for("zz")
+
+    def test_waiting_time_delegates(self, allocation):
+        program = BroadcastProgram(allocation, bandwidth=10.0)
+        direct = program.channel_for("a").waiting_time("a", 0.25)
+        assert program.waiting_time("a", 0.25) == pytest.approx(direct)
+
+
+class TestExpectedWaitingTimes:
+    def test_per_item_expectation_eq1(self, allocation):
+        program = BroadcastProgram(allocation, bandwidth=10.0)
+        # Channel 0 carries a(1.0) and b(2.0): cycle = 0.3 s.
+        assert program.expected_waiting_time("a") == pytest.approx(
+            0.3 / 2 + 0.1
+        )
+
+    def test_frequency_weighted_expectation_equals_model_wb(self, allocation):
+        """Σ f_x · E[wait_x] == W_b of Eq. (2) — the whole-model identity."""
+        program = BroadcastProgram(allocation, bandwidth=10.0)
+        weighted = sum(
+            item.frequency * program.expected_waiting_time(item.item_id)
+            for item in allocation.database
+        )
+        assert weighted == pytest.approx(
+            average_waiting_time(allocation, bandwidth=10.0)
+        )

@@ -1,0 +1,83 @@
+"""Unit tests for repro.workloads.sizes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidDatabaseError
+from repro.workloads.sizes import diverse_sizes, fixed_sizes, lognormal_sizes
+
+
+class TestDiverseSizes:
+    def test_range_respects_diversity(self):
+        rng = np.random.default_rng(0)
+        sizes = diverse_sizes(1000, 3.0, rng)
+        assert sizes.min() >= 1.0
+        assert sizes.max() <= 1000.0
+
+    def test_diversity_zero_gives_unit_sizes(self):
+        rng = np.random.default_rng(0)
+        sizes = diverse_sizes(100, 0.0, rng)
+        assert sizes == pytest.approx(np.ones(100))
+
+    def test_log_uniformity(self):
+        """log10(size) should be ~uniform on [0, Φ]."""
+        rng = np.random.default_rng(7)
+        sizes = diverse_sizes(20000, 2.0, rng)
+        exponents = np.log10(sizes)
+        assert exponents.mean() == pytest.approx(1.0, abs=0.02)
+        # Uniform[0,2] variance = 4/12.
+        assert exponents.var() == pytest.approx(4.0 / 12.0, abs=0.02)
+
+    def test_reproducible_with_seeded_rng(self):
+        a = diverse_sizes(50, 1.5, np.random.default_rng(3))
+        b = diverse_sizes(50, 1.5, np.random.default_rng(3))
+        assert (a == b).all()
+
+    @pytest.mark.parametrize("diversity", [-1.0, float("nan")])
+    def test_bad_diversity(self, diversity):
+        with pytest.raises(InvalidDatabaseError):
+            diverse_sizes(10, diversity, np.random.default_rng(0))
+
+    def test_bad_count(self):
+        with pytest.raises(InvalidDatabaseError):
+            diverse_sizes(0, 1.0, np.random.default_rng(0))
+
+
+class TestFixedSizes:
+    def test_all_equal(self):
+        sizes = fixed_sizes(5, 3.0)
+        assert sizes == pytest.approx(np.full(5, 3.0))
+
+    def test_default_is_unit(self):
+        assert fixed_sizes(3) == pytest.approx(np.ones(3))
+
+    @pytest.mark.parametrize("size", [0.0, -1.0, float("inf")])
+    def test_bad_size(self, size):
+        with pytest.raises(InvalidDatabaseError):
+            fixed_sizes(5, size)
+
+
+class TestLognormalSizes:
+    def test_positive(self):
+        sizes = lognormal_sizes(1000, np.random.default_rng(0))
+        assert (sizes > 0).all()
+
+    def test_median_parameter(self):
+        sizes = lognormal_sizes(
+            50000, np.random.default_rng(1), median=10.0, sigma=1.0
+        )
+        assert np.median(sizes) == pytest.approx(10.0, rel=0.05)
+
+    def test_sigma_zero_degenerates_to_median(self):
+        sizes = lognormal_sizes(
+            10, np.random.default_rng(0), median=4.0, sigma=0.0
+        )
+        assert sizes == pytest.approx(np.full(10, 4.0))
+
+    def test_bad_parameters(self):
+        with pytest.raises(InvalidDatabaseError):
+            lognormal_sizes(5, np.random.default_rng(0), median=0.0)
+        with pytest.raises(InvalidDatabaseError):
+            lognormal_sizes(5, np.random.default_rng(0), sigma=-1.0)

@@ -1,0 +1,63 @@
+"""Unit tests for repro.analysis.stats."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.stats import aggregate, geometric_mean, relative_gap
+
+
+class TestAggregate:
+    def test_mean_and_std(self):
+        agg = aggregate([2.0, 4.0, 6.0])
+        assert agg.count == 3
+        assert agg.mean == pytest.approx(4.0)
+        assert agg.std == pytest.approx(2.0)
+
+    def test_sem(self):
+        agg = aggregate([2.0, 4.0, 6.0])
+        assert agg.sem == pytest.approx(2.0 / math.sqrt(3))
+
+    def test_single_value(self):
+        agg = aggregate([7.0])
+        assert agg.mean == 7.0
+        assert agg.std == 0.0
+        assert agg.sem == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate([])
+
+
+class TestRelativeGap:
+    def test_positive_when_worse(self):
+        assert relative_gap(110.0, 100.0) == pytest.approx(0.10)
+
+    def test_negative_when_better(self):
+        assert relative_gap(90.0, 100.0) == pytest.approx(-0.10)
+
+    def test_zero_reference_rejected(self):
+        with pytest.raises(ValueError):
+            relative_gap(1.0, 0.0)
+
+
+class TestGeometricMean:
+    def test_known_value(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_scale_invariance(self):
+        values = [1.5, 2.5, 9.0]
+        scaled = [10 * v for v in values]
+        assert geometric_mean(scaled) == pytest.approx(
+            10 * geometric_mean(values)
+        )
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])

@@ -1,0 +1,154 @@
+"""Tests for repro.analysis.summary."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.summary import (
+    AlgorithmSummary,
+    summarize_experiment,
+    trend_direction,
+)
+from repro.experiments.records import ExperimentResult, MeasurementRow
+
+
+def make_result():
+    """Two sweep points, three algorithms with known orderings."""
+    rows = []
+    data = {
+        # value: {algorithm: waiting time}
+        4.0: {"vfk": 11.0, "drp-cds": 10.1, "gopt": 10.0},
+        8.0: {"vfk": 6.6, "drp-cds": 5.2, "gopt": 5.5},
+    }
+    for value, readings in data.items():
+        for algorithm, wait in readings.items():
+            rows.append(
+                MeasurementRow(
+                    sweep_value=value,
+                    algorithm=algorithm,
+                    mean_cost=wait * 10,
+                    std_cost=0.0,
+                    mean_waiting_time=wait,
+                    std_waiting_time=0.0,
+                    mean_elapsed_seconds=0.001,
+                    std_elapsed_seconds=0.0,
+                    replications=3,
+                )
+            )
+    return ExperimentResult(
+        name="unit",
+        description="synthetic",
+        sweep_parameter="num_channels",
+        algorithms=("vfk", "drp-cds", "gopt"),
+        rows=rows,
+    )
+
+
+class TestSummarizeExperiment:
+    def test_gaps_relative_to_reference(self):
+        summaries = {
+            s.algorithm: s for s in summarize_experiment(make_result())
+        }
+        # vfk: gaps 10% and 20% vs gopt.
+        assert summaries["vfk"].mean_gap == pytest.approx(0.15)
+        assert summaries["vfk"].max_gap == pytest.approx(0.2)
+        assert summaries["vfk"].min_gap == pytest.approx(0.1)
+        # gopt vs itself: all zeros.
+        assert summaries["gopt"].mean_gap == 0.0
+
+    def test_negative_gap_when_beating_reference(self):
+        summaries = {
+            s.algorithm: s for s in summarize_experiment(make_result())
+        }
+        # drp-cds beats gopt at value 8 (5.2 < 5.5).
+        assert summaries["drp-cds"].min_gap < 0
+
+    def test_wins_counted_per_sweep_point(self):
+        summaries = {
+            s.algorithm: s for s in summarize_experiment(make_result())
+        }
+        assert summaries["gopt"].wins == 1      # best at K=4
+        assert summaries["drp-cds"].wins == 1   # best at K=8
+        assert summaries["vfk"].wins == 0
+
+    def test_percent_helper(self):
+        summary = AlgorithmSummary(
+            algorithm="x", mean_gap=0.034, max_gap=0.05, min_gap=0.0, wins=0
+        )
+        assert summary.mean_gap_percent == pytest.approx(3.4)
+
+    def test_unknown_reference_rejected(self):
+        with pytest.raises(KeyError, match="reference"):
+            summarize_experiment(make_result(), reference="nope")
+
+    def test_custom_metric(self):
+        summaries = summarize_experiment(
+            make_result(), metric="mean_cost"
+        )
+        # Costs are 10x waits, gaps identical.
+        by_name = {s.algorithm: s for s in summaries}
+        assert by_name["vfk"].mean_gap == pytest.approx(0.15)
+
+    def test_real_experiment_round_trip(self):
+        """Smoke: summarise an actual harness run."""
+        from repro.experiments.config import ExperimentConfig
+        from repro.experiments.runner import run_experiment
+
+        result = run_experiment(
+            ExperimentConfig(
+                name="mini",
+                description="mini",
+                sweep_parameter="num_channels",
+                sweep_values=(3.0, 5.0),
+                algorithms=("drp", "drp-cds"),
+                num_items=20,
+                replications=1,
+            )
+        )
+        summaries = summarize_experiment(result, reference="drp-cds")
+        by_name = {s.algorithm: s for s in summaries}
+        assert by_name["drp"].mean_gap >= -1e-9
+
+
+class TestTrendDirection:
+    def test_decreasing(self):
+        assert trend_direction([(1, 5.0), (2, 4.0), (3, 2.0)]) == "decreasing"
+
+    def test_increasing(self):
+        assert trend_direction([(1, 1.0), (2, 1.5), (3, 4.0)]) == "increasing"
+
+    def test_mixed_is_none(self):
+        assert trend_direction([(1, 1.0), (2, 3.0), (3, 2.0)]) is None
+
+    def test_flat_is_none(self):
+        assert trend_direction([(1, 2.0), (2, 2.0)]) is None
+
+    def test_tolerance_absorbs_wobble(self):
+        series = [(1, 5.0), (2, 5.05), (3, 3.0)]
+        assert trend_direction(series) is None
+        assert trend_direction(series, tolerance=0.1) == "decreasing"
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            trend_direction([(1, 1.0)])
+
+    def test_paper_claims_on_real_data(self):
+        """Figure-2 shape via the mechanical trend check."""
+        from repro.experiments.config import ExperimentConfig
+        from repro.experiments.runner import run_experiment
+
+        result = run_experiment(
+            ExperimentConfig(
+                name="trend",
+                description="trend",
+                sweep_parameter="num_channels",
+                sweep_values=(3.0, 6.0, 9.0),
+                algorithms=("drp-cds",),
+                num_items=30,
+                replications=2,
+            )
+        )
+        assert (
+            trend_direction(result.series("drp-cds"), tolerance=0.05)
+            == "decreasing"
+        )

@@ -1,0 +1,67 @@
+"""Unit tests for repro.analysis.tables."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.tables import format_float, format_table
+
+
+class TestFormatFloat:
+    def test_strips_trailing_zeros(self):
+        assert format_float(1.5000) == "1.5"
+        assert format_float(2.0) == "2"
+
+    def test_precision(self):
+        assert format_float(3.14159, precision=2) == "3.14"
+
+    def test_zero(self):
+        assert format_float(0.0) == "0"
+
+
+class TestFormatTable:
+    def test_basic_rendering(self):
+        text = format_table(
+            ["name", "value"],
+            [["alpha", 1.25], ["b", 10]],
+        )
+        lines = text.splitlines()
+        assert lines[0].split() == ["name", "value"]
+        assert set(lines[1]) <= {"-", " "}
+        assert "alpha" in lines[2]
+        assert "1.25" in lines[2]
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_none_renders_dash(self):
+        text = format_table(["x"], [[None]])
+        assert text.splitlines()[-1].strip() == "-"
+
+    def test_numeric_right_aligned_text_left_aligned(self):
+        text = format_table(
+            ["name", "value"],
+            [["a", 1], ["longer", 100]],
+        )
+        data_lines = text.splitlines()[2:]
+        # Text column left aligned: "a" padded on the right.
+        assert data_lines[0].startswith("a     ")
+        # Numeric column right aligned: 1 padded on the left.
+        assert data_lines[0].rstrip().endswith("1")
+
+    def test_columns_aligned(self):
+        text = format_table(
+            ["a", "b"],
+            [["x", 1.0], ["yy", 22.5]],
+        )
+        lines = text.splitlines()
+        assert len({len(line.rstrip()) for line in lines[2:]}) <= 2
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="headers"):
+            format_table(["a", "b"], [[1]])
+
+    def test_bool_rendered_textually(self):
+        text = format_table(["flag"], [[True]])
+        assert "True" in text

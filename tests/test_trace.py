@@ -1,0 +1,121 @@
+"""Unit tests for repro.workloads.trace."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.workloads.trace import RequestTrace, TraceRecord, synthesize_trace
+
+
+class TestTraceRecord:
+    def test_valid(self):
+        record = TraceRecord(1.5, "d1")
+        assert record.timestamp == 1.5
+        assert record.item_id == "d1"
+
+    def test_bad_item_id(self):
+        with pytest.raises(SimulationError):
+            TraceRecord(1.0, "")
+
+    @pytest.mark.parametrize("t", [-1.0, float("nan"), float("inf")])
+    def test_bad_timestamp(self, t):
+        with pytest.raises(SimulationError):
+            TraceRecord(t, "d1")
+
+
+class TestRequestTrace:
+    def test_append_and_iterate(self):
+        trace = RequestTrace()
+        trace.record(0.0, "a")
+        trace.record(1.0, "b")
+        trace.record(1.0, "a")
+        assert len(trace) == 3
+        assert [r.item_id for r in trace] == ["a", "b", "a"]
+        assert trace[1].item_id == "b"
+
+    def test_constructor_from_records(self):
+        records = [TraceRecord(0.0, "a"), TraceRecord(2.0, "b")]
+        trace = RequestTrace(records)
+        assert len(trace) == 2
+
+    def test_out_of_order_rejected(self):
+        trace = RequestTrace()
+        trace.record(5.0, "a")
+        with pytest.raises(SimulationError, match="out-of-order"):
+            trace.record(4.0, "b")
+
+    def test_equal_timestamps_allowed(self):
+        trace = RequestTrace()
+        trace.record(1.0, "a")
+        trace.record(1.0, "b")
+        assert len(trace) == 2
+
+    def test_span(self):
+        trace = RequestTrace()
+        assert trace.span == 0.0
+        trace.record(2.0, "a")
+        assert trace.span == 0.0
+        trace.record(7.5, "b")
+        assert trace.span == pytest.approx(5.5)
+
+    def test_window_half_open(self):
+        trace = RequestTrace()
+        for t, item in [(0.0, "a"), (1.0, "b"), (2.0, "c"), (3.0, "d")]:
+            trace.record(t, item)
+        window = trace.window(1.0, 3.0)
+        assert [r.item_id for r in window] == ["b", "c"]
+
+    def test_window_invalid(self):
+        trace = RequestTrace()
+        with pytest.raises(SimulationError):
+            trace.window(3.0, 1.0)
+
+    def test_counts(self):
+        trace = RequestTrace()
+        for t, item in [(0.0, "a"), (1.0, "a"), (2.0, "b")]:
+            trace.record(t, item)
+        assert trace.counts() == {"a": 2, "b": 1}
+
+    def test_item_ids_first_seen_order(self):
+        trace = RequestTrace()
+        for t, item in [(0.0, "b"), (1.0, "a"), (2.0, "b")]:
+            trace.record(t, item)
+        assert trace.item_ids() == ["b", "a"]
+
+
+class TestSynthesizeTrace:
+    def test_length_and_ordering(self, medium_db):
+        trace = synthesize_trace(medium_db, 500, seed=0)
+        assert len(trace) == 500
+        times = [r.timestamp for r in trace]
+        assert times == sorted(times)
+
+    def test_reproducible(self, medium_db):
+        a = synthesize_trace(medium_db, 100, seed=1)
+        b = synthesize_trace(medium_db, 100, seed=1)
+        assert [r.item_id for r in a] == [r.item_id for r in b]
+
+    def test_follows_profile(self, medium_db):
+        trace = synthesize_trace(medium_db, 40000, seed=2)
+        counts = trace.counts()
+        hottest = medium_db.sorted_by_frequency()[0]
+        observed = counts[hottest.item_id] / len(trace)
+        assert observed == pytest.approx(hottest.frequency, rel=0.1)
+
+    def test_probability_override(self, tiny_db):
+        trace = synthesize_trace(
+            tiny_db, 200, seed=0, probabilities=[0, 1, 0, 0]
+        )
+        assert set(trace.counts()) == {"b"}
+
+    def test_bad_probability_length(self, tiny_db):
+        with pytest.raises(SimulationError):
+            synthesize_trace(tiny_db, 10, probabilities=[1.0])
+
+    def test_zero_requests(self, tiny_db):
+        assert len(synthesize_trace(tiny_db, 0)) == 0
+
+    def test_negative_requests(self, tiny_db):
+        with pytest.raises(SimulationError):
+            synthesize_trace(tiny_db, -1)

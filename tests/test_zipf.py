@@ -1,0 +1,75 @@
+"""Unit tests for repro.workloads.zipf."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidDatabaseError
+from repro.workloads.zipf import zipf_frequencies, zipf_skewness_of
+
+
+class TestZipfFrequencies:
+    def test_normalised(self):
+        for theta in (0.0, 0.4, 1.0, 1.6):
+            freqs = zipf_frequencies(100, theta)
+            assert freqs.sum() == pytest.approx(1.0)
+
+    def test_rank_order_descending(self):
+        freqs = zipf_frequencies(50, 0.8)
+        assert (np.diff(freqs) <= 0).all()
+
+    def test_theta_zero_is_uniform(self):
+        freqs = zipf_frequencies(10, 0.0)
+        assert freqs == pytest.approx(np.full(10, 0.1))
+
+    def test_matches_paper_formula(self):
+        n, theta = 7, 1.3
+        freqs = zipf_frequencies(n, theta)
+        denom = sum((1.0 / j) ** theta for j in range(1, n + 1))
+        for i in range(1, n + 1):
+            assert freqs[i - 1] == pytest.approx(
+                ((1.0 / i) ** theta) / denom
+            )
+
+    def test_higher_theta_more_skewed(self):
+        mild = zipf_frequencies(100, 0.4)
+        steep = zipf_frequencies(100, 1.6)
+        assert steep[0] > mild[0]
+        assert steep[-1] < mild[-1]
+
+    def test_single_item(self):
+        assert zipf_frequencies(1, 1.0) == pytest.approx([1.0])
+
+    @pytest.mark.parametrize("n", [0, -3])
+    def test_bad_counts(self, n):
+        with pytest.raises(InvalidDatabaseError):
+            zipf_frequencies(n, 1.0)
+
+    @pytest.mark.parametrize("theta", [-0.1, float("nan"), float("inf")])
+    def test_bad_skewness(self, theta):
+        with pytest.raises(InvalidDatabaseError):
+            zipf_frequencies(10, theta)
+
+
+class TestSkewnessEstimate:
+    def test_recovers_generating_theta(self):
+        for theta in (0.4, 0.8, 1.2, 1.6):
+            freqs = zipf_frequencies(200, theta)
+            estimate = zipf_skewness_of(freqs.tolist())
+            assert estimate == pytest.approx(theta, abs=1e-6)
+
+    def test_order_independent(self):
+        freqs = zipf_frequencies(50, 1.0)
+        shuffled = np.random.default_rng(0).permutation(freqs)
+        assert zipf_skewness_of(shuffled.tolist()) == pytest.approx(
+            zipf_skewness_of(freqs.tolist())
+        )
+
+    def test_degenerate_inputs(self):
+        assert zipf_skewness_of([1.0]) is None
+        assert zipf_skewness_of([]) is None
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(InvalidDatabaseError):
+            zipf_skewness_of([0.5, 0.0])
