@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench figures report examples clean
+.PHONY: install test bench bench-kernels figures report examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -12,6 +12,11 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Scalar-vs-vectorized kernel timings; writes BENCH_core.json at the
+# repo root (see the Performance section of README.md for the schema).
+bench-kernels:
+	$(PYTHON) benchmarks/bench_kernels.py
 
 figures:
 	for fig in figure2 figure3 figure4 figure5 figure6 figure7; do \

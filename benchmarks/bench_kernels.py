@@ -1,0 +1,282 @@
+"""Reproducible perf harness for the vectorized hot-path kernels.
+
+Times the scalar (``backend="python"``) against the vectorized
+(``backend="numpy"``) implementations of the three cost-model hot
+paths — CDS refinement, DRP allocation and the contiguous DP — and
+writes ``BENCH_core.json`` at the repository root so successive PRs
+accumulate a perf trajectory.
+
+Run standalone (CI smoke run uses ``--sizes 100``)::
+
+    python benchmarks/bench_kernels.py [--sizes 100 1000 10000]
+                                       [--output BENCH_core.json]
+
+or via ``make bench-kernels``.  A pytest-benchmark smoke wrapper at the
+bottom keeps the kernel comparison in the ``make bench`` record.
+
+Methodology: every (kernel, N) cell reports the median of ``--repeats``
+runs.  CDS is timed for a fixed move budget from a deliberately bad
+contiguous seed (per-iteration cost is the quantity of interest; both
+backends execute the identical move sequence, which the harness
+asserts).  The quadratic DP oracle is skipped above
+``--dp-oracle-limit`` items — O(K·N²) in pure Python is minutes at
+N=10k — and the skip is recorded in the JSON rather than silently
+dropped.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # running from a checkout without `pip install -e .`
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.allocation import ChannelAllocation
+from repro.core.cds import cds_refine
+from repro.core.drp import drp_allocate
+from repro.core.partition import contiguous_optimal
+from repro.workloads.generator import WorkloadSpec, generate_database
+
+SCHEMA_VERSION = 1
+DEFAULT_SIZES = (100, 1000, 10000)
+DEFAULT_CHANNELS = 8
+DEFAULT_CDS_ITERATIONS = 10
+DEFAULT_REPEATS = 3
+DEFAULT_DP_ORACLE_LIMIT = 2000
+DEFAULT_SEED = 7
+
+
+def _median_seconds(function, repeats: int) -> float:
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        function()
+        samples.append(time.perf_counter() - start)
+    samples.sort()
+    return samples[len(samples) // 2]
+
+
+def _contiguous_seed(database, num_channels: int) -> ChannelAllocation:
+    """A deliberately bad catalogue-order chunking: plenty of CDS moves."""
+    items = database.items
+    size = max(1, len(items) // num_channels)
+    groups = [
+        list(items[i * size: (i + 1) * size]) for i in range(num_channels - 1)
+    ]
+    groups.append(list(items[(num_channels - 1) * size:]))
+    return ChannelAllocation(database, groups)
+
+
+def _speedup(python_seconds: Optional[float], numpy_seconds: Optional[float]):
+    if not python_seconds or not numpy_seconds:
+        return None
+    return python_seconds / numpy_seconds
+
+
+def run_benchmarks(
+    sizes=DEFAULT_SIZES,
+    num_channels: int = DEFAULT_CHANNELS,
+    cds_iterations: int = DEFAULT_CDS_ITERATIONS,
+    repeats: int = DEFAULT_REPEATS,
+    dp_oracle_limit: int = DEFAULT_DP_ORACLE_LIMIT,
+    seed: int = DEFAULT_SEED,
+) -> dict:
+    """Time every kernel at every size; return the BENCH_core document."""
+    results: List[dict] = []
+    for n in sizes:
+        k = min(num_channels, n)
+        database = generate_database(
+            WorkloadSpec(num_items=n, skewness=0.8, diversity=1.5, seed=seed)
+        )
+        ordered = database.sorted_by_benefit_ratio()
+
+        # --- CDS: fixed move budget from a bad seed ------------------
+        cds_seed = _contiguous_seed(database, k)
+        scalar = cds_refine(
+            cds_seed, max_iterations=cds_iterations, backend="python"
+        )
+        vector = cds_refine(
+            cds_seed, max_iterations=cds_iterations, backend="numpy"
+        )
+        assert scalar.moves == vector.moves, "backends diverged — bug"
+        python_s = _median_seconds(
+            lambda: cds_refine(
+                cds_seed, max_iterations=cds_iterations, backend="python"
+            ),
+            repeats,
+        )
+        numpy_s = _median_seconds(
+            lambda: cds_refine(
+                cds_seed, max_iterations=cds_iterations, backend="numpy"
+            ),
+            repeats,
+        )
+        results.append(
+            {
+                "kernel": "cds_refine",
+                "n": n,
+                "k": k,
+                "iterations": len(scalar.moves),
+                "python_seconds": python_s,
+                "numpy_seconds": numpy_s,
+                "speedup": _speedup(python_s, numpy_s),
+            }
+        )
+
+        # --- DRP: full allocation, split-heavy policy ----------------
+        python_s = _median_seconds(
+            lambda: drp_allocate(
+                database, k, split_policy="max-reduction", backend="python"
+            ),
+            repeats,
+        )
+        numpy_s = _median_seconds(
+            lambda: drp_allocate(
+                database, k, split_policy="max-reduction", backend="numpy"
+            ),
+            repeats,
+        )
+        results.append(
+            {
+                "kernel": "drp_allocate",
+                "n": n,
+                "k": k,
+                "python_seconds": python_s,
+                "numpy_seconds": numpy_s,
+                "speedup": _speedup(python_s, numpy_s),
+            }
+        )
+
+        # --- Contiguous DP: quadratic oracle vs divide-and-conquer ---
+        row = {"kernel": "contiguous_dp", "n": n, "k": k}
+        dc_s = _median_seconds(
+            lambda: contiguous_optimal(ordered, k, method="divide-conquer"),
+            repeats,
+        )
+        row["divide_conquer_seconds"] = dc_s
+        if n <= dp_oracle_limit:
+            quad_s = _median_seconds(
+                lambda: contiguous_optimal(ordered, k, method="quadratic"),
+                max(1, repeats if n <= 200 else 1),
+            )
+            _, quad_cost = contiguous_optimal(ordered, k, method="quadratic")
+            _, dc_cost = contiguous_optimal(ordered, k, method="divide-conquer")
+            assert quad_cost == dc_cost, "DP methods diverged — bug"
+            row["quadratic_seconds"] = quad_s
+            row["speedup"] = _speedup(quad_s, dc_s)
+        else:
+            row["quadratic_seconds"] = None
+            row["speedup"] = None
+            row["note"] = (
+                f"quadratic oracle skipped above N={dp_oracle_limit} "
+                "(O(K*N^2) in pure Python)"
+            )
+        results.append(row)
+
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "generated_by": "benchmarks/bench_kernels.py",
+        "config": {
+            "sizes": list(sizes),
+            "num_channels": num_channels,
+            "cds_iterations": cds_iterations,
+            "repeats": repeats,
+            "dp_oracle_limit": dp_oracle_limit,
+            "seed": seed,
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "results": results,
+    }
+
+
+def _format_report(document: dict) -> str:
+    lines = [
+        f"{'kernel':<15} {'N':>6} {'K':>3}  "
+        f"{'scalar (s)':>10}  {'kernel (s)':>10}  {'speedup':>8}"
+    ]
+    for row in document["results"]:
+        base = row.get("python_seconds") or row.get("quadratic_seconds")
+        fast = row.get("numpy_seconds") or row.get("divide_conquer_seconds")
+        speedup = row.get("speedup")
+        base_text = f"{base:>10.4f}" if base is not None else f"{'—':>10}"
+        speed_text = f"{speedup:>7.1f}x" if speedup else f"{'—':>8}"
+        lines.append(
+            f"{row['kernel']:<15} {row['n']:>6} {row['k']:>3}  "
+            f"{base_text}  {fast:>10.4f}  {speed_text}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--sizes", type=int, nargs="+", default=list(DEFAULT_SIZES),
+        help="catalogue sizes N to benchmark (default: 100 1000 10000)",
+    )
+    parser.add_argument(
+        "--channels", type=int, default=DEFAULT_CHANNELS,
+        help="channel count K (default: 8)",
+    )
+    parser.add_argument(
+        "--cds-iterations", type=int, default=DEFAULT_CDS_ITERATIONS,
+        help="CDS move budget per timed run (default: 5)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=DEFAULT_REPEATS,
+        help="timed repeats per cell; the median is reported (default: 3)",
+    )
+    parser.add_argument(
+        "--dp-oracle-limit", type=int, default=DEFAULT_DP_ORACLE_LIMIT,
+        help="largest N the quadratic DP oracle is timed at (default: 2000)",
+    )
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument(
+        "--output", type=Path, default=REPO_ROOT / "BENCH_core.json",
+        help="where to write the JSON document (default: repo root)",
+    )
+    options = parser.parse_args(argv)
+
+    document = run_benchmarks(
+        sizes=options.sizes,
+        num_channels=options.channels,
+        cds_iterations=options.cds_iterations,
+        repeats=options.repeats,
+        dp_oracle_limit=options.dp_oracle_limit,
+        seed=options.seed,
+    )
+    options.output.write_text(json.dumps(document, indent=2) + "\n")
+    print(_format_report(document))
+    print(f"\nwrote {options.output}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark smoke wrapper (keeps `make bench` coverage)
+# ----------------------------------------------------------------------
+def test_kernel_speedups_smoke(benchmark):
+    from benchmarks.conftest import save_report
+
+    document = benchmark.pedantic(
+        lambda: run_benchmarks(sizes=(100, 1000), repeats=1),
+        rounds=1,
+        iterations=1,
+    )
+    for row in document["results"]:
+        if row["kernel"] == "cds_refine" and row["n"] >= 1000:
+            assert row["speedup"] and row["speedup"] > 1.0
+    save_report("kernels", _format_report(document))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -25,6 +25,7 @@ Quickstart
 from repro.core import (
     AllocationOutcome,
     Allocator,
+    BACKENDS,
     BroadcastDatabase,
     CDSOnlyAllocator,
     CDSResult,
@@ -34,10 +35,12 @@ from repro.core import (
     DRPAllocator,
     DRPCDSAllocator,
     DRPResult,
+    HAS_NUMPY,
     allocation_cost,
     available_allocators,
     average_waiting_time,
     best_split,
+    best_split_in,
     cds_refine,
     channel_waiting_time,
     contiguous_optimal,
@@ -47,6 +50,7 @@ from repro.core import (
     make_allocator,
     move_delta,
     register_allocator,
+    resolve_backend,
     waiting_time_from_cost,
 )
 from repro.io import (
@@ -96,7 +100,12 @@ __all__ = [
     "cds_refine",
     "CDSResult",
     "best_split",
+    "best_split_in",
     "contiguous_optimal",
+    # backends
+    "BACKENDS",
+    "HAS_NUMPY",
+    "resolve_backend",
     "Allocator",
     "AllocationOutcome",
     "DRPAllocator",

@@ -32,9 +32,12 @@ from repro.core.hetero import (
 )
 from repro.core.incremental import insert_item, remove_item, update_frequency
 from repro.core.item import DataItem
+from repro.core.kernels import BACKENDS, HAS_NUMPY, resolve_backend
 from repro.core.partition import (
+    DP_METHODS,
     PrefixSums,
     best_split,
+    best_split_in,
     contiguous_optimal,
     split_costs,
 )
@@ -66,8 +69,13 @@ __all__ = [
     "move_delta",
     "PrefixSums",
     "best_split",
+    "best_split_in",
     "split_costs",
     "contiguous_optimal",
+    "DP_METHODS",
+    "BACKENDS",
+    "HAS_NUMPY",
+    "resolve_backend",
     "drp_allocate",
     "DRPResult",
     "DRPSnapshot",

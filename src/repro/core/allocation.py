@@ -233,11 +233,55 @@ class ChannelAllocation:
         channels: Sequence[Sequence[DataItem]],
         *,
         allow_empty_channels: bool = False,
+        validate: bool = True,
     ) -> "ChannelAllocation":
-        """Return a new allocation over the same database."""
-        return ChannelAllocation(
-            self._database, channels, allow_empty_channels=allow_empty_channels
+        """Return a new allocation over the same database.
+
+        ``validate=False`` skips the O(N) partition checks and is
+        reserved for callers that permuted the groups of an
+        already-validated allocation (e.g. CDS moving items between its
+        own channels): the item set provably cannot have changed.
+        """
+        if validate:
+            return ChannelAllocation(
+                self._database,
+                channels,
+                allow_empty_channels=allow_empty_channels,
+            )
+        return ChannelAllocation._trusted(self._database, channels)
+
+    @classmethod
+    def _trusted(
+        cls,
+        database: BroadcastDatabase,
+        channels: Sequence[Sequence[DataItem]],
+    ) -> "ChannelAllocation":
+        """Build an allocation without partition validation.
+
+        The caller guarantees ``channels`` is an exact partition of
+        ``database`` into non-empty groups; aggregates are still
+        computed.  Internal — algorithm hot paths only.
+        """
+        self = object.__new__(cls)
+        frozen: Tuple[Tuple[DataItem, ...], ...] = tuple(
+            tuple(group) for group in channels
         )
+        self._database = database
+        self._channels = frozen
+        self._channel_of = {
+            item.item_id: index
+            for index, group in enumerate(frozen)
+            for item in group
+        }
+        self._stats = tuple(
+            ChannelStats(
+                frequency=math.fsum(item.frequency for item in group),
+                size=math.fsum(item.size for item in group),
+                count=len(group),
+            )
+            for group in frozen
+        )
+        return self
 
     def canonical(self) -> "ChannelAllocation":
         """Return an equivalent allocation in canonical form.

@@ -45,6 +45,11 @@ __all__ = [
 #: (Table 5: 10 size units per second).
 DEFAULT_BANDWIDTH = 10.0
 
+#: Above this channel size the membership check in
+#: :func:`item_waiting_time` builds a set instead of scanning linearly;
+#: below it the scan is cheaper than the set construction.
+_MEMBERSHIP_SCAN_LIMIT = 64
+
 
 def _check_bandwidth(bandwidth: float) -> None:
     if not (isinstance(bandwidth, (int, float)) and bandwidth > 0):
@@ -112,7 +117,14 @@ def item_waiting_time(
         If the item is not a member of ``channel_items``.
     """
     _check_bandwidth(bandwidth)
-    if all(member.item_id != item.item_id for member in channel_items):
+    if len(channel_items) > _MEMBERSHIP_SCAN_LIMIT:
+        member_ids = {member.item_id for member in channel_items}
+        on_channel = item.item_id in member_ids
+    else:
+        on_channel = any(
+            member.item_id == item.item_id for member in channel_items
+        )
+    if not on_channel:
         raise InvalidAllocationError(
             f"item {item.item_id!r} is not on the given channel"
         )
@@ -137,6 +149,12 @@ def channel_waiting_time(
             "waiting time of an empty channel is undefined"
         )
     frequency, size = group_aggregates(channel_items)
+    if frequency <= 0.0:
+        raise InvalidAllocationError(
+            "waiting time is undefined for a channel whose aggregate "
+            f"frequency is {frequency}: no client ever tunes in, so the "
+            "frequency-weighted average has no meaning"
+        )
     weighted_download = math.fsum(item.weight for item in channel_items)
     return size / (2.0 * bandwidth) + weighted_download / (bandwidth * frequency)
 

@@ -41,7 +41,7 @@ from typing import List, Optional, Sequence, Tuple
 from repro.core.allocation import ChannelAllocation
 from repro.core.database import BroadcastDatabase
 from repro.core.item import DataItem
-from repro.core.partition import PrefixSums, best_split
+from repro.core.partition import PrefixSums, best_split_in
 from repro.exceptions import InfeasibleProblemError
 
 __all__ = ["DRPSnapshot", "DRPResult", "drp_allocate", "SPLIT_POLICIES"]
@@ -105,6 +105,7 @@ def drp_allocate(
     split_policy: str = "max-cost",
     trace: bool = False,
     presorted_items: Optional[Sequence[DataItem]] = None,
+    backend: str = "auto",
 ) -> DRPResult:
     """Run Algorithm DRP on ``database`` for ``num_channels`` channels.
 
@@ -128,6 +129,10 @@ def drp_allocate(
         (e.g. sorting by frequency or size instead); must be a
         permutation of the database.  Default: descending ``br`` order,
         exactly as the paper prescribes.
+    backend:
+        ``"python"``, ``"numpy"`` or ``"auto"`` (default) — which
+        implementation of the split scan to use.  Both produce
+        identical splits; see :mod:`repro.core.kernels`.
 
     Returns
     -------
@@ -163,23 +168,32 @@ def drp_allocate(
     # a monotone counter breaks ties deterministically (FIFO among equal
     # priorities).  Singleton groups can never be split and are parked in
     # ``final_groups`` instead of entering the heap.
+    #
+    # Each heap entry carries the group's optimal split offset so every
+    # group pays for exactly one split evaluation in its lifetime: the
+    # "max-reduction" policy needs the split to compute the priority and
+    # caches it for the pop; "max-cost" defers the evaluation to the pop
+    # (a popped group is never re-pushed).  All scans run over the one
+    # shared ``sums`` — no per-call slicing or PrefixSums rebuilds.
     counter = itertools.count()
-    heap: List[Tuple[float, int, int, int]] = []
+    heap: List[Tuple[float, int, int, int, Optional[int]]] = []
     final_groups: List[Tuple[int, int]] = []
-
-    def priority(start: int, stop: int) -> float:
-        if split_policy == "max-cost":
-            return sums.cost(start, stop)
-        split_offset, split_cost = best_split(ordered[start:stop])
-        del split_offset
-        return sums.cost(start, stop) - split_cost
 
     def push(start: int, stop: int) -> None:
         if stop - start == 1:
             final_groups.append((start, stop))
-        else:
+        elif split_policy == "max-cost":
             heapq.heappush(
-                heap, (-priority(start, stop), next(counter), start, stop)
+                heap,
+                (-sums.cost(start, stop), next(counter), start, stop, None),
+            )
+        else:
+            split_offset, split_cost = best_split_in(
+                sums, start, stop, backend=backend
+            )
+            reduction = sums.cost(start, stop) - split_cost
+            heapq.heappush(
+                heap, (-reduction, next(counter), start, stop, split_offset)
             )
 
     push(0, n)
@@ -188,7 +202,7 @@ def drp_allocate(
 
     def record_snapshot(last: bool) -> None:
         ranges = sorted(
-            [(start, stop) for (_, _, start, stop) in heap] + final_groups
+            [(start, stop) for (_, _, start, stop, _) in heap] + final_groups
         )
         groups = tuple(
             tuple(item.item_id for item in ordered[start:stop])
@@ -197,7 +211,7 @@ def drp_allocate(
         costs = tuple(sums.cost(start, stop) for start, stop in ranges)
         split_group: Optional[int] = None
         if not last and heap:
-            _, _, start, stop = heap[0]
+            _, _, start, stop, _ = heap[0]
             split_group = ranges.index((start, stop))
         snapshots.append(
             DRPSnapshot(
@@ -217,8 +231,9 @@ def drp_allocate(
             )
         if trace:
             record_snapshot(last=False)
-        _, _, start, stop = heapq.heappop(heap)
-        split_offset, _ = best_split(ordered[start:stop])
+        _, _, start, stop, split_offset = heapq.heappop(heap)
+        if split_offset is None:
+            split_offset, _ = best_split_in(sums, start, stop, backend=backend)
         middle = start + split_offset
         push(start, middle)
         push(middle, stop)
@@ -226,9 +241,13 @@ def drp_allocate(
     if trace:
         record_snapshot(last=True)
 
-    ranges = sorted([(start, stop) for (_, _, start, stop) in heap] + final_groups)
+    ranges = sorted(
+        [(start, stop) for (_, _, start, stop, _) in heap] + final_groups
+    )
     groups = [ordered[start:stop] for start, stop in ranges]
-    allocation = ChannelAllocation(database, groups)
+    # The ranges partition `ordered`, itself a validated permutation of
+    # the database — skip the O(N) partition re-checks.
+    allocation = ChannelAllocation._trusted(database, groups)
     total_cost = sum(sums.cost(start, stop) for start, stop in ranges)
     return DRPResult(
         allocation=allocation,

@@ -1,0 +1,192 @@
+"""Vectorized hot-path kernels backing the core algorithms.
+
+The pure-Python implementations of the cost-model hot paths — CDS's
+per-(item, destination) Δc scan, Procedure ``Partition``'s split scan
+and the contiguous DP's candidate minimisation — are exact but slow at
+production catalogue sizes (N in the tens of thousands).  This module
+provides numpy equivalents that compute the *same IEEE-754 floats* as
+the scalar code: every kernel applies the identical sequence of
+elementwise operations the scalar loop performs, so the two backends
+agree bit-for-bit and share one set of golden tests.
+
+Backend selection
+-----------------
+Every public algorithm entry point (``cds_refine``, ``drp_allocate``,
+``best_split_in``, ``contiguous_optimal``) accepts a
+``backend="auto" | "python" | "numpy"`` keyword:
+
+* ``"python"`` — the scalar reference implementation;
+* ``"numpy"`` — the vectorized kernels in this module (raises
+  :class:`~repro.exceptions.ReproError` when numpy is unavailable);
+* ``"auto"`` — numpy when importable, scalar otherwise (the default).
+
+Tie-break contract
+------------------
+All kernels preserve the scalar code's "first maximum / first minimum
+wins" determinism: ``np.argmax`` / ``np.argmin`` return the first
+occurrence of the extremum, which is exactly what the scalar strict
+``>`` / ``<`` comparison loops select.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.exceptions import ReproError
+
+try:  # numpy ships with the workload generators; degrade gracefully.
+    import numpy as np
+
+    HAS_NUMPY = True
+except ImportError:  # pragma: no cover - the image bakes numpy in
+    np = None  # type: ignore[assignment]
+    HAS_NUMPY = False
+
+__all__ = [
+    "HAS_NUMPY",
+    "BACKENDS",
+    "resolve_backend",
+    "cds_state_arrays",
+    "cds_best_move_numpy",
+    "best_split_range_numpy",
+    "dp_window_argmin_numpy",
+]
+
+#: Recognised backend names.
+BACKENDS = ("auto", "python", "numpy")
+
+
+def resolve_backend(backend: str) -> str:
+    """Map a ``backend`` keyword to a concrete implementation name.
+
+    Returns ``"python"`` or ``"numpy"``.
+
+    Raises
+    ------
+    ReproError
+        If ``backend`` is unknown, or ``"numpy"`` was requested but
+        numpy is not importable.
+    """
+    if backend not in BACKENDS:
+        raise ReproError(
+            f"unknown backend {backend!r}; choose from {BACKENDS}"
+        )
+    if backend == "auto":
+        return "numpy" if HAS_NUMPY else "python"
+    if backend == "numpy" and not HAS_NUMPY:
+        raise ReproError("backend='numpy' requested but numpy is not installed")
+    return backend
+
+
+# ----------------------------------------------------------------------
+# CDS — broadcasted Δc matrix
+# ----------------------------------------------------------------------
+def cds_state_arrays(channels, channel_stats):
+    """Build the flat-array working state for the numpy CDS loop.
+
+    Parameters
+    ----------
+    channels:
+        Per-channel item sequences (the allocation's groups).
+    channel_stats:
+        Matching per-channel aggregates (``F_i``, ``Z_i``).
+
+    Returns
+    -------
+    (items, freq, size, group_of, groups, agg_f, agg_z):
+        ``items`` is the flat item table (origin-major order), ``freq``
+        and ``size`` its per-item features, ``group_of[i]`` the current
+        channel of item ``i``, ``groups`` per-channel lists of item
+        indices (mirroring the scalar backend's mutable lists, so the
+        scan order stays identical move for move), and ``agg_f`` /
+        ``agg_z`` the per-channel aggregate arrays.
+    """
+    items = [item for group in channels for item in group]
+    freq = np.array([item.frequency for item in items], dtype=np.float64)
+    size = np.array([item.size for item in items], dtype=np.float64)
+    group_of = np.empty(len(items), dtype=np.intp)
+    groups = []
+    offset = 0
+    for channel, group in enumerate(channels):
+        indices = list(range(offset, offset + len(group)))
+        group_of[indices] = channel
+        groups.append(indices)
+        offset += len(group)
+    agg_f = np.array([stat.frequency for stat in channel_stats], dtype=np.float64)
+    agg_z = np.array([stat.size for stat in channel_stats], dtype=np.float64)
+    return items, freq, size, group_of, groups, agg_f, agg_z
+
+
+def cds_best_move_numpy(
+    freq,
+    size,
+    order,
+    group_of,
+    agg_f,
+    agg_z,
+    epsilon: float,
+) -> Optional[Tuple[float, int, int]]:
+    """Vectorized equivalent of ``cds._best_move`` — one N×K Δc matrix.
+
+    Evaluates Eq. (4), ``Δc = f⊗(Z_p − Z_q) + z⊗(F_p − F_q) − 2fz``,
+    for every (item, destination) pair at once.  ``order`` is the flat
+    item-index array in scan order (origin-major, position-minor), so
+    the row-major argmax reproduces the scalar backend's tie-break
+    exactly (first strict maximum in origin → position → destination
+    order wins).
+
+    Returns ``(delta, rank, destination)`` — ``rank`` indexes into
+    ``order`` — or ``None`` when no move beats ``epsilon``.
+    """
+    f = freq[order]
+    z = size[order]
+    origin = group_of[order]
+    origin_f = agg_f[origin]
+    origin_z = agg_z[origin]
+    delta = (
+        f[:, None] * (origin_z[:, None] - agg_z[None, :])
+        + z[:, None] * (origin_f[:, None] - agg_f[None, :])
+        - (2.0 * f * z)[:, None]
+    )
+    # A move to the item's own channel is not a move; mask it out.
+    delta[np.arange(len(order)), origin] = -np.inf
+    flat = int(np.argmax(delta))
+    num_channels = agg_f.shape[0]
+    rank, destination = divmod(flat, num_channels)
+    best = float(delta[rank, destination])
+    if not best > epsilon:
+        return None
+    return best, rank, destination
+
+
+# ----------------------------------------------------------------------
+# Partition — range-based split scan over shared prefix sums
+# ----------------------------------------------------------------------
+def best_split_range_numpy(pf, pz, start: int, stop: int) -> Tuple[int, float]:
+    """Vectorized split scan over the half-open range ``[start, stop)``.
+
+    ``pf`` / ``pz`` are the shared prefix-sum arrays (length N+1).
+    Returns ``(offset, cost)`` with ``1 <= offset < stop - start``; the
+    first minimum wins, matching the scalar strict-``<`` scan.
+    """
+    cut = np.arange(start + 1, stop)
+    left = (pf[cut] - pf[start]) * (pz[cut] - pz[start])
+    right = (pf[stop] - pf[cut]) * (pz[stop] - pz[cut])
+    total = left + right
+    index = int(np.argmin(total))
+    return index + 1, float(total[index])
+
+
+# ----------------------------------------------------------------------
+# Contiguous DP — candidate-window argmin for the monotone D&C layer
+# ----------------------------------------------------------------------
+def dp_window_argmin_numpy(dp_prev, pf, pz, i: int, lo: int, hi: int):
+    """Minimise ``dp_prev[j] + cost(j, i)`` over ``j in [lo, hi)``.
+
+    Returns ``(j, value)`` with the first minimum winning — identical
+    floats and tie-break to the quadratic oracle's inner loop.
+    """
+    j = np.arange(lo, hi)
+    values = dp_prev[lo:hi] + (pf[i] - pf[j]) * (pz[i] - pz[j])
+    k = int(np.argmin(values))
+    return lo + k, float(values[k])

@@ -7,29 +7,45 @@ partitioning problem over the sequence of items sorted by benefit ratio
 * :func:`best_split` — Procedure ``Partition(D_x)`` of the paper: the
   single split point minimising ``cost(left) + cost(right)`` for a given
   sequence, found in O(N) with prefix sums;
+* :func:`best_split_in` — the same scan over a half-open range of a
+  *shared* :class:`PrefixSums`, so callers that repeatedly split
+  sub-ranges of one ordered sequence (DRP) pay O(N) prefix-sum
+  construction once instead of per call;
 * :func:`split_costs` — the full cost profile over all split points
   (useful for tests and diagnostics);
 * :func:`contiguous_optimal` — the *optimal* K-way contiguous partition
-  of a sequence via dynamic programming in O(K·N²).  DRP's recursive
-  bisection searches a subset of contiguous partitions; this DP yields
-  the best contiguous partition outright and is used as a strong
-  baseline and as an ablation reference.
+  of a sequence via dynamic programming.  DRP's recursive bisection
+  searches a subset of contiguous partitions; this DP yields the best
+  contiguous partition outright and is used as a strong baseline and as
+  an ablation reference.  Two methods are available: the O(K·N²)
+  textbook DP (``method="quadratic"``, kept as the cross-check oracle)
+  and an O(K·N log N) divide-and-conquer monotone-optimisation variant
+  (``method="divide-conquer"``, the default) — valid because the range
+  cost ``w(j, i) = (F_i − F_j)(Z_i − Z_j)`` is concave-Monge over
+  non-decreasing prefix sums, which makes the optimal predecessor
+  monotone in ``i``.
 """
 
 from __future__ import annotations
 
 import math
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
+from repro.core import kernels
 from repro.core.item import DataItem
 from repro.exceptions import InfeasibleProblemError
 
 __all__ = [
     "PrefixSums",
     "best_split",
+    "best_split_in",
     "split_costs",
     "contiguous_optimal",
+    "DP_METHODS",
 ]
+
+#: Recognised ``contiguous_optimal`` methods (see module docstring).
+DP_METHODS = ("auto", "quadratic", "divide-conquer")
 
 
 class PrefixSums:
@@ -40,7 +56,7 @@ class PrefixSums:
     ``Partition`` into a linear scan and the contiguous DP into O(K·N²).
     """
 
-    __slots__ = ("_freq", "_size")
+    __slots__ = ("_freq", "_size", "_arrays")
 
     def __init__(self, items: Sequence[DataItem]) -> None:
         freq = [0.0] * (len(items) + 1)
@@ -50,6 +66,7 @@ class PrefixSums:
             size[index + 1] = size[index] + item.size
         self._freq = freq
         self._size = size
+        self._arrays = None
 
     def __len__(self) -> int:
         return len(self._freq) - 1
@@ -66,8 +83,77 @@ class PrefixSums:
         """Cost :math:`F \\cdot Z` of the half-open slice ``[start, stop)``."""
         return self.frequency(start, stop) * self.size(start, stop)
 
+    def arrays(self):
+        """The prefix sums as a cached ``(freq, size)`` numpy array pair.
 
-def best_split(items: Sequence[DataItem]) -> Tuple[int, float]:
+        The arrays hold exactly the floats of the scalar lists (no
+        re-accumulation), so vectorized kernels reading them reproduce
+        the scalar arithmetic bit-for-bit.
+        """
+        if self._arrays is None:
+            if not kernels.HAS_NUMPY:  # pragma: no cover - numpy baked in
+                raise InfeasibleProblemError(
+                    "PrefixSums.arrays() requires numpy"
+                )
+            import numpy as np
+
+            self._arrays = (
+                np.asarray(self._freq, dtype=np.float64),
+                np.asarray(self._size, dtype=np.float64),
+            )
+        return self._arrays
+
+
+def best_split_in(
+    sums: PrefixSums,
+    start: int,
+    stop: int,
+    *,
+    backend: str = "auto",
+) -> Tuple[int, float]:
+    """Best split of the range ``[start, stop)`` of a shared prefix sum.
+
+    Range-based core of Procedure ``Partition``: scans every cut point
+    of the half-open range using the already-built ``sums``, avoiding
+    the O(N) slice-and-rebuild that a per-call :class:`PrefixSums`
+    would cost.
+
+    Returns
+    -------
+    (offset, cost):
+        ``offset`` is relative to ``start`` with ``1 <= offset <
+        stop - start``: the left part is ``[start, start + offset)``,
+        the right part ``[start + offset, stop)``.  ``cost`` is the
+        minimised ``cost(left) + cost(right)``.  Among ties the
+        smallest offset wins on both backends.
+
+    Raises
+    ------
+    InfeasibleProblemError
+        If the range holds fewer than two items (nothing to split).
+    """
+    if stop - start < 2:
+        raise InfeasibleProblemError(
+            f"cannot split a sequence of {stop - start} item(s)"
+        )
+    if kernels.resolve_backend(backend) == "numpy":
+        pf, pz = sums.arrays()
+        return kernels.best_split_range_numpy(pf, pz, start, stop)
+    best_offset = 1
+    best_cost = math.inf
+    for p in range(start + 1, stop):
+        total = sums.cost(start, p) + sums.cost(p, stop)
+        if total < best_cost:
+            best_cost = total
+            best_offset = p - start
+    return best_offset, best_cost
+
+
+def best_split(
+    items: Sequence[DataItem],
+    *,
+    backend: str = "auto",
+) -> Tuple[int, float]:
     """Find the split minimising ``cost(left) + cost(right)``.
 
     This is Procedure ``Partition(D_x)`` of the paper.  The input should
@@ -91,16 +177,7 @@ def best_split(items: Sequence[DataItem]) -> Tuple[int, float]:
         raise InfeasibleProblemError(
             f"cannot split a sequence of {len(items)} item(s)"
         )
-    sums = PrefixSums(items)
-    n = len(items)
-    best_index = 1
-    best_cost = math.inf
-    for p in range(1, n):
-        total = sums.cost(0, p) + sums.cost(p, n)
-        if total < best_cost:
-            best_cost = total
-            best_index = p
-    return best_index, best_cost
+    return best_split_in(PrefixSums(items), 0, len(items), backend=backend)
 
 
 def split_costs(items: Sequence[DataItem]) -> List[float]:
@@ -121,11 +198,28 @@ def split_costs(items: Sequence[DataItem]) -> List[float]:
 def contiguous_optimal(
     items: Sequence[DataItem],
     num_groups: int,
+    *,
+    method: str = "auto",
 ) -> Tuple[List[Tuple[int, int]], float]:
     """Optimal K-way contiguous partition by dynamic programming.
 
     Partitions the (already ordered) sequence into exactly ``num_groups``
     non-empty contiguous runs minimising :math:`\\sum_g F_g Z_g`.
+
+    Parameters
+    ----------
+    items:
+        The ordered item sequence.
+    num_groups:
+        The group count ``K``; must satisfy ``1 <= K <= len(items)``.
+    method:
+        ``"quadratic"`` — the O(K·N²) textbook DP, kept as the
+        cross-check oracle; ``"divide-conquer"`` — the O(K·N log N)
+        monotone-optimisation variant; ``"auto"`` (default) — the
+        divide-and-conquer method.  Both return identical costs (the
+        range cost is concave-Monge, so the optimal predecessor is
+        monotone and the restricted candidate windows always contain
+        the optimum).
 
     Returns
     -------
@@ -137,22 +231,45 @@ def contiguous_optimal(
     Raises
     ------
     InfeasibleProblemError
-        If ``num_groups`` is not in ``[1, len(items)]``.
+        If ``num_groups`` is not in ``[1, len(items)]`` or ``method``
+        is unknown.
 
     Notes
     -----
-    Complexity O(K·N²) time, O(K·N) space.  DRP explores only the
-    partitions reachable by recursive bisection, so
-    ``contiguous_optimal cost <= DRP cost`` always holds for the same
-    item order — a property the test suite asserts.
+    DRP explores only the partitions reachable by recursive bisection,
+    so ``contiguous_optimal cost <= DRP cost`` always holds for the
+    same item order — a property the test suite asserts.
     """
     n = len(items)
     if not 1 <= num_groups <= n:
         raise InfeasibleProblemError(
             f"cannot split {n} item(s) into {num_groups} non-empty groups"
         )
+    if method not in DP_METHODS:
+        raise InfeasibleProblemError(
+            f"unknown method {method!r}; choose from {DP_METHODS}"
+        )
     sums = PrefixSums(items)
-    # dp[g][i] = minimal cost of splitting items[:i] into g groups.
+    if method == "quadratic":
+        choice, total = _dp_quadratic(sums, n, num_groups)
+    else:
+        choice, total = _dp_divide_conquer(sums, n, num_groups)
+    boundaries: List[Tuple[int, int]] = []
+    stop = n
+    for g in range(num_groups, 0, -1):
+        start = choice[g][stop]
+        boundaries.append((start, stop))
+        stop = start
+    boundaries.reverse()
+    return boundaries, total
+
+
+def _dp_quadratic(
+    sums: PrefixSums, n: int, num_groups: int
+) -> Tuple[List[List[int]], float]:
+    """The O(K·N²) reference DP (the oracle the fast variant is checked
+    against).  ``dp[g][i]`` is the minimal cost of splitting ``items[:i]``
+    into ``g`` groups."""
     infinity = math.inf
     dp = [[infinity] * (n + 1) for _ in range(num_groups + 1)]
     choice = [[0] * (n + 1) for _ in range(num_groups + 1)]
@@ -172,11 +289,68 @@ def contiguous_optimal(
                     best_j = j
             dp[g][i] = best_value
             choice[g][i] = best_j
-    boundaries: List[Tuple[int, int]] = []
-    stop = n
-    for g in range(num_groups, 0, -1):
-        start = choice[g][stop]
-        boundaries.append((start, stop))
-        stop = start
-    boundaries.reverse()
-    return boundaries, dp[num_groups][n]
+    return choice, dp[num_groups][n]
+
+
+def _dp_divide_conquer(
+    sums: PrefixSums, n: int, num_groups: int
+) -> Tuple[List[List[int]], float]:
+    """O(K·N log N) DP via divide-and-conquer optimisation.
+
+    The layer recurrence ``dp_g(i) = min_j dp_{g-1}(j) + w(j, i)`` with
+    ``w(j, i) = (F_i − F_j)(Z_i − Z_j)`` has monotone optimal ``j``
+    because ``w`` is concave-Monge when the prefix sums are
+    non-decreasing (positive frequencies and sizes guarantee that).
+    Each layer is solved by recursing on the midpoint and narrowing the
+    candidate window to ``[opt(lo), opt(hi)]``; the window scan itself
+    is vectorized when numpy is available and falls back to the scalar
+    loop otherwise — both produce the oracle's exact floats.
+    """
+    use_numpy = kernels.HAS_NUMPY
+    infinity = math.inf
+    if use_numpy:
+        import numpy as np
+
+        pf, pz = sums.arrays()
+        dp_prev = np.full(n + 1, infinity)
+        dp_prev[0] = 0.0
+    else:  # pragma: no cover - numpy baked into the image
+        dp_prev = [infinity] * (n + 1)
+        dp_prev[0] = 0.0
+    choice = [[0] * (n + 1) for _ in range(num_groups + 1)]
+    for g in range(1, num_groups + 1):
+        if use_numpy:
+            dp_cur = np.full(n + 1, infinity)
+        else:  # pragma: no cover
+            dp_cur = [infinity] * (n + 1)
+        i_lo, i_hi = g, n - (num_groups - g)
+        # Explicit stack instead of recursion: depth is log N but large
+        # catalogues should not depend on the interpreter's limit.
+        stack = [(i_lo, i_hi, g - 1, i_hi - 1)]
+        while stack:
+            lo, hi, j_lo, j_hi = stack.pop()
+            if lo > hi:
+                continue
+            mid = (lo + hi) // 2
+            w_lo = max(j_lo, g - 1)
+            w_hi = min(j_hi, mid - 1)
+            if use_numpy:
+                best_j, best_value = kernels.dp_window_argmin_numpy(
+                    dp_prev, pf, pz, mid, w_lo, w_hi + 1
+                )
+            else:  # pragma: no cover
+                best_value = infinity
+                best_j = w_lo
+                for j in range(w_lo, w_hi + 1):
+                    if dp_prev[j] == infinity:
+                        continue
+                    value = dp_prev[j] + sums.cost(j, mid)
+                    if value < best_value:
+                        best_value = value
+                        best_j = j
+            dp_cur[mid] = best_value
+            choice[g][mid] = best_j
+            stack.append((lo, mid - 1, j_lo, best_j))
+            stack.append((mid + 1, hi, best_j, j_hi))
+        dp_prev = dp_cur
+    return choice, float(dp_prev[n])

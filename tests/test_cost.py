@@ -191,3 +191,55 @@ class TestMoveDelta:
         )
         # Z_p - Z_q = 1, F_p - F_q = 0.1 => 0.1*1 + 1*0.1 - 2*0.1 = 0
         assert delta == pytest.approx(0.0)
+
+
+class TestDegenerateChannels:
+    def test_zero_aggregate_frequency_raises_not_crashes(self):
+        """A zero-frequency channel must raise InvalidAllocationError,
+        not ZeroDivisionError (DataItem forbids f <= 0, but duck-typed
+        items from adapters and estimator drift can reach the model)."""
+
+        class Stub:
+            item_id = "stub"
+            frequency = 0.0
+            size = 4.0
+            weight = 0.0
+
+        with pytest.raises(InvalidAllocationError, match="frequency"):
+            channel_waiting_time([Stub()])
+
+    def test_cancelling_frequencies_raise_too(self):
+        class Stub:
+            def __init__(self, item_id, frequency, size):
+                self.item_id = item_id
+                self.frequency = frequency
+                self.size = size
+                self.weight = frequency * size
+
+        with pytest.raises(InvalidAllocationError, match="frequency"):
+            channel_waiting_time([Stub("a", 0.3, 1.0), Stub("b", -0.3, 1.0)])
+
+
+class TestMembershipLookupScaling:
+    def test_large_channel_member_found(self):
+        # Past the set-lookup threshold the behaviour must be identical.
+        items = [DataItem(f"d{i}", 0.001, 2.0) for i in range(200)]
+        direct = (200 * 2.0) / (2.0 * 10.0) + 2.0 / 10.0
+        assert item_waiting_time(items[150], items) == pytest.approx(direct)
+
+    def test_large_channel_nonmember_rejected(self):
+        items = [DataItem(f"d{i}", 0.001, 2.0) for i in range(200)]
+        outsider = DataItem("outsider", 0.5, 1.0)
+        with pytest.raises(InvalidAllocationError, match="not on the given"):
+            item_waiting_time(outsider, items)
+
+    def test_small_and_large_paths_agree(self):
+        small = [DataItem(f"s{i}", 0.01, 3.0) for i in range(4)]
+        large = small + [DataItem(f"p{i}", 0.01, 0.5) for i in range(100)]
+        for channel in (small, large):
+            expected = (
+                math.fsum(m.size for m in channel) / 20.0 + small[0].size / 10.0
+            )
+            assert item_waiting_time(small[0], channel) == pytest.approx(
+                expected
+            )
