@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-kernels figures report examples clean
+.PHONY: install test bench bench-kernels bench-parallel figures report examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -17,6 +17,11 @@ bench:
 # repo root (see the Performance section of README.md for the schema).
 bench-kernels:
 	$(PYTHON) benchmarks/bench_kernels.py
+
+# Serial-vs-parallel sweep and engine-vs-batched simulation timings;
+# writes BENCH_runner.json at the repo root (schema in README.md).
+bench-parallel:
+	$(PYTHON) benchmarks/bench_parallel.py
 
 figures:
 	for fig in figure2 figure3 figure4 figure5 figure6 figure7; do \

@@ -1,0 +1,239 @@
+"""Reproducible perf harness for the parallel execution layer.
+
+Times two things and writes ``BENCH_runner.json`` at the repository
+root (the runner-layer companion of ``BENCH_core.json``):
+
+1. **Experiment fan-out** — one multi-replication sweep executed
+   serially and with ``run_experiment(..., workers=N)``, asserting the
+   aggregated rows are identical (wall-clock ``elapsed`` aggregates
+   excepted) and recording the wall-clock speedup.  The speedup scales
+   with available cores — ``config.cpu_count`` is recorded precisely so
+   a number measured on a 1-CPU CI runner is not misread.
+2. **Batched simulation** — the discrete-event engine against the
+   vectorized closed-form path at N clients (default 10 000), asserting
+   bitwise-identical measured statistics and recording the speedup.
+
+Run standalone (CI smoke run uses ``--replications 2 --requests 2000``)::
+
+    python benchmarks/bench_parallel.py [--workers 4] [--replications 6]
+                                        [--requests 10000]
+                                        [--output BENCH_runner.json]
+
+or via ``make bench-parallel``.  A pytest-benchmark smoke wrapper at
+the bottom keeps the comparison in the ``make bench`` record.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # running from a checkout without `pip install -e .`
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.scheduler import DRPCDSAllocator
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+from repro.simulation.simulator import run_broadcast_simulation
+from repro.workloads.generator import WorkloadSpec, generate_database
+
+SCHEMA_VERSION = 1
+DEFAULT_WORKERS = 4
+DEFAULT_REPLICATIONS = 6
+DEFAULT_REQUESTS = 10_000
+DEFAULT_SEED = 7
+
+#: The timed sweep: a figure-2-shaped channel sweep with the full paper
+#: line-up (GOPT dominates per-cell cost, giving the fan-out real work).
+BENCH_SWEEP_VALUES = (4.0, 7.0, 10.0)
+BENCH_ALGORITHMS = ("vfk", "drp", "drp-cds", "gopt")
+
+
+def _strip_elapsed(rows):
+    """Rows with the wall-clock aggregates zeroed — the only fields a
+    parallel run is *allowed* to differ in."""
+    return [
+        dataclasses.replace(
+            row, mean_elapsed_seconds=0.0, std_elapsed_seconds=0.0
+        )
+        for row in rows
+    ]
+
+
+def bench_runner(workers: int, replications: int) -> dict:
+    """Serial vs fan-out wall clock on one multi-replication sweep."""
+    config = ExperimentConfig(
+        name="bench-parallel",
+        description="fan-out benchmark sweep",
+        sweep_parameter="num_channels",
+        sweep_values=BENCH_SWEEP_VALUES,
+        algorithms=BENCH_ALGORITHMS,
+        num_items=120,
+        replications=replications,
+    )
+    start = time.perf_counter()
+    serial = run_experiment(config)
+    serial_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = run_experiment(config, workers=workers)
+    parallel_seconds = time.perf_counter() - start
+
+    identical = _strip_elapsed(serial.rows) == _strip_elapsed(parallel.rows)
+    assert identical, "parallel rows diverged from serial — bug"
+    assert not serial.errors and not parallel.errors
+    return {
+        "sweep_values": list(BENCH_SWEEP_VALUES),
+        "algorithms": list(BENCH_ALGORITHMS),
+        "replications": replications,
+        "cells": len(BENCH_SWEEP_VALUES) * replications * len(BENCH_ALGORITHMS),
+        "workers": workers,
+        "serial_seconds": serial_seconds,
+        "parallel_seconds": parallel_seconds,
+        "speedup": serial_seconds / parallel_seconds,
+        "rows_identical": identical,
+    }
+
+
+def bench_simulation(num_requests: int, seed: int) -> dict:
+    """Event-driven engine vs batched fast path at N clients."""
+    database = generate_database(
+        WorkloadSpec(num_items=120, skewness=0.8, diversity=1.5, seed=seed)
+    )
+    allocation = DRPCDSAllocator().allocate(database, 7).allocation
+
+    start = time.perf_counter()
+    engine = run_broadcast_simulation(
+        allocation, num_requests=num_requests, seed=seed, backend="python"
+    )
+    engine_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    batched = run_broadcast_simulation(
+        allocation, num_requests=num_requests, seed=seed, backend="numpy"
+    )
+    batched_seconds = time.perf_counter() - start
+
+    identical = (
+        engine.measured == batched.measured
+        and engine.per_item == batched.per_item
+    )
+    assert identical, "batched metrics diverged from the engine — bug"
+    return {
+        "num_requests": num_requests,
+        "engine_seconds": engine_seconds,
+        "batched_seconds": batched_seconds,
+        "speedup": engine_seconds / batched_seconds,
+        "events_processed_engine": engine.events_processed,
+        "measured_mean": engine.measured.mean,
+        "metrics_identical": identical,
+    }
+
+
+def run_benchmarks(
+    workers: int = DEFAULT_WORKERS,
+    replications: int = DEFAULT_REPLICATIONS,
+    num_requests: int = DEFAULT_REQUESTS,
+    seed: int = DEFAULT_SEED,
+) -> dict:
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "generated_by": "benchmarks/bench_parallel.py",
+        "config": {
+            "workers": workers,
+            "replications": replications,
+            "num_requests": num_requests,
+            "seed": seed,
+            "cpu_count": os.cpu_count(),
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "runner": bench_runner(workers, replications),
+        "simulation": bench_simulation(num_requests, seed),
+    }
+
+
+def _format_report(document: dict) -> str:
+    runner = document["runner"]
+    sim = document["simulation"]
+    cpus = document["config"]["cpu_count"]
+    return "\n".join(
+        [
+            f"experiment fan-out  ({runner['cells']} cells, "
+            f"workers={runner['workers']}, {cpus} CPUs)",
+            f"  serial    {runner['serial_seconds']:>8.3f} s",
+            f"  parallel  {runner['parallel_seconds']:>8.3f} s   "
+            f"({runner['speedup']:.2f}x, rows identical: "
+            f"{runner['rows_identical']})",
+            f"batched simulation  (N={sim['num_requests']} requests)",
+            f"  engine    {sim['engine_seconds']:>8.3f} s   "
+            f"({sim['events_processed_engine']} events)",
+            f"  batched   {sim['batched_seconds']:>8.3f} s   "
+            f"({sim['speedup']:.1f}x, metrics identical: "
+            f"{sim['metrics_identical']})",
+        ]
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--workers", type=int, default=DEFAULT_WORKERS,
+        help="worker processes for the fan-out comparison (default: 4)",
+    )
+    parser.add_argument(
+        "--replications", type=int, default=DEFAULT_REPLICATIONS,
+        help="replications per sweep value (default: 6)",
+    )
+    parser.add_argument(
+        "--requests", type=int, default=DEFAULT_REQUESTS,
+        help="client requests for the simulation comparison (default: 10000)",
+    )
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument(
+        "--output", type=Path, default=REPO_ROOT / "BENCH_runner.json",
+        help="where to write the JSON document (default: repo root)",
+    )
+    options = parser.parse_args(argv)
+
+    document = run_benchmarks(
+        workers=options.workers,
+        replications=options.replications,
+        num_requests=options.requests,
+        seed=options.seed,
+    )
+    options.output.write_text(json.dumps(document, indent=2) + "\n")
+    print(_format_report(document))
+    print(f"\nwrote {options.output}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark smoke wrapper (keeps `make bench` coverage)
+# ----------------------------------------------------------------------
+def test_parallel_layer_smoke(benchmark):
+    from benchmarks.conftest import save_report
+
+    document = benchmark.pedantic(
+        lambda: run_benchmarks(workers=2, replications=2, num_requests=2000),
+        rounds=1,
+        iterations=1,
+    )
+    assert document["runner"]["rows_identical"]
+    assert document["simulation"]["metrics_identical"]
+    assert document["simulation"]["speedup"] > 1.0
+    save_report("parallel", _format_report(document))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -28,8 +28,12 @@ from repro.core.cost import DEFAULT_BANDWIDTH, average_waiting_time
 from repro.core.drp import drp_allocate
 from repro.core.cds import cds_refine
 from repro.core.scheduler import available_allocators, make_allocator
-from repro.experiments.figures import FIGURE_METRICS, FIGURES, figure_config
-from repro.experiments.runner import run_experiment
+from repro.experiments.figures import (
+    FIGURE_METRICS,
+    FIGURES,
+    figure_config,
+    run_figure,
+)
 from repro.simulation.simulator import run_broadcast_simulation
 from repro.workloads.generator import WorkloadSpec, generate_database
 from repro.workloads.paper_profile import PAPER_NUM_CHANNELS, paper_database
@@ -82,6 +86,25 @@ def build_parser() -> argparse.ArgumentParser:
     figure.add_argument(
         "--replications", type=int, default=None, help="override replications"
     )
+    figure.add_argument(
+        "--workers",
+        default=None,
+        help=(
+            "fan (sweep value x replication x algorithm) cells out over "
+            "this many worker processes ('auto' = one per CPU; default: "
+            "serial, or $REPRO_WORKERS when set); results are identical "
+            "to a serial run"
+        ),
+    )
+    figure.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        help=(
+            "with --workers >= 2: record any cell slower than this many "
+            "seconds as an error instead of waiting forever"
+        ),
+    )
     figure.add_argument("--csv", default=None, help="write rows to CSV file")
     figure.add_argument("--json", default=None, help="write result to JSON file")
     figure.add_argument(
@@ -107,6 +130,11 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="algorithms to measure (default: paper line-up + contiguous-dp)",
     )
+    gap.add_argument(
+        "--workers",
+        default=None,
+        help="solve independent instances in this many worker processes",
+    )
 
     simulate = subparsers.add_parser(
         "simulate", help="validate an allocation with the event simulator"
@@ -118,6 +146,15 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--seed", type=int, default=0)
     simulate.add_argument("--requests", type=int, default=20000)
     simulate.add_argument("--algorithm", default="drp-cds")
+    simulate.add_argument(
+        "--backend",
+        choices=("python", "numpy", "auto"),
+        default="python",
+        help=(
+            "'python' = discrete-event engine; 'numpy'/'auto' = batched "
+            "vectorized fast path (identical metrics, no events)"
+        ),
+    )
 
     adaptive = subparsers.add_parser(
         "adaptive",
@@ -154,6 +191,11 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument(
         "--replications", type=int, default=None,
         help="override figure replications (default: paper settings)",
+    )
+    report.add_argument(
+        "--workers",
+        default=None,
+        help="worker processes per figure sweep (see `figure --workers`)",
     )
     report.add_argument(
         "--output", default=None, help="write the markdown to this file"
@@ -272,12 +314,22 @@ def _cmd_allocate(args: argparse.Namespace) -> int:
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
-    config = figure_config(args.figure_id)
-    if args.replications is not None:
-        config = config.scaled_down(replications=args.replications)
     progress = None if args.quiet else print
-    result = run_experiment(config, progress=progress)
+    config, result = run_figure(
+        args.figure_id,
+        replications=args.replications,
+        workers=args.workers,
+        cell_timeout=args.cell_timeout,
+        progress=progress,
+    )
     print()
+    for error in result.errors:
+        print(
+            f"cell error: {config.sweep_parameter}={error.sweep_value:g} "
+            f"{error.algorithm} rep {error.replication}: {error.message}"
+        )
+    if result.errors:
+        print()
     metric = FIGURE_METRICS[args.figure_id]
     print(result.to_text(metric))
     if "gopt" in result.algorithms and metric == "mean_waiting_time":
@@ -322,6 +374,7 @@ def _cmd_gap(args: argparse.Namespace) -> int:
         num_channels=args.channels,
         instances=args.instances,
         algorithms=algorithms,
+        workers=args.workers,
     )
     rows = [
         (
@@ -357,7 +410,10 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     allocator = make_allocator(args.algorithm)
     outcome = allocator.allocate(database, args.channels)
     report = run_broadcast_simulation(
-        outcome.allocation, num_requests=args.requests, seed=args.seed
+        outcome.allocation,
+        num_requests=args.requests,
+        seed=args.seed,
+        backend=args.backend,
     )
     print(f"algorithm: {args.algorithm}")
     print(f"requests simulated: {report.num_requests}")
@@ -541,6 +597,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
         text = generate_report(
             replications=args.replications,
+            workers=args.workers,
             output=args.output,
             progress=None if args.quiet else print,
         )

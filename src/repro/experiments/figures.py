@@ -17,7 +17,7 @@ metric differs (``mean_elapsed_seconds`` instead of
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Tuple
+from typing import Callable, Dict, Optional, Tuple, Union
 
 from repro.experiments.config import (
     ExperimentConfig,
@@ -26,6 +26,7 @@ from repro.experiments.config import (
     TABLE5_ITEMS,
     TABLE5_SKEWNESS,
 )
+from repro.experiments.records import ExperimentResult
 
 __all__ = [
     "figure2",
@@ -37,6 +38,7 @@ __all__ = [
     "FIGURES",
     "FIGURE_METRICS",
     "figure_config",
+    "run_figure",
 ]
 
 
@@ -137,3 +139,33 @@ def figure_config(figure_id: str) -> ExperimentConfig:
         known = ", ".join(sorted(FIGURES))
         raise KeyError(f"unknown figure {figure_id!r}; known: {known}") from None
     return factory()
+
+
+def run_figure(
+    figure_id: str,
+    *,
+    replications: Optional[int] = None,
+    workers: Union[int, str, None] = None,
+    cell_timeout: Optional[float] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Tuple[ExperimentConfig, ExperimentResult]:
+    """Regenerate one figure's data, optionally scaled down or fanned out.
+
+    Convenience wrapper used by the CLI and the report generator:
+    resolves the figure's config, applies a replication override, and
+    runs it through :func:`~repro.experiments.runner.run_experiment`
+    with the requested worker count (serial and parallel runs produce
+    identical rows).  Returns ``(config, result)``.
+    """
+    from repro.experiments.runner import run_experiment
+
+    config = figure_config(figure_id)
+    if replications is not None:
+        config = config.scaled_down(replications=replications)
+    result = run_experiment(
+        config,
+        progress=progress,
+        workers=workers,
+        cell_timeout=cell_timeout,
+    )
+    return config, result

@@ -13,13 +13,15 @@ Extension beyond the paper (DESIGN.md §6).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from functools import partial
+from typing import Dict, List, Sequence, Tuple, Union
 
 import repro.baselines  # noqa: F401  (registers allocators)
 from repro.analysis.stats import Aggregate, aggregate
 from repro.baselines.exact import brute_force_optimal
 from repro.core.scheduler import make_allocator
 from repro.exceptions import InvalidDatabaseError
+from repro.experiments.parallel import map_ordered, resolve_workers
 from repro.workloads.generator import WorkloadSpec, generate_database
 
 __all__ = ["GapReport", "run_gap_experiment", "DEFAULT_GAP_ALGORITHMS"]
@@ -58,6 +60,38 @@ class GapReport:
         return self.exact_hits / len(self.gaps)
 
 
+def _solve_gap_instance(
+    seed: int,
+    *,
+    num_items: int,
+    num_channels: int,
+    skewness: float,
+    diversity: float,
+    algorithms: Tuple[str, ...],
+) -> Dict[str, float]:
+    """One instance: brute-force optimum plus every heuristic's cost.
+
+    Module-level (and driven by a small ``seed`` argument) so the
+    parallel path can pickle it to worker processes; the instance's
+    database is re-derived from the seed on the worker side.
+    """
+    database = generate_database(
+        WorkloadSpec(
+            num_items=num_items,
+            skewness=skewness,
+            diversity=diversity,
+            seed=seed,
+        )
+    )
+    _, optimal = brute_force_optimal(database, num_channels)
+    costs = {
+        name: make_allocator(name).allocate(database, num_channels).cost
+        for name in algorithms
+    }
+    costs["__optimal__"] = optimal
+    return costs
+
+
 def run_gap_experiment(
     *,
     num_items: int = 10,
@@ -67,11 +101,16 @@ def run_gap_experiment(
     diversity: float = 1.5,
     algorithms: Sequence[str] = DEFAULT_GAP_ALGORITHMS,
     base_seed: int = 777,
+    workers: Union[int, str, None] = None,
 ) -> List[GapReport]:
     """Measure true optimality gaps on brute-forceable instances.
 
     Instance sizes are capped implicitly by the brute-force solver's
     partition budget; N around 10–12 with K 3–4 is the practical range.
+    ``workers`` fans independent instances out over processes (same
+    convention as :func:`~repro.experiments.runner.run_experiment`);
+    results are merged in instance order, so the reports are identical
+    for any worker count.
     """
     if instances < 1:
         raise InvalidDatabaseError(
@@ -81,19 +120,23 @@ def run_gap_experiment(
         raise InvalidDatabaseError("algorithms cannot be empty")
     gaps: Dict[str, List[float]] = {name: [] for name in algorithms}
     hits: Dict[str, int] = {name: 0 for name in algorithms}
-    for index in range(instances):
-        database = generate_database(
-            WorkloadSpec(
-                num_items=num_items,
-                skewness=skewness,
-                diversity=diversity,
-                seed=base_seed + index,
-            )
-        )
-        _, optimal = brute_force_optimal(database, num_channels)
+    solve = partial(
+        _solve_gap_instance,
+        num_items=num_items,
+        num_channels=num_channels,
+        skewness=skewness,
+        diversity=diversity,
+        algorithms=tuple(algorithms),
+    )
+    per_instance = map_ordered(
+        solve,
+        range(base_seed, base_seed + instances),
+        workers=resolve_workers(workers),
+    )
+    for costs in per_instance:
+        optimal = costs["__optimal__"]
         for name in algorithms:
-            cost = make_allocator(name).allocate(database, num_channels).cost
-            gap = (cost - optimal) / optimal
+            gap = (costs[name] - optimal) / optimal
             gaps[name].append(gap)
             if gap < 1e-9:
                 hits[name] += 1

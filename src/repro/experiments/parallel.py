@@ -1,0 +1,313 @@
+"""Parallel experiment execution: deterministic fan-out over processes.
+
+The sweep grid of an :class:`~repro.experiments.config.ExperimentConfig`
+is embarrassingly parallel — every (sweep value, replication, algorithm)
+cell is independent, and the workload of a cell is fully determined by
+``config.seed_for(value_index, replication)``.  This module exploits
+that: cells are described by tiny :class:`CellSpec` descriptors, fanned
+out over a :class:`concurrent.futures.ProcessPoolExecutor`, executed by
+workers that *re-derive* the workload from the config (so only the
+config, the descriptors and small :class:`CellOutcome` result records
+ever cross the pipe), and merged back **in grid order** — which makes
+the aggregated rows bitwise-identical to a serial run for any worker
+count.
+
+Three design points worth knowing about:
+
+* **Workload memo** — workers keep a small per-process cache of
+  generated databases keyed by :class:`WorkloadSpec`, so the cells of
+  one (sweep value, replication) pair that land on the same worker
+  synthesise their shared database once instead of once per algorithm.
+* **Error capture** — a cell whose allocator raises returns a
+  :class:`CellOutcome` carrying the error message instead of poisoning
+  the pool; the merge layer records it as a
+  :class:`~repro.experiments.records.CellError` and aggregates the
+  surviving replications.
+* **Timeouts** — ``cell_timeout`` bounds how long the merge loop waits
+  for any single cell result (measured from the moment the cell's
+  result is awaited).  A timed-out cell degrades to a recorded error;
+  the worker executing it is not interrupted, so treat the timeout as a
+  liveness guard for the sweep, not a hard kill.
+
+:func:`~repro.experiments.runner.run_experiment` is the intended entry
+point; it routes through :func:`execute_cells` whenever ``workers`` (or
+the ``REPRO_WORKERS`` environment variable) asks for the fan-out layer.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as _FutureTimeout
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, TypeVar, Union
+
+import repro.baselines  # noqa: F401  (registers baseline allocators)
+from repro.core.cost import average_waiting_time
+from repro.core.database import BroadcastDatabase
+from repro.core.scheduler import make_allocator
+from repro.experiments.config import ExperimentConfig
+from repro.workloads.generator import WorkloadSpec, generate_database
+
+__all__ = [
+    "CellSpec",
+    "CellOutcome",
+    "WorkloadMemo",
+    "WORKERS_ENV_VAR",
+    "resolve_workers",
+    "build_cell_grid",
+    "run_cell",
+    "execute_cells",
+    "map_ordered",
+]
+
+#: Environment variable consulted when no explicit worker count is given.
+WORKERS_ENV_VAR = "REPRO_WORKERS"
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """Descriptor of one (sweep value, replication, algorithm) cell.
+
+    Deliberately tiny — this is all that crosses the pipe to a worker;
+    the workload itself is re-derived from the config's seed scheme.
+    """
+
+    value_index: int
+    replication: int
+    algorithm: str
+
+
+@dataclass(frozen=True)
+class CellOutcome:
+    """Result of one cell: measurements on success, a message on failure.
+
+    Exactly one of the two shapes occurs: ``error is None`` with all
+    three measurements set, or ``error`` set with the measurements None.
+    """
+
+    value_index: int
+    replication: int
+    algorithm: str
+    cost: Optional[float] = None
+    waiting_time: Optional[float] = None
+    elapsed_seconds: Optional[float] = None
+    error: Optional[str] = None
+
+
+class WorkloadMemo:
+    """Small FIFO cache of generated databases, keyed by workload spec.
+
+    One lives in every worker process (and one serves the inline
+    ``workers=1`` path) so that the per-algorithm cells of one
+    (sweep value, replication) pair generate their shared database once.
+    The capacity only needs to cover the few specs a worker interleaves
+    at a time; FIFO eviction keeps the memory footprint bounded for
+    arbitrarily long sweeps.
+    """
+
+    def __init__(self, max_entries: int = 8) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self._max_entries = max_entries
+        self._cache: Dict[WorkloadSpec, BroadcastDatabase] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, spec: WorkloadSpec) -> BroadcastDatabase:
+        """The database for ``spec``, generated on first request."""
+        database = self._cache.get(spec)
+        if database is not None:
+            self.hits += 1
+            return database
+        self.misses += 1
+        database = generate_database(spec)
+        if len(self._cache) >= self._max_entries:
+            # FIFO eviction: drop the oldest insertion.
+            self._cache.pop(next(iter(self._cache)))
+        self._cache[spec] = database
+        return database
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+
+def resolve_workers(
+    workers: Union[int, str, None] = None,
+) -> Optional[int]:
+    """Normalise a worker request to ``None`` (serial) or a count >= 1.
+
+    ``None`` defers to the ``REPRO_WORKERS`` environment variable; when
+    that is unset too, the answer is ``None`` — the caller should take
+    the plain serial path.  ``"auto"`` (or any count < 1) means "one
+    worker per CPU".
+    """
+    if workers is None:
+        raw = os.environ.get(WORKERS_ENV_VAR, "").strip()
+        if not raw:
+            return None
+        workers = raw
+    if isinstance(workers, str):
+        if workers.lower() == "auto":
+            return os.cpu_count() or 1
+        try:
+            workers = int(workers)
+        except ValueError:
+            raise ValueError(
+                f"worker count must be an integer or 'auto', got {workers!r}"
+            ) from None
+    if workers < 1:
+        return os.cpu_count() or 1
+    return int(workers)
+
+
+def build_cell_grid(config: ExperimentConfig) -> List[CellSpec]:
+    """Every cell of the sweep, in canonical (value, replication,
+    algorithm) order — the order the serial runner visits them, and the
+    order results are merged back in."""
+    return [
+        CellSpec(value_index=value_index, replication=replication, algorithm=algorithm)
+        for value_index in range(len(config.sweep_values))
+        for replication in range(config.replications)
+        for algorithm in config.algorithms
+    ]
+
+
+def run_cell(
+    config: ExperimentConfig,
+    spec: CellSpec,
+    memo: Optional[WorkloadMemo] = None,
+) -> CellOutcome:
+    """Execute one cell, capturing any failure as a recorded error."""
+    try:
+        value = config.sweep_values[spec.value_index]
+        point = config.point_parameters(value)
+        workload = WorkloadSpec(
+            num_items=point.num_items,
+            skewness=point.skewness,
+            diversity=point.diversity,
+            seed=config.seed_for(spec.value_index, spec.replication),
+        )
+        database = (
+            memo.get(workload) if memo is not None else generate_database(workload)
+        )
+        allocator = make_allocator(spec.algorithm)
+        outcome = allocator.allocate(database, point.num_channels)
+        return CellOutcome(
+            value_index=spec.value_index,
+            replication=spec.replication,
+            algorithm=spec.algorithm,
+            cost=outcome.cost,
+            waiting_time=average_waiting_time(
+                outcome.allocation, bandwidth=config.bandwidth
+            ),
+            elapsed_seconds=outcome.elapsed_seconds,
+        )
+    except Exception as exc:  # noqa: BLE001 — degrade to a recorded error
+        return CellOutcome(
+            value_index=spec.value_index,
+            replication=spec.replication,
+            algorithm=spec.algorithm,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+
+
+# ----------------------------------------------------------------------
+# Worker-process side.  Globals are installed once per worker by the
+# pool initializer; tasks then carry only a CellSpec.
+# ----------------------------------------------------------------------
+_WORKER_CONFIG: Optional[ExperimentConfig] = None
+_WORKER_MEMO: Optional[WorkloadMemo] = None
+
+
+def _initialize_worker(config: ExperimentConfig) -> None:
+    global _WORKER_CONFIG, _WORKER_MEMO
+    import repro.baselines  # noqa: F401  (register allocators in the child)
+
+    _WORKER_CONFIG = config
+    _WORKER_MEMO = WorkloadMemo()
+
+
+def _run_cell_in_worker(spec: CellSpec) -> CellOutcome:
+    if _WORKER_CONFIG is None:  # pragma: no cover — initializer always ran
+        raise RuntimeError("worker used before initialization")
+    return run_cell(_WORKER_CONFIG, spec, _WORKER_MEMO)
+
+
+def execute_cells(
+    config: ExperimentConfig,
+    cells: Sequence[CellSpec],
+    *,
+    workers: int = 1,
+    cell_timeout: Optional[float] = None,
+) -> List[CellOutcome]:
+    """Run ``cells`` and return their outcomes in the given order.
+
+    ``workers=1`` executes inline (same code path, no processes, no
+    timeout enforcement); ``workers>1`` fans out over a process pool.
+    The returned list is always ordered like ``cells`` regardless of
+    completion order — the ordered merge that makes parallel runs
+    reproduce serial results exactly.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    cells = list(cells)
+    if workers == 1 or len(cells) <= 1:
+        memo = WorkloadMemo()
+        return [run_cell(config, spec, memo) for spec in cells]
+
+    outcomes: List[Optional[CellOutcome]] = [None] * len(cells)
+    with ProcessPoolExecutor(
+        max_workers=min(workers, len(cells)),
+        initializer=_initialize_worker,
+        initargs=(config,),
+    ) as pool:
+        futures = [pool.submit(_run_cell_in_worker, spec) for spec in cells]
+        for index, (spec, future) in enumerate(zip(cells, futures)):
+            try:
+                outcomes[index] = future.result(timeout=cell_timeout)
+            except _FutureTimeout:
+                future.cancel()
+                outcomes[index] = CellOutcome(
+                    value_index=spec.value_index,
+                    replication=spec.replication,
+                    algorithm=spec.algorithm,
+                    error=(
+                        f"cell timed out after {cell_timeout}s "
+                        "(worker not interrupted)"
+                    ),
+                )
+            except Exception as exc:  # noqa: BLE001 — e.g. BrokenProcessPool
+                outcomes[index] = CellOutcome(
+                    value_index=spec.value_index,
+                    replication=spec.replication,
+                    algorithm=spec.algorithm,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+    return [outcome for outcome in outcomes if outcome is not None]
+
+
+def map_ordered(
+    function: Callable[[_T], _R],
+    items: Iterable[_T],
+    *,
+    workers: Optional[int] = 1,
+) -> List[_R]:
+    """``[function(x) for x in items]``, optionally over a process pool.
+
+    Results come back in input order, so a parallel map is a drop-in
+    replacement for the serial comprehension wherever ``function`` is
+    deterministic.  ``function`` must be picklable (module-level) and
+    is responsible for its own error handling — an exception propagates,
+    matching the serial semantics.  Used by the optimality-gap
+    experiment; the figure sweeps use the richer :func:`execute_cells`.
+    """
+    items = list(items)
+    if workers is None or workers <= 1 or len(items) <= 1:
+        return [function(item) for item in items]
+    with ProcessPoolExecutor(max_workers=min(workers, len(items))) as pool:
+        futures = [pool.submit(function, item) for item in items]
+        return [future.result() for future in futures]

@@ -10,7 +10,7 @@ from typing import List, Optional, Tuple, Union
 
 from repro.analysis.tables import format_table
 
-__all__ = ["MeasurementRow", "ExperimentResult"]
+__all__ = ["MeasurementRow", "CellError", "ExperimentResult"]
 
 
 @dataclass(frozen=True)
@@ -31,12 +31,30 @@ class MeasurementRow:
     replications: int
 
 
+@dataclass(frozen=True)
+class CellError:
+    """One (sweep value, replication, algorithm) cell that failed.
+
+    Recorded instead of aborting the sweep: the aggregates of the
+    affected (sweep value, algorithm) row are computed over the
+    replications that did succeed (``MeasurementRow.replications``
+    reflects that count), and a row with zero successful replications is
+    omitted entirely.
+    """
+
+    sweep_value: float
+    algorithm: str
+    replication: int
+    message: str
+
+
 @dataclass
 class ExperimentResult:
     """All measurements of one experiment, plus provenance.
 
     ``rows`` holds one :class:`MeasurementRow` per (sweep value,
-    algorithm) pair, in sweep order.
+    algorithm) pair, in sweep order.  ``errors`` records every cell that
+    failed (empty for a fully successful run).
     """
 
     name: str
@@ -44,6 +62,7 @@ class ExperimentResult:
     sweep_parameter: str
     algorithms: Tuple[str, ...]
     rows: List[MeasurementRow] = field(default_factory=list)
+    errors: List[CellError] = field(default_factory=list)
 
     # ------------------------------------------------------------------
     # Access
@@ -137,6 +156,7 @@ class ExperimentResult:
             "sweep_parameter": self.sweep_parameter,
             "algorithms": list(self.algorithms),
             "rows": [asdict(row) for row in self.rows],
+            "errors": [asdict(error) for error in self.errors],
         }
         text = json.dumps(payload, indent=2)
         if path is not None:
@@ -152,4 +172,7 @@ class ExperimentResult:
             sweep_parameter=payload["sweep_parameter"],
             algorithms=tuple(payload["algorithms"]),
             rows=[MeasurementRow(**row) for row in payload["rows"]],
+            errors=[
+                CellError(**error) for error in payload.get("errors", [])
+            ],
         )

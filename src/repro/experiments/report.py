@@ -63,6 +63,7 @@ def generate_report(
     *,
     replications: Optional[int] = None,
     gap_instances: int = 6,
+    workers: Union[int, str, None] = None,
     output: Optional[Union[str, Path]] = None,
     progress: Optional[ProgressCallback] = None,
 ) -> str:
@@ -75,6 +76,10 @@ def generate_report(
         defaults; use 1–2 for a quick pass).
     gap_instances:
         Instances for the exact optimality-gap section.
+    workers:
+        Worker processes for the figure sweeps and the gap instances
+        (``None`` = serial or ``$REPRO_WORKERS``; the report content is
+        identical for any worker count).
     output:
         Optional path to write the markdown to.
     progress:
@@ -128,7 +133,7 @@ def generate_report(
         config = FIGURES[figure_id]()
         if replications is not None:
             config = config.scaled_down(replications=replications)
-        results[figure_id] = run_experiment(config)
+        results[figure_id] = run_experiment(config, workers=workers)
 
     for figure_id in sorted(FIGURES):
         result = results[figure_id]
@@ -172,7 +177,7 @@ def generate_report(
     # Exact optimality gaps.
     # ------------------------------------------------------------------
     note("exact optimality gaps")
-    gaps = run_gap_experiment(instances=gap_instances)
+    gaps = run_gap_experiment(instances=gap_instances, workers=workers)
     lines += [
         "## True optimality gaps (brute-force ground truth)",
         "",

@@ -57,6 +57,10 @@ from repro.simulation.metrics import (
     WaitingTimeCollector,
     summarize,
 )
+from repro.simulation.batched import (
+    batched_waiting_times,
+    run_batched_simulation,
+)
 from repro.simulation.server import BroadcastProgram
 from repro.simulation.simulator import SimulationReport, run_broadcast_simulation
 
@@ -73,6 +77,8 @@ __all__ = [
     "summarize",
     "SimulationReport",
     "run_broadcast_simulation",
+    "batched_waiting_times",
+    "run_batched_simulation",
     "RotatingDrift",
     "EpochReport",
     "run_adaptive_simulation",

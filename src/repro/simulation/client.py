@@ -13,7 +13,7 @@ tests and one example).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Optional, Sequence
+from typing import Iterator, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -89,22 +89,44 @@ class RequestGenerator:
     def arrival_rate(self) -> float:
         return self._rate
 
-    def generate(self, num_requests: int) -> Iterator[Request]:
-        """Yield ``num_requests`` requests with increasing arrival times."""
+    @property
+    def item_ids(self) -> Sequence[str]:
+        """Item ids in draw-index order (``sample_batch`` indices)."""
+        return tuple(self._item_ids)
+
+    def sample_batch(
+        self, num_requests: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Draw the whole request stream at once, as arrays.
+
+        Returns ``(arrival_times, item_indices)``: the cumulative
+        arrival clock of every request and the index (into
+        ``database.items`` order) of the item it asks for.  This is the
+        *exact* draw sequence :meth:`generate` wraps in
+        :class:`Request` objects — one exponential batch, then one
+        choice batch, then a sequential sum — so the event-driven and
+        batched simulation paths see bitwise-identical streams for the
+        same seed.
+        """
         if num_requests < 0:
             raise SimulationError(
                 f"num_requests must be >= 0, got {num_requests}"
             )
-        clock = 0.0
         # Draw in bulk for speed; numpy choice with p handles the skew.
         gaps = self._rng.exponential(1.0 / self._rate, size=num_requests)
         picks = self._rng.choice(
             len(self._item_ids), size=num_requests, p=self._probabilities
         )
+        # add.accumulate is a strictly sequential left-to-right sum, the
+        # same float64 additions a per-request `clock += gap` loop does.
+        return np.add.accumulate(gaps), picks
+
+    def generate(self, num_requests: int) -> Iterator[Request]:
+        """Yield ``num_requests`` requests with increasing arrival times."""
+        arrivals, picks = self.sample_batch(num_requests)
         for request_id in range(num_requests):
-            clock += float(gaps[request_id])
             yield Request(
                 request_id=request_id,
                 item_id=self._item_ids[int(picks[request_id])],
-                arrival_time=clock,
+                arrival_time=float(arrivals[request_id]),
             )

@@ -44,6 +44,7 @@ class SimulationEngine:
         self._sequence = itertools.count()
         self._now = 0.0
         self._processed = 0
+        self._pending = 0
         self._running = False
 
     @property
@@ -58,8 +59,16 @@ class SimulationEngine:
 
     @property
     def pending_events(self) -> int:
-        """Number of scheduled (non-cancelled) events still queued."""
-        return sum(1 for event in self._heap if not event.cancelled)
+        """Number of scheduled (non-cancelled) events still queued.
+
+        O(1): a live counter updated on schedule, cancel and pop, rather
+        than a scan over the heap's lazy-deletion flags.
+        """
+        return self._pending
+
+    def _note_cancel(self, _event: Event) -> None:
+        """Hook installed on every scheduled event's ``cancel``."""
+        self._pending -= 1
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -89,8 +98,10 @@ class SimulationEngine:
             priority=int(priority),
             sequence=next(self._sequence),
             callback=callback,
+            on_cancel=self._note_cancel,
         )
         heapq.heappush(self._heap, event)
+        self._pending += 1
         return event
 
     def schedule_after(
@@ -115,7 +126,12 @@ class SimulationEngine:
         while self._heap:
             event = heapq.heappop(self._heap)
             if event.cancelled:
+                # Already uncounted when cancel() fired.
                 continue
+            # Executed events can no longer be meaningfully cancelled;
+            # detach the hook so a late cancel() can't skew the counter.
+            event.on_cancel = None
+            self._pending -= 1
             self._now = event.time
             self._processed += 1
             event.callback()

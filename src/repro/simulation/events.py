@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import IntEnum
-from typing import Any, Callable
+from typing import Any, Callable, Optional
 
 __all__ = ["EventPriority", "Event"]
 
@@ -46,6 +46,10 @@ class Event:
     cancelled:
         Cancelled events stay in the heap but are skipped when popped
         (lazy deletion — O(1) cancel).
+    on_cancel:
+        Internal hook the owning engine installs so its live pending
+        counter can observe cancellations; cleared once the event is
+        executed.  Fired at most once (double cancels are no-ops).
     """
 
     time: float
@@ -53,7 +57,14 @@ class Event:
     sequence: int
     callback: Callable[[], Any] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    on_cancel: Optional[Callable[["Event"], Any]] = field(
+        default=None, compare=False, repr=False
+    )
 
     def cancel(self) -> None:
         """Mark the event so the engine skips it."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self.on_cancel is not None:
+            self.on_cancel(self)

@@ -12,6 +12,13 @@ channel for the completion time of the next full transmission and
 schedules a DELIVERY event there, whose handler records the waiting
 time.  The event kernel is exercised for real (two events per request,
 interleaved across channels), while channel timing stays exact.
+
+Static scenarios also have a batched fast path
+(:mod:`repro.simulation.batched`) that computes every request's waiting
+time in one vectorized pass — select it with ``backend="numpy"``
+(``"auto"`` picks it whenever numpy is importable).  Measured statistics
+are bitwise-identical to the event-driven run; only
+``events_processed`` differs (0, since no events are simulated).
 """
 
 from __future__ import annotations
@@ -78,6 +85,7 @@ def run_broadcast_simulation(
     arrival_rate: float = 1.0,
     seed: int = 0,
     request_probabilities: Optional[Sequence[float]] = None,
+    backend: str = "python",
 ) -> SimulationReport:
     """Simulate a broadcast program under a Poisson request stream.
 
@@ -100,11 +108,34 @@ def run_broadcast_simulation(
     request_probabilities:
         Optional per-item request distribution override (profile
         mismatch experiments).
+    backend:
+        ``"python"`` (default) drives the discrete-event engine —
+        two events per request, ``events_processed`` reported.
+        ``"numpy"`` / ``"auto"`` use the batched closed-form fast path
+        of :mod:`repro.simulation.batched`: identical measured
+        statistics, ``events_processed = 0``, roughly an order of
+        magnitude faster at large ``num_requests``.
 
     Returns
     -------
     SimulationReport
     """
+    if backend not in ("python", "numpy", "auto"):
+        raise SimulationError(
+            f"backend must be 'python', 'numpy' or 'auto', got {backend!r}"
+        )
+    if backend in ("numpy", "auto"):
+        from repro.simulation.batched import run_batched_simulation
+
+        return run_batched_simulation(
+            allocation,
+            bandwidth=bandwidth,
+            bandwidths=bandwidths,
+            num_requests=num_requests,
+            arrival_rate=arrival_rate,
+            seed=seed,
+            request_probabilities=request_probabilities,
+        )
     if num_requests < 1:
         raise SimulationError(f"num_requests must be >= 1, got {num_requests}")
     program = BroadcastProgram(

@@ -153,6 +153,28 @@ class TestExecution:
         assert engine.processed_events == 2
         assert engine.pending_events == 0
 
+    def test_double_cancel_decrements_once(self):
+        engine = SimulationEngine()
+        event = engine.schedule_at(1.0, lambda: None)
+        engine.schedule_at(2.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert engine.pending_events == 1
+        engine.run()
+        assert engine.pending_events == 0
+
+    def test_cancel_after_pop_does_not_skew_counter(self):
+        engine = SimulationEngine()
+        events = []
+        events.append(engine.schedule_at(1.0, lambda: None))
+        engine.schedule_at(2.0, lambda: None)
+        engine.run()
+        assert engine.pending_events == 0
+        # Cancelling an already-executed event must be a no-op for the
+        # live counter, not drive it negative.
+        events[0].cancel()
+        assert engine.pending_events == 0
+
     def test_run_not_reentrant(self):
         engine = SimulationEngine()
 
