@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-kernels bench-parallel figures report examples clean
+.PHONY: install test bench bench-kernels bench-parallel bench-obs trace-smoke figures report examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -22,6 +22,26 @@ bench-kernels:
 # writes BENCH_runner.json at the repo root (schema in README.md).
 bench-parallel:
 	$(PYTHON) benchmarks/bench_parallel.py
+
+# Observability overhead (no-op span cost, traced-run cost); writes
+# BENCH_obs.json at the repo root and fails over the 5% budget.
+bench-obs:
+	$(PYTHON) benchmarks/bench_obs_overhead.py
+
+# End-to-end observability smoke: run a tiny traced sweep with workers,
+# convert the trace to Chrome format, then validate every artifact
+# against the documented schemas (docs/observability.md).
+trace-smoke:
+	$(PYTHON) -m repro sweep --figure 6 --replications 1 --workers 2 \
+		--quiet --trace /tmp/repro-smoke.jsonl \
+		--metrics /tmp/repro-smoke-metrics.json > /dev/null
+	$(PYTHON) -m repro trace-convert /tmp/repro-smoke.jsonl \
+		/tmp/repro-smoke-chrome.json
+	$(PYTHON) tests/trace_schema.py \
+		--trace /tmp/repro-smoke.jsonl \
+		--chrome /tmp/repro-smoke-chrome.json \
+		--metrics /tmp/repro-smoke-metrics.json \
+		--manifest /tmp/repro-smoke.manifest.json
 
 figures:
 	for fig in figure2 figure3 figure4 figure5 figure6 figure7; do \

@@ -1,0 +1,178 @@
+"""Overhead benchmark for the observability layer.
+
+Measures three things and writes ``BENCH_obs.json`` at the repository
+root:
+
+1. **Disabled overhead** — a DRP+CDS workload with the no-op tracer and
+   registry installed versus the same workload with instrumentation
+   enabled; the disabled run must be within 5% of a hypothetical
+   uninstrumented run (approximated by per-span no-op cost x spans per
+   run, the same budget ``tests/test_obs_integration.py`` enforces).
+2. **Per-span cost** — the raw price of ``with obs.span(...)`` on the
+   no-op path and on the collecting path.
+3. **Enabled tracing cost** — how much a fully traced run pays, for the
+   docs' "tracing is cheap but not free" claim.
+
+Run standalone (CI uses the defaults)::
+
+    python benchmarks/bench_obs_overhead.py [--items 120] [--channels 7]
+                                            [--repeats 20]
+                                            [--output BENCH_obs.json]
+
+or via ``make bench-obs``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # running from a checkout without `pip install -e .`
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro import obs
+from repro.core.cds import cds_refine
+from repro.core.drp import drp_allocate
+from repro.workloads.generator import WorkloadSpec, generate_database
+
+SCHEMA_VERSION = 1
+DEFAULT_ITEMS = 120
+DEFAULT_CHANNELS = 7
+DEFAULT_REPEATS = 20
+DEFAULT_SEED = 7
+
+#: Spans a DRP+CDS run opens (drp.allocate + cds.refine).
+SPANS_PER_RUN = 2
+
+
+def _time_workload(database, channels: int, repeats: int) -> float:
+    """Median seconds of one DRP+CDS run over ``repeats`` samples."""
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        rough = drp_allocate(database, channels)
+        cds_refine(rough.allocation)
+        samples.append(time.perf_counter() - start)
+    return statistics.median(samples)
+
+
+def _time_noop_span(iterations: int = 50_000) -> float:
+    """Seconds per ``with obs.span(...)`` on the current tracer."""
+    start = time.perf_counter()
+    for _ in range(iterations):
+        with obs.span("bench.noop", items=1, channels=1):
+            pass
+    return (time.perf_counter() - start) / iterations
+
+
+def run_benchmark(
+    *,
+    items: int = DEFAULT_ITEMS,
+    channels: int = DEFAULT_CHANNELS,
+    repeats: int = DEFAULT_REPEATS,
+    seed: int = DEFAULT_SEED,
+) -> dict:
+    database = generate_database(
+        WorkloadSpec(num_items=items, skewness=0.8, seed=seed)
+    )
+
+    obs.reset()
+    _time_workload(database, channels, 3)  # warm-up
+    disabled_run = _time_workload(database, channels, repeats)
+    disabled_span = _time_noop_span()
+
+    obs.configure(trace=True, metrics=True)
+    enabled_run = _time_workload(database, channels, repeats)
+    spans_recorded = len(obs.get_tracer().records)
+    enabled_span = _time_noop_span()
+    obs.reset()
+
+    disabled_overhead = SPANS_PER_RUN * disabled_span
+    disabled_overhead_pct = disabled_overhead / disabled_run * 100.0
+    enabled_overhead_pct = (enabled_run - disabled_run) / disabled_run * 100.0
+
+    return {
+        "schema": SCHEMA_VERSION,
+        "benchmark": "obs_overhead",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "config": {
+            "items": items,
+            "channels": channels,
+            "repeats": repeats,
+            "seed": seed,
+            "spans_per_run": SPANS_PER_RUN,
+        },
+        "workload_seconds": {
+            "disabled": disabled_run,
+            "enabled": enabled_run,
+        },
+        "span_seconds": {
+            "noop": disabled_span,
+            "collecting": enabled_span,
+        },
+        "disabled_overhead_percent": disabled_overhead_pct,
+        "enabled_overhead_percent": enabled_overhead_pct,
+        "spans_recorded_enabled": spans_recorded,
+        "budget": {
+            "disabled_overhead_limit_percent": 5.0,
+            "within_budget": disabled_overhead_pct < 5.0,
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="measure observability overhead (disabled and enabled)"
+    )
+    parser.add_argument("--items", type=int, default=DEFAULT_ITEMS)
+    parser.add_argument("--channels", type=int, default=DEFAULT_CHANNELS)
+    parser.add_argument("--repeats", type=int, default=DEFAULT_REPEATS)
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument(
+        "--output", default=str(REPO_ROOT / "BENCH_obs.json")
+    )
+    args = parser.parse_args(argv)
+    result = run_benchmark(
+        items=args.items,
+        channels=args.channels,
+        repeats=args.repeats,
+        seed=args.seed,
+    )
+    Path(args.output).write_text(json.dumps(result, indent=2, sort_keys=True))
+    print(
+        "disabled: {:.3f}ms/run, no-op span {:.0f}ns "
+        "(overhead {:.3f}% of run, budget 5%)".format(
+            result["workload_seconds"]["disabled"] * 1e3,
+            result["span_seconds"]["noop"] * 1e9,
+            result["disabled_overhead_percent"],
+        )
+    )
+    print(
+        "enabled:  {:.3f}ms/run, collecting span {:.0f}ns "
+        "({:+.1f}% vs disabled, {} spans)".format(
+            result["workload_seconds"]["enabled"] * 1e3,
+            result["span_seconds"]["collecting"] * 1e9,
+            result["enabled_overhead_percent"],
+            result["spans_recorded_enabled"],
+        )
+    )
+    print(f"wrote {args.output}")
+    if not result["budget"]["within_budget"]:
+        print("FAIL: disabled overhead exceeds the 5% budget", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,21 +7,37 @@ Subcommands
 ``example``
     Walk the paper's worked example (Tables 2–4) step by step.
 ``allocate``
-    Generate a workload, run one or more algorithms, compare results.
-``figure``
-    Regenerate the data behind one of the paper's figures.
+    Generate a workload, run one or more algorithms, compare results
+    (``--stats`` adds per-algorithm iteration/counter detail).
+``figure`` / ``sweep``
+    Regenerate the data behind one of the paper's figures (``sweep``
+    takes the figure as ``--figure 2`` instead of a positional id).
 ``simulate``
     Validate an allocation against the analytical model with the
     discrete-event simulator.
+``trace-convert``
+    Convert a ``--trace`` JSONL file to Chrome ``trace_event`` JSON.
+
+Observability
+-------------
+Every run-producing subcommand accepts ``--trace PATH`` and
+``--metrics PATH`` (or the ``REPRO_TRACE`` / ``REPRO_METRICS``
+environment variables).  When enabled, the run's spans and metric
+snapshot are exported on exit — traces as JSONL when ``PATH`` ends in
+``.jsonl``, Chrome ``trace_event`` JSON otherwise — together with a
+``*.manifest.json`` provenance record.  Progress lines go to stderr so
+stdout stays machine-parseable.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Tuple
 
 import repro.baselines  # noqa: F401  (registers baseline allocators)
+from repro import obs
 from repro.analysis.tables import format_float, format_table
 from repro.analysis.theory import waiting_time_lower_bound
 from repro.core.cost import DEFAULT_BANDWIDTH, average_waiting_time
@@ -39,6 +55,86 @@ from repro.workloads.generator import WorkloadSpec, generate_database
 from repro.workloads.paper_profile import PAPER_NUM_CHANNELS, paper_database
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared ``--trace`` / ``--metrics`` observability flags."""
+    group = parser.add_argument_group("observability")
+    group.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help=(
+            "record tracing spans and write them here on exit "
+            "(.jsonl = one span per line; any other extension = Chrome "
+            "trace_event JSON for chrome://tracing / Perfetto)"
+        ),
+    )
+    group.add_argument(
+        "--metrics",
+        default=None,
+        metavar="PATH",
+        help="record counters/gauges/histograms and write the JSON snapshot here",
+    )
+    group.add_argument(
+        "--trace-memory",
+        action="store_true",
+        help="also record tracemalloc peak memory per span (slower)",
+    )
+
+
+def _add_figure_arguments(parser: argparse.ArgumentParser) -> None:
+    """Options shared by the ``figure`` and ``sweep`` subcommands."""
+    parser.add_argument(
+        "--replications", type=int, default=None, help="override replications"
+    )
+    parser.add_argument(
+        "--workers",
+        default=None,
+        help=(
+            "fan (sweep value x replication x algorithm) cells out over "
+            "this many worker processes ('auto' = one per CPU; default: "
+            "serial, or $REPRO_WORKERS when set); results are identical "
+            "to a serial run"
+        ),
+    )
+    parser.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        help=(
+            "with --workers >= 2: record any cell slower than this many "
+            "seconds as an error instead of waiting forever"
+        ),
+    )
+    parser.add_argument("--csv", default=None, help="write rows to CSV file")
+    parser.add_argument("--json", default=None, help="write result to JSON file")
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-point progress"
+    )
+    parser.add_argument(
+        "--chart",
+        action="store_true",
+        help="also sketch the series as an ASCII chart",
+    )
+
+
+def _normalize_figure_id(value: str) -> str:
+    """Accept ``2``, ``fig2`` or ``figure2`` for the paper's figure ids."""
+    candidate = value.strip().lower()
+    if candidate in FIGURES:
+        return candidate
+    for prefix in ("fig", "figure"):
+        if candidate.startswith(prefix):
+            candidate = candidate[len(prefix):]
+            break
+    candidate = f"figure{candidate}"
+    if candidate in FIGURES:
+        return candidate
+    known = ", ".join(sorted(FIGURES))
+    raise argparse.ArgumentTypeError(
+        f"unknown figure {value!r}; known: {known}"
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -76,6 +172,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=["vfk", "drp", "drp-cds", "gopt"],
         help="registered algorithm names",
     )
+    allocate.add_argument(
+        "--stats",
+        action="store_true",
+        help=(
+            "also print per-algorithm work counters (DRP splits/heap "
+            "traffic, CDS moves/Δc evaluations/improvement)"
+        ),
+    )
 
     figure = subparsers.add_parser(
         "figure", help="regenerate a paper figure's data"
@@ -83,38 +187,21 @@ def build_parser() -> argparse.ArgumentParser:
     figure.add_argument(
         "figure_id", choices=sorted(FIGURES), help="which figure"
     )
-    figure.add_argument(
-        "--replications", type=int, default=None, help="override replications"
+    _add_figure_arguments(figure)
+
+    sweep = subparsers.add_parser(
+        "sweep",
+        help="run a figure sweep (like `figure`, with --figure 2 syntax)",
     )
-    figure.add_argument(
-        "--workers",
-        default=None,
-        help=(
-            "fan (sweep value x replication x algorithm) cells out over "
-            "this many worker processes ('auto' = one per CPU; default: "
-            "serial, or $REPRO_WORKERS when set); results are identical "
-            "to a serial run"
-        ),
+    sweep.add_argument(
+        "--figure",
+        dest="figure_id",
+        type=_normalize_figure_id,
+        required=True,
+        metavar="N",
+        help="paper figure to sweep (2, fig2 and figure2 all work)",
     )
-    figure.add_argument(
-        "--cell-timeout",
-        type=float,
-        default=None,
-        help=(
-            "with --workers >= 2: record any cell slower than this many "
-            "seconds as an error instead of waiting forever"
-        ),
-    )
-    figure.add_argument("--csv", default=None, help="write rows to CSV file")
-    figure.add_argument("--json", default=None, help="write result to JSON file")
-    figure.add_argument(
-        "--quiet", action="store_true", help="suppress per-point progress"
-    )
-    figure.add_argument(
-        "--chart",
-        action="store_true",
-        help="also sketch the series as an ASCII chart",
-    )
+    _add_figure_arguments(sweep)
 
     gap = subparsers.add_parser(
         "gap", help="true optimality gaps vs brute-force ground truth"
@@ -214,6 +301,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     index.add_argument("--seed", type=int, default=0)
 
+    convert = subparsers.add_parser(
+        "trace-convert",
+        help="convert a JSONL trace to Chrome trace_event JSON",
+    )
+    convert.add_argument("input", help="JSONL trace written by --trace")
+    convert.add_argument(
+        "output",
+        nargs="?",
+        default=None,
+        help="Chrome JSON destination (default: input with .json suffix)",
+    )
+
+    # Every run-producing subcommand takes the same observability flags;
+    # trace-convert only transforms existing files, so it stays bare.
+    for name, subparser in subparsers.choices.items():
+        if name != "trace-convert":
+            _add_obs_arguments(subparser)
+
     return parser
 
 
@@ -290,9 +395,11 @@ def _cmd_allocate(args: argparse.Namespace) -> int:
         database, args.channels, bandwidth=args.bandwidth
     )
     rows = []
+    outcomes = []
     for name in args.algorithms:
         allocator = make_allocator(name)
         outcome = allocator.allocate(database, args.channels)
+        outcomes.append(outcome)
         rows.append(
             (
                 name,
@@ -310,11 +417,53 @@ def _cmd_allocate(args: argparse.Namespace) -> int:
         )
     )
     print(f"\nanalytical waiting-time lower bound: {format_float(bound)}")
+    if args.stats:
+        print()
+        _print_allocate_stats(outcomes)
     return 0
 
 
+#: ``allocate --stats`` columns: (metadata key, printed label).
+_STATS_FIELDS = (
+    ("drp_iterations", "DRP iterations"),
+    ("drp_splits_evaluated", "DRP splits evaluated"),
+    ("drp_heap_pushes", "DRP heap pushes"),
+    ("drp_heap_pops", "DRP heap pops"),
+    ("drp_cost", "DRP cost (pre-CDS)"),
+    ("cds_moves", "CDS moves"),
+    ("cds_delta_evaluations", "CDS Δc evaluations"),
+    ("cds_improvement", "CDS improvement"),
+    ("cds_converged", "CDS converged"),
+)
+
+
+def _print_allocate_stats(outcomes) -> None:
+    """One work-counter table per algorithm that reported any metadata."""
+    print("Per-algorithm statistics:")
+    for outcome in outcomes:
+        reported = [
+            (label, outcome.metadata[key])
+            for key, label in _STATS_FIELDS
+            if key in outcome.metadata
+        ]
+        extras = sorted(
+            set(outcome.metadata) - {key for key, _ in _STATS_FIELDS}
+        )
+        reported.extend((key, outcome.metadata[key]) for key in extras)
+        if not reported:
+            print(f"  {outcome.algorithm}: (no statistics reported)")
+            continue
+        print(f"  {outcome.algorithm}:")
+        for label, value in reported:
+            if isinstance(value, float):
+                value = format_float(value, precision=4)
+            print(f"    {label}: {value}")
+
+
 def _cmd_figure(args: argparse.Namespace) -> int:
-    progress = None if args.quiet else print
+    # Progress goes through the stderr logger so stdout stays a clean,
+    # machine-parseable table (satisfying `repro figure ... > data.txt`).
+    progress = None if args.quiet else obs.log.progress
     config, result = run_figure(
         args.figure_id,
         replications=args.replications,
@@ -571,43 +720,118 @@ def _cmd_index(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace_convert(args: argparse.Namespace) -> int:
+    output = args.output
+    if output is None:
+        base, _ = os.path.splitext(args.input)
+        output = base + ".json"
+    count = obs.jsonl_to_chrome(args.input, output)
+    print(f"wrote {output} ({count} spans)")
+    return 0
+
+
+def _configure_observability(
+    args: argparse.Namespace,
+) -> Tuple[Optional[str], Optional[str]]:
+    """Install tracer/registry per CLI flags, falling back to the env."""
+    trace_path = getattr(args, "trace", None)
+    metrics_path = getattr(args, "metrics", None)
+    if trace_path or metrics_path:
+        obs.configure(
+            trace=trace_path is not None,
+            metrics=metrics_path is not None,
+            track_memory=getattr(args, "trace_memory", False),
+        )
+        return trace_path, metrics_path
+    return obs.configure_from_env()
+
+
+def _export_observability(
+    args: argparse.Namespace,
+    trace_path: Optional[str],
+    metrics_path: Optional[str],
+) -> None:
+    """Write trace/metrics files plus the run manifest, if enabled."""
+    tracer = obs.get_tracer()
+    registry = obs.get_metrics()
+    outputs = {}
+    if trace_path and tracer.enabled:
+        if trace_path.endswith(".jsonl"):
+            tracer.export_jsonl(trace_path)
+        else:
+            tracer.export_chrome(trace_path)
+        outputs["trace"] = trace_path
+    if metrics_path and registry.enabled:
+        registry.export_json(metrics_path)
+        outputs["metrics"] = metrics_path
+    if not outputs:
+        return
+    anchor = outputs.get("trace") or outputs["metrics"]
+    base, _ = os.path.splitext(anchor)
+    manifest_path = base + ".manifest.json"
+    options = {
+        key: value
+        for key, value in sorted(vars(args).items())
+        if key not in ("command", "trace", "metrics", "trace_memory")
+    }
+    manifest = obs.build_manifest(
+        command=args.command,
+        config=options,
+        seed=getattr(args, "seed", None),
+        outputs=outputs,
+        extra={"spans_recorded": len(tracer.records) if tracer.enabled else 0},
+    )
+    obs.write_manifest(manifest_path, manifest)
+    for path in (*outputs.values(), manifest_path):
+        obs.log.progress(f"wrote {path}")
+
+
+_DISPATCH = {
+    "allocate": _cmd_allocate,
+    "figure": _cmd_figure,
+    "sweep": _cmd_figure,
+    "gap": _cmd_gap,
+    "simulate": _cmd_simulate,
+    "adaptive": _cmd_adaptive,
+    "hetero": _cmd_hetero,
+    "index": _cmd_index,
+    "trace-convert": _cmd_trace_convert,
+}
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(list(argv) if argv is not None else None)
-    if args.command == "list":
-        return _cmd_list()
-    if args.command == "example":
-        return _cmd_example()
-    if args.command == "allocate":
-        return _cmd_allocate(args)
-    if args.command == "figure":
-        return _cmd_figure(args)
-    if args.command == "gap":
-        return _cmd_gap(args)
-    if args.command == "simulate":
-        return _cmd_simulate(args)
-    if args.command == "adaptive":
-        return _cmd_adaptive(args)
-    if args.command == "hetero":
-        return _cmd_hetero(args)
-    if args.command == "index":
-        return _cmd_index(args)
-    if args.command == "report":
-        from repro.experiments.report import generate_report
+    if args.command == "trace-convert":
+        return _cmd_trace_convert(args)
+    trace_path, metrics_path = _configure_observability(args)
+    try:
+        if args.command == "list":
+            return _cmd_list()
+        if args.command == "example":
+            return _cmd_example()
+        if args.command == "report":
+            from repro.experiments.report import generate_report
 
-        text = generate_report(
-            replications=args.replications,
-            workers=args.workers,
-            output=args.output,
-            progress=None if args.quiet else print,
-        )
-        if args.output:
-            print(f"wrote {args.output}")
-        else:
-            print(text)
-        return 0
-    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
-    return 2  # pragma: no cover
+            text = generate_report(
+                replications=args.replications,
+                workers=args.workers,
+                output=args.output,
+                progress=None if args.quiet else obs.log.progress,
+            )
+            if args.output:
+                print(f"wrote {args.output}")
+            else:
+                print(text)
+            return 0
+        handler = _DISPATCH.get(args.command)
+        if handler is None:  # pragma: no cover - argparse rejects earlier
+            parser.error(f"unknown command {args.command!r}")
+            return 2
+        return handler(args)
+    finally:
+        _export_observability(args, trace_path, metrics_path)
+        obs.reset()
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
+from repro import obs
 from repro.core import kernels
 from repro.core.allocation import ChannelAllocation
 from repro.core.cost import allocation_cost, move_delta
@@ -66,6 +67,12 @@ class CDSResult:
     converged:
         True when CDS stopped because no improving move exists; False
         only if ``max_iterations`` cut the search short.
+    delta_evaluations:
+        Number of ``Δc`` (item, destination) pair evaluations performed
+        over the whole refinement — one full ``N·(K−1)`` scan per
+        executed move plus the final scan that proves convergence.
+        Derived arithmetically from the move count, so it is exact for
+        both backends and costs nothing to collect.
     """
 
     allocation: ChannelAllocation
@@ -73,6 +80,7 @@ class CDSResult:
     initial_cost: float
     moves: List[CDSMove] = field(default_factory=list)
     converged: bool = True
+    delta_evaluations: int = 0
 
     @property
     def iterations(self) -> int:
@@ -82,6 +90,19 @@ class CDSResult:
     def improvement(self) -> float:
         """Total cost reduction achieved over the initial allocation."""
         return self.initial_cost - self.cost
+
+    @property
+    def cost_trajectory(self) -> Tuple[float, ...]:
+        """Total cost before any move and after each executed move.
+
+        Strictly decreasing by construction (every executed move has
+        ``delta > ε``), which makes convergence toward the paper's
+        Table 4 value directly inspectable — the golden-trace test
+        asserts the paper example's trajectory ends at ``22.29``.
+        """
+        return (self.initial_cost,) + tuple(
+            move.cost_after for move in self.moves
+        )
 
 
 def cds_refine(
@@ -114,9 +135,56 @@ def cds_refine(
     Returns
     -------
     CDSResult
+
+    Notes
+    -----
+    When observability is enabled (see :mod:`repro.obs`) the call emits
+    a ``cds.refine`` span with the move count, Δc-evaluation count and
+    the full cost trajectory, and bumps the ``cds.*`` metrics counters.
+    The instrumentation reads bookkeeping CDS keeps anyway, so enabling
+    it cannot change the refinement.
     """
-    if kernels.resolve_backend(backend) == "numpy":
-        return _cds_refine_numpy(allocation, max_iterations=max_iterations)
+    resolved = kernels.resolve_backend(backend)
+    num_items = len(allocation.database)
+    with obs.span(
+        "cds.refine",
+        items=num_items,
+        channels=allocation.num_channels,
+        backend=resolved,
+    ) as span:
+        if resolved == "numpy":
+            result = _cds_refine_numpy(allocation, max_iterations=max_iterations)
+        else:
+            result = _cds_refine_python(allocation, max_iterations=max_iterations)
+        # One full scan of all N·(K−1) (item, destination) pairs per
+        # executed move, plus the final scan that found no improvement.
+        scans = result.iterations + (1 if result.converged else 0)
+        result.delta_evaluations = scans * num_items * (allocation.num_channels - 1)
+        span.update(
+            moves=result.iterations,
+            delta_evaluations=result.delta_evaluations,
+            converged=result.converged,
+            cost_initial=result.initial_cost,
+            cost_final=result.cost,
+            improvement=result.improvement,
+            cost_trajectory=list(result.cost_trajectory),
+        )
+        registry = obs.get_metrics()
+        if registry.enabled:
+            registry.counter("cds.runs").inc()
+            registry.counter("cds.moves").inc(result.iterations)
+            registry.counter("cds.delta_evaluations").inc(result.delta_evaluations)
+            if result.converged:
+                registry.counter("cds.converged_runs").inc()
+    return result
+
+
+def _cds_refine_python(
+    allocation: ChannelAllocation,
+    *,
+    max_iterations: Optional[int] = None,
+) -> CDSResult:
+    """The scalar reference backend of :func:`cds_refine`."""
     groups: List[List[DataItem]] = [list(group) for group in allocation.channels]
     agg_f: List[float] = [stat.frequency for stat in allocation.channel_stats]
     agg_z: List[float] = [stat.size for stat in allocation.channel_stats]

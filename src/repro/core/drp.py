@@ -38,6 +38,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.core.allocation import ChannelAllocation
 from repro.core.database import BroadcastDatabase
 from repro.core.item import DataItem
@@ -96,6 +97,16 @@ class DRPResult:
     cost: float
     iterations: int
     snapshots: List[DRPSnapshot] = field(default_factory=list)
+    #: Work counters (always collected — they are O(K) bookkeeping):
+    #: split-scan evaluations, heap pushes and heap pops performed.
+    splits_evaluated: int = 0
+    heap_pushes: int = 0
+    heap_pops: int = 0
+    #: Total cost after the initial grouping and after each split —
+    #: the paper's Table 3 cost column as a number series.  Length is
+    #: ``iterations + 1`` and the series is non-increasing whenever a
+    #: split cannot raise the cost (always true for optimal splits).
+    cost_trajectory: Tuple[float, ...] = ()
 
 
 def drp_allocate(
@@ -143,7 +154,59 @@ def drp_allocate(
     InfeasibleProblemError
         If ``num_channels`` is outside ``[1, N]`` or ``split_policy`` is
         unknown.
+
+    Notes
+    -----
+    When observability is enabled (see :mod:`repro.obs`) the call emits
+    a ``drp.allocate`` span carrying the work counters and the
+    per-iteration cost trajectory, and bumps the ``drp.*`` counters of
+    the metrics registry.  Everything is derived from bookkeeping the
+    algorithm keeps anyway, so enabling tracing cannot change the
+    allocation.
     """
+    with obs.span(
+        "drp.allocate",
+        items=len(database),
+        channels=num_channels,
+        split_policy=split_policy,
+        backend=backend,
+    ) as span:
+        result = _drp_allocate(
+            database,
+            num_channels,
+            split_policy=split_policy,
+            trace=trace,
+            presorted_items=presorted_items,
+            backend=backend,
+        )
+        span.update(
+            cost=result.cost,
+            iterations=result.iterations,
+            splits_evaluated=result.splits_evaluated,
+            heap_pushes=result.heap_pushes,
+            heap_pops=result.heap_pops,
+            cost_trajectory=list(result.cost_trajectory),
+        )
+        registry = obs.get_metrics()
+        if registry.enabled:
+            registry.counter("drp.runs").inc()
+            registry.counter("drp.iterations").inc(result.iterations)
+            registry.counter("drp.splits_evaluated").inc(result.splits_evaluated)
+            registry.counter("drp.heap_pushes").inc(result.heap_pushes)
+            registry.counter("drp.heap_pops").inc(result.heap_pops)
+    return result
+
+
+def _drp_allocate(
+    database: BroadcastDatabase,
+    num_channels: int,
+    *,
+    split_policy: str,
+    trace: bool,
+    presorted_items: Optional[Sequence[DataItem]],
+    backend: str,
+) -> DRPResult:
+    """The uninstrumented DRP body (see :func:`drp_allocate`)."""
     n = len(database)
     if not 1 <= num_channels <= n:
         raise InfeasibleProblemError(
@@ -178,16 +241,22 @@ def drp_allocate(
     counter = itertools.count()
     heap: List[Tuple[float, int, int, int, Optional[int]]] = []
     final_groups: List[Tuple[int, int]] = []
+    splits_evaluated = 0
+    heap_pushes = 0
 
     def push(start: int, stop: int) -> None:
+        nonlocal splits_evaluated, heap_pushes
         if stop - start == 1:
             final_groups.append((start, stop))
         elif split_policy == "max-cost":
+            heap_pushes += 1
             heapq.heappush(
                 heap,
                 (-sums.cost(start, stop), next(counter), start, stop, None),
             )
         else:
+            splits_evaluated += 1
+            heap_pushes += 1
             split_offset, split_cost = best_split_in(
                 sums, start, stop, backend=backend
             )
@@ -199,6 +268,8 @@ def drp_allocate(
     push(0, n)
     snapshots: List[DRPSnapshot] = []
     iterations = 0
+    running_cost = sums.cost(0, n)
+    trajectory: List[float] = [running_cost]
 
     def record_snapshot(last: bool) -> None:
         ranges = sorted(
@@ -233,8 +304,17 @@ def drp_allocate(
             record_snapshot(last=False)
         _, _, start, stop, split_offset = heapq.heappop(heap)
         if split_offset is None:
-            split_offset, _ = best_split_in(sums, start, stop, backend=backend)
+            splits_evaluated += 1
+            split_offset, split_cost = best_split_in(
+                sums, start, stop, backend=backend
+            )
+        else:
+            split_cost = None
         middle = start + split_offset
+        if split_cost is None:
+            split_cost = sums.cost(start, middle) + sums.cost(middle, stop)
+        running_cost -= sums.cost(start, stop) - split_cost
+        trajectory.append(running_cost)
         push(start, middle)
         push(middle, stop)
         iterations += 1
@@ -254,4 +334,8 @@ def drp_allocate(
         cost=total_cost,
         iterations=iterations,
         snapshots=snapshots,
+        splits_evaluated=splits_evaluated,
+        heap_pushes=heap_pushes,
+        heap_pops=iterations,
+        cost_trajectory=tuple(trajectory),
     )

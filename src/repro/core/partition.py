@@ -31,6 +31,7 @@ from __future__ import annotations
 import math
 from typing import List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.core import kernels
 from repro.core.item import DataItem
 from repro.exceptions import InfeasibleProblemError
@@ -249,31 +250,51 @@ def contiguous_optimal(
         raise InfeasibleProblemError(
             f"unknown method {method!r}; choose from {DP_METHODS}"
         )
-    sums = PrefixSums(items)
-    if method == "quadratic":
-        choice, total = _dp_quadratic(sums, n, num_groups)
-    else:
-        choice, total = _dp_divide_conquer(sums, n, num_groups)
-    boundaries: List[Tuple[int, int]] = []
-    stop = n
-    for g in range(num_groups, 0, -1):
-        start = choice[g][stop]
-        boundaries.append((start, stop))
-        stop = start
-    boundaries.reverse()
+    resolved = "quadratic" if method == "quadratic" else "divide-conquer"
+    with obs.span(
+        "partition.contiguous_optimal",
+        items=n,
+        groups=num_groups,
+        method=resolved,
+    ) as span:
+        sums = PrefixSums(items)
+        if method == "quadratic":
+            choice, total, cells, evaluations = _dp_quadratic(sums, n, num_groups)
+        else:
+            choice, total, cells, evaluations = _dp_divide_conquer(
+                sums, n, num_groups
+            )
+        boundaries: List[Tuple[int, int]] = []
+        stop = n
+        for g in range(num_groups, 0, -1):
+            start = choice[g][stop]
+            boundaries.append((start, stop))
+            stop = start
+        boundaries.reverse()
+        span.update(cost=total, dp_cells=cells, dp_evaluations=evaluations)
+        registry = obs.get_metrics()
+        if registry.enabled:
+            registry.counter("dp.runs").inc()
+            registry.counter("dp.cells").inc(cells)
+            registry.counter("dp.evaluations").inc(evaluations)
     return boundaries, total
 
 
 def _dp_quadratic(
     sums: PrefixSums, n: int, num_groups: int
-) -> Tuple[List[List[int]], float]:
+) -> Tuple[List[List[int]], float, int, int]:
     """The O(K·N²) reference DP (the oracle the fast variant is checked
     against).  ``dp[g][i]`` is the minimal cost of splitting ``items[:i]``
-    into ``g`` groups."""
+    into ``g`` groups.  Returns ``(choice, cost, cells, evaluations)``
+    where ``cells`` counts DP states filled and ``evaluations`` counts
+    candidate predecessors scanned (both tallied per state, adding no
+    inner-loop work)."""
     infinity = math.inf
     dp = [[infinity] * (n + 1) for _ in range(num_groups + 1)]
     choice = [[0] * (n + 1) for _ in range(num_groups + 1)]
     dp[0][0] = 0.0
+    cells = 0
+    evaluations = 0
     for g in range(1, num_groups + 1):
         # items[:i] needs at least g items and must leave enough for
         # the remaining groups.
@@ -289,12 +310,14 @@ def _dp_quadratic(
                     best_j = j
             dp[g][i] = best_value
             choice[g][i] = best_j
-    return choice, dp[num_groups][n]
+            cells += 1
+            evaluations += i - (g - 1)
+    return choice, dp[num_groups][n], cells, evaluations
 
 
 def _dp_divide_conquer(
     sums: PrefixSums, n: int, num_groups: int
-) -> Tuple[List[List[int]], float]:
+) -> Tuple[List[List[int]], float, int, int]:
     """O(K·N log N) DP via divide-and-conquer optimisation.
 
     The layer recurrence ``dp_g(i) = min_j dp_{g-1}(j) + w(j, i)`` with
@@ -318,6 +341,8 @@ def _dp_divide_conquer(
         dp_prev = [infinity] * (n + 1)
         dp_prev[0] = 0.0
     choice = [[0] * (n + 1) for _ in range(num_groups + 1)]
+    cells = 0
+    evaluations = 0
     for g in range(1, num_groups + 1):
         if use_numpy:
             dp_cur = np.full(n + 1, infinity)
@@ -334,6 +359,8 @@ def _dp_divide_conquer(
             mid = (lo + hi) // 2
             w_lo = max(j_lo, g - 1)
             w_hi = min(j_hi, mid - 1)
+            cells += 1
+            evaluations += max(0, w_hi + 1 - w_lo)
             if use_numpy:
                 best_j, best_value = kernels.dp_window_argmin_numpy(
                     dp_prev, pf, pz, mid, w_lo, w_hi + 1
@@ -353,4 +380,4 @@ def _dp_divide_conquer(
             stack.append((lo, mid - 1, j_lo, best_j))
             stack.append((mid + 1, hi, best_j, j_hi))
         dp_prev = dp_cur
-    return choice, float(dp_prev[n])
+    return choice, float(dp_prev[n]), cells, evaluations

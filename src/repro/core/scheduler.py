@@ -119,7 +119,12 @@ class DRPAllocator(Allocator):
         self, database: BroadcastDatabase, num_channels: int
     ) -> ChannelAllocation:
         result = drp_allocate(database, num_channels)
-        self._note(drp_iterations=result.iterations)
+        self._note(
+            drp_iterations=result.iterations,
+            drp_splits_evaluated=result.splits_evaluated,
+            drp_heap_pushes=result.heap_pushes,
+            drp_heap_pops=result.heap_pops,
+        )
         return result.allocation
 
 
@@ -141,8 +146,13 @@ class DRPCDSAllocator(Allocator):
         self._note(
             drp_iterations=rough.iterations,
             drp_cost=rough.cost,
+            drp_splits_evaluated=rough.splits_evaluated,
+            drp_heap_pushes=rough.heap_pushes,
+            drp_heap_pops=rough.heap_pops,
             cds_moves=refined.iterations,
             cds_converged=refined.converged,
+            cds_improvement=refined.improvement,
+            cds_delta_evaluations=refined.delta_evaluations,
         )
         return refined.allocation
 
@@ -169,7 +179,12 @@ class CDSOnlyAllocator(Allocator):
         ]
         seed = ChannelAllocation(database, groups)
         refined = cds_refine(seed, max_iterations=self._max_cds_iterations)
-        self._note(cds_moves=refined.iterations, cds_converged=refined.converged)
+        self._note(
+            cds_moves=refined.iterations,
+            cds_converged=refined.converged,
+            cds_improvement=refined.improvement,
+            cds_delta_evaluations=refined.delta_evaluations,
+        )
         return refined.allocation
 
 

@@ -37,12 +37,25 @@ the ``REPRO_WORKERS`` environment variable) asks for the fan-out layer.
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as _FutureTimeout
-from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, TypeVar, Union
+from dataclasses import dataclass, replace
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+    Union,
+)
 
 import repro.baselines  # noqa: F401  (registers baseline allocators)
+from repro import obs
 from repro.core.cost import average_waiting_time
 from repro.core.database import BroadcastDatabase
 from repro.core.scheduler import make_allocator
@@ -87,6 +100,14 @@ class CellOutcome:
 
     Exactly one of the two shapes occurs: ``error is None`` with all
     three measurements set, or ``error`` set with the measurements None.
+
+    The observability fields ride the same pipe: ``worker_pid`` and the
+    wall-clock ``started_unix``/``finished_unix`` pair let the parent
+    compute queue-wait vs compute time per cell, and — when tracing /
+    metrics are enabled — ``spans`` / ``metrics`` carry the worker's
+    finished span payloads and counter snapshot for deterministic
+    grid-order merging (all ``None`` when observability is off, so the
+    descriptor stays tiny).
     """
 
     value_index: int
@@ -96,6 +117,11 @@ class CellOutcome:
     waiting_time: Optional[float] = None
     elapsed_seconds: Optional[float] = None
     error: Optional[str] = None
+    worker_pid: Optional[int] = None
+    started_unix: Optional[float] = None
+    finished_unix: Optional[float] = None
+    spans: Optional[Tuple[Dict[str, Any], ...]] = None
+    metrics: Optional[Dict[str, Any]] = None
 
 
 class WorkloadMemo:
@@ -181,38 +207,73 @@ def run_cell(
     spec: CellSpec,
     memo: Optional[WorkloadMemo] = None,
 ) -> CellOutcome:
-    """Execute one cell, capturing any failure as a recorded error."""
-    try:
-        value = config.sweep_values[spec.value_index]
-        point = config.point_parameters(value)
-        workload = WorkloadSpec(
-            num_items=point.num_items,
-            skewness=point.skewness,
-            diversity=point.diversity,
-            seed=config.seed_for(spec.value_index, spec.replication),
-        )
-        database = (
-            memo.get(workload) if memo is not None else generate_database(workload)
-        )
-        allocator = make_allocator(spec.algorithm)
-        outcome = allocator.allocate(database, point.num_channels)
-        return CellOutcome(
-            value_index=spec.value_index,
-            replication=spec.replication,
-            algorithm=spec.algorithm,
-            cost=outcome.cost,
-            waiting_time=average_waiting_time(
-                outcome.allocation, bandwidth=config.bandwidth
-            ),
-            elapsed_seconds=outcome.elapsed_seconds,
-        )
-    except Exception as exc:  # noqa: BLE001 — degrade to a recorded error
-        return CellOutcome(
-            value_index=spec.value_index,
-            replication=spec.replication,
-            algorithm=spec.algorithm,
-            error=f"{type(exc).__name__}: {exc}",
-        )
+    """Execute one cell, capturing any failure as a recorded error.
+
+    Emits an ``experiment.cell`` span (worker pid, sweep coordinates,
+    outcome or error tag) on whatever tracer is active in the executing
+    process — the parent's for serial runs, the worker's own for pooled
+    runs, whose spans the parent later adopts.
+    """
+    started = time.time()
+    with obs.span(
+        "experiment.cell",
+        value_index=spec.value_index,
+        replication=spec.replication,
+        algorithm=spec.algorithm,
+        worker_pid=os.getpid(),
+    ) as span:
+        try:
+            value = config.sweep_values[spec.value_index]
+            point = config.point_parameters(value)
+            workload = WorkloadSpec(
+                num_items=point.num_items,
+                skewness=point.skewness,
+                diversity=point.diversity,
+                seed=config.seed_for(spec.value_index, spec.replication),
+            )
+            database = (
+                memo.get(workload) if memo is not None else generate_database(workload)
+            )
+            allocator = make_allocator(spec.algorithm)
+            outcome = allocator.allocate(database, point.num_channels)
+            span.update(cost=outcome.cost, compute_seconds=outcome.elapsed_seconds)
+            registry = obs.get_metrics()
+            if registry.enabled:
+                registry.counter("experiment.cells").inc()
+                registry.counter(
+                    "experiment.cells_by_algorithm", algorithm=spec.algorithm
+                ).inc()
+                registry.histogram("experiment.cell_seconds").observe(
+                    outcome.elapsed_seconds
+                )
+            return CellOutcome(
+                value_index=spec.value_index,
+                replication=spec.replication,
+                algorithm=spec.algorithm,
+                cost=outcome.cost,
+                waiting_time=average_waiting_time(
+                    outcome.allocation, bandwidth=config.bandwidth
+                ),
+                elapsed_seconds=outcome.elapsed_seconds,
+                worker_pid=os.getpid(),
+                started_unix=started,
+                finished_unix=time.time(),
+            )
+        except Exception as exc:  # noqa: BLE001 — degrade to a recorded error
+            message = f"{type(exc).__name__}: {exc}"
+            span.set("error", message)
+            registry = obs.get_metrics()
+            if registry.enabled:
+                registry.counter("experiment.cell_errors").inc()
+            return CellOutcome(
+                value_index=spec.value_index,
+                replication=spec.replication,
+                algorithm=spec.algorithm,
+                error=message,
+                worker_pid=os.getpid(),
+                started_unix=started,
+                finished_unix=time.time(),
+            )
 
 
 # ----------------------------------------------------------------------
@@ -223,18 +284,35 @@ _WORKER_CONFIG: Optional[ExperimentConfig] = None
 _WORKER_MEMO: Optional[WorkloadMemo] = None
 
 
-def _initialize_worker(config: ExperimentConfig) -> None:
+def _initialize_worker(
+    config: ExperimentConfig, obs_options: Optional[Dict[str, bool]] = None
+) -> None:
     global _WORKER_CONFIG, _WORKER_MEMO
     import repro.baselines  # noqa: F401  (register allocators in the child)
 
     _WORKER_CONFIG = config
     _WORKER_MEMO = WorkloadMemo()
+    # Install *fresh* observability instances matching the parent's
+    # switches.  Crucial under fork: a child must not inherit (and later
+    # re-ship) spans the parent already recorded.
+    obs.configure(**(obs_options or {}))
 
 
 def _run_cell_in_worker(spec: CellSpec) -> CellOutcome:
     if _WORKER_CONFIG is None:  # pragma: no cover — initializer always ran
         raise RuntimeError("worker used before initialization")
-    return run_cell(_WORKER_CONFIG, spec, _WORKER_MEMO)
+    outcome = run_cell(_WORKER_CONFIG, spec, _WORKER_MEMO)
+    # Attach this cell's observability payload to the outcome so it can
+    # ride the existing result pipe; draining keeps worker memory flat.
+    tracer = obs.get_tracer()
+    registry = obs.get_metrics()
+    if tracer.enabled or registry.enabled:
+        outcome = replace(
+            outcome,
+            spans=tuple(tracer.drain_payload()) if tracer.enabled else None,
+            metrics=registry.drain_snapshot() if registry.enabled else None,
+        )
+    return outcome
 
 
 def execute_cells(
@@ -259,19 +337,22 @@ def execute_cells(
         memo = WorkloadMemo()
         return [run_cell(config, spec, memo) for spec in cells]
 
+    tracer = obs.get_tracer()
+    registry = obs.get_metrics()
     outcomes: List[Optional[CellOutcome]] = [None] * len(cells)
     with ProcessPoolExecutor(
         max_workers=min(workers, len(cells)),
         initializer=_initialize_worker,
-        initargs=(config,),
+        initargs=(config, obs.worker_options()),
     ) as pool:
+        submitted_unix = time.time()
         futures = [pool.submit(_run_cell_in_worker, spec) for spec in cells]
         for index, (spec, future) in enumerate(zip(cells, futures)):
             try:
-                outcomes[index] = future.result(timeout=cell_timeout)
+                outcome = future.result(timeout=cell_timeout)
             except _FutureTimeout:
                 future.cancel()
-                outcomes[index] = CellOutcome(
+                outcome = CellOutcome(
                     value_index=spec.value_index,
                     replication=spec.replication,
                     algorithm=spec.algorithm,
@@ -280,13 +361,54 @@ def execute_cells(
                         "(worker not interrupted)"
                     ),
                 )
+                tracer.instant(
+                    "experiment.cell_timeout",
+                    value_index=spec.value_index,
+                    replication=spec.replication,
+                    algorithm=spec.algorithm,
+                    timeout_seconds=cell_timeout,
+                )
+                registry.counter("experiment.cell_timeouts").inc()
             except Exception as exc:  # noqa: BLE001 — e.g. BrokenProcessPool
-                outcomes[index] = CellOutcome(
+                outcome = CellOutcome(
                     value_index=spec.value_index,
                     replication=spec.replication,
                     algorithm=spec.algorithm,
                     error=f"{type(exc).__name__}: {exc}",
                 )
+                tracer.instant(
+                    "experiment.cell_failure",
+                    value_index=spec.value_index,
+                    replication=spec.replication,
+                    algorithm=spec.algorithm,
+                    error=outcome.error,
+                )
+                registry.counter("experiment.cell_errors").inc()
+            else:
+                # Merge the worker's observability payload, in grid
+                # order (this loop), so merged traces and metrics are
+                # deterministic for any completion order.  Queue wait is
+                # measured by the parent: time from fan-out submission
+                # until the worker actually started the cell.
+                queue_wait = (
+                    max(0.0, outcome.started_unix - submitted_unix)
+                    if outcome.started_unix is not None
+                    else None
+                )
+                if queue_wait is not None:
+                    registry.histogram("experiment.queue_wait_seconds").observe(
+                        queue_wait
+                    )
+                if outcome.spans and tracer.enabled:
+                    root_attributes: Dict[str, Any] = {}
+                    if queue_wait is not None:
+                        root_attributes["queue_wait_seconds"] = queue_wait
+                    tracer.adopt(outcome.spans, root_attributes=root_attributes)
+                if outcome.metrics and registry.enabled:
+                    registry.merge(outcome.metrics)
+                if outcome.spans is not None or outcome.metrics is not None:
+                    outcome = replace(outcome, spans=None, metrics=None)
+            outcomes[index] = outcome
     return [outcome for outcome in outcomes if outcome is not None]
 
 

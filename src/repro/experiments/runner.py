@@ -26,7 +26,10 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional, Union
 
+import os
+
 import repro.baselines  # noqa: F401  (registers baseline allocators)
+from repro import obs
 from repro.analysis.stats import aggregate
 from repro.core.cost import average_waiting_time
 from repro.core.scheduler import make_allocator
@@ -68,9 +71,20 @@ def _serial_outcomes(config: ExperimentConfig) -> List[CellOutcome]:
             )
             database = generate_database(spec)
             for algorithm in config.algorithms:
-                outcome = allocators[algorithm].allocate(
-                    database, point.num_channels
-                )
+                with obs.span(
+                    "experiment.cell",
+                    value_index=value_index,
+                    replication=replication,
+                    algorithm=algorithm,
+                    worker_pid=os.getpid(),
+                ) as span:
+                    outcome = allocators[algorithm].allocate(
+                        database, point.num_channels
+                    )
+                    span.update(
+                        cost=outcome.cost,
+                        compute_seconds=outcome.elapsed_seconds,
+                    )
                 outcomes.append(
                     CellOutcome(
                         value_index=value_index,
@@ -189,13 +203,30 @@ def run_experiment(
         are listed in ``result.errors``.
     """
     resolved = resolve_workers(workers)
-    if resolved is None:
-        outcomes = _serial_outcomes(config)
-    else:
-        outcomes = execute_cells(
-            config,
-            build_cell_grid(config),
-            workers=resolved,
-            cell_timeout=cell_timeout,
-        )
-    return _merge_outcomes(config, outcomes, progress)
+    grid_size = (
+        len(config.sweep_values) * config.replications * len(config.algorithms)
+    )
+    with obs.span(
+        "experiment.run",
+        experiment=config.name,
+        sweep_parameter=config.sweep_parameter,
+        cells=grid_size,
+        workers=resolved if resolved is not None else 0,
+    ) as span:
+        if resolved is None:
+            outcomes = _serial_outcomes(config)
+        else:
+            outcomes = execute_cells(
+                config,
+                build_cell_grid(config),
+                workers=resolved,
+                cell_timeout=cell_timeout,
+            )
+        result = _merge_outcomes(config, outcomes, progress)
+        span.update(rows=len(result.rows), errors=len(result.errors))
+        registry = obs.get_metrics()
+        if registry.enabled:
+            registry.counter("experiment.runs").inc()
+            registry.counter("experiment.rows").inc(len(result.rows))
+            registry.counter("experiment.errors").inc(len(result.errors))
+    return result

@@ -1,0 +1,169 @@
+"""Observability: tracing spans, metrics and run manifests.
+
+The package is dependency-free and **off by default**: the module-level
+tracer and metrics registry start as no-op singletons, so instrumented
+hot paths (``drp_allocate``, ``cds_refine``, ``contiguous_optimal``,
+the experiment runner, the simulators) pay only a handful of trivial
+calls per *run* — never per item, move or event.  The no-op budget is
+enforced by ``benchmarks/bench_obs_overhead.py`` and the regression
+test in ``tests/test_obs_integration.py``.
+
+Enabling
+--------
+* CLI: ``repro ... --trace out.jsonl --metrics metrics.json`` — flags
+  available on every subcommand; a manifest is written alongside.
+* Environment: ``REPRO_TRACE=out.jsonl`` / ``REPRO_METRICS=m.json``.
+* Programmatic::
+
+      from repro import obs
+      tracer, registry = obs.configure(trace=True, metrics=True)
+      ...  # run instrumented code
+      tracer.export_jsonl("t.jsonl")       # or .export_chrome("t.json")
+      registry.export_json("m.json")
+      obs.reset()
+
+Instrumented code talks to the active instances through
+:func:`span` / :func:`get_metrics`; worker processes install their own via
+:func:`configure` and ship finished spans / counter snapshots back over
+the experiment result pipe (see :mod:`repro.experiments.parallel`).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Optional, Tuple, Union
+
+from repro.obs import log  # noqa: F401  (re-exported submodule)
+from repro.obs.manifest import build_manifest, config_digest, write_manifest
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    METRICS_SCHEMA_VERSION,
+    MetricsRegistry,
+    NULL_METRICS,
+    NullMetricsRegistry,
+)
+from repro.obs.tracing import (
+    JSONL_SCHEMA_VERSION,
+    NULL_TRACER,
+    NullTracer,
+    SpanRecord,
+    Tracer,
+    chrome_trace_events,
+    jsonl_to_chrome,
+)
+
+__all__ = [
+    "TRACE_ENV_VAR",
+    "METRICS_ENV_VAR",
+    "Tracer",
+    "NullTracer",
+    "SpanRecord",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "JSONL_SCHEMA_VERSION",
+    "METRICS_SCHEMA_VERSION",
+    "chrome_trace_events",
+    "jsonl_to_chrome",
+    "build_manifest",
+    "config_digest",
+    "write_manifest",
+    "get_tracer",
+    "get_metrics",
+    "span",
+    "instant",
+    "tracing_enabled",
+    "configure",
+    "configure_from_env",
+    "reset",
+    "worker_options",
+    "log",
+]
+
+#: ``REPRO_TRACE=<path.jsonl>`` enables tracing for CLI runs.
+TRACE_ENV_VAR = "REPRO_TRACE"
+
+#: ``REPRO_METRICS=<path.json>`` enables the metrics registry.
+METRICS_ENV_VAR = "REPRO_METRICS"
+
+_tracer: Union[Tracer, NullTracer] = NULL_TRACER
+_metrics: Union[MetricsRegistry, NullMetricsRegistry] = NULL_METRICS
+
+
+# ----------------------------------------------------------------------
+# Active-instance access (the only API instrumented code should use)
+# ----------------------------------------------------------------------
+def get_tracer() -> Union[Tracer, NullTracer]:
+    """The active tracer (the no-op singleton unless configured)."""
+    return _tracer
+
+
+def get_metrics() -> Union[MetricsRegistry, NullMetricsRegistry]:
+    """The active metrics registry (no-op unless configured)."""
+    return _metrics
+
+
+def span(name: str, **attributes: Any):
+    """Open a span on the active tracer (no-op when disabled)."""
+    return _tracer.span(name, **attributes)
+
+
+def instant(name: str, **attributes: Any) -> None:
+    """Record an instant marker on the active tracer."""
+    _tracer.instant(name, **attributes)
+
+
+def tracing_enabled() -> bool:
+    """True when a collecting tracer is installed."""
+    return _tracer.enabled
+
+
+# ----------------------------------------------------------------------
+# Configuration
+# ----------------------------------------------------------------------
+def configure(
+    *,
+    trace: bool = False,
+    metrics: bool = False,
+    track_memory: bool = False,
+) -> Tuple[Union[Tracer, NullTracer], Union[MetricsRegistry, NullMetricsRegistry]]:
+    """Install fresh tracer/registry instances (or the no-ops).
+
+    Always replaces the current instances — worker processes call this
+    in their initializer so a forked child never inherits (and later
+    re-ships) spans already recorded by its parent.
+    """
+    global _tracer, _metrics
+    _tracer = Tracer(track_memory=track_memory) if trace else NULL_TRACER
+    _metrics = MetricsRegistry() if metrics else NULL_METRICS
+    return _tracer, _metrics
+
+
+def configure_from_env() -> Tuple[Optional[str], Optional[str]]:
+    """Enable tracing/metrics per ``REPRO_TRACE`` / ``REPRO_METRICS``.
+
+    Returns the ``(trace_path, metrics_path)`` the environment asked
+    for (either may be ``None``).  Does nothing — and preserves any
+    programmatic configuration — when neither variable is set.
+    """
+    trace_path = os.environ.get(TRACE_ENV_VAR, "").strip() or None
+    metrics_path = os.environ.get(METRICS_ENV_VAR, "").strip() or None
+    if trace_path or metrics_path:
+        configure(trace=trace_path is not None, metrics=metrics_path is not None)
+    return trace_path, metrics_path
+
+
+def reset() -> None:
+    """Restore the disabled (no-op) tracer and registry."""
+    global _tracer, _metrics
+    _tracer = NULL_TRACER
+    _metrics = NULL_METRICS
+
+
+def worker_options() -> dict:
+    """The observability switches to replicate in a worker process."""
+    return {
+        "trace": _tracer.enabled,
+        "metrics": _metrics.enabled,
+        "track_memory": getattr(_tracer, "track_memory", False),
+    }

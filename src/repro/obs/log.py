@@ -1,0 +1,69 @@
+"""Stderr logging for human-facing progress and diagnostics.
+
+Progress lines used to go to stdout via bare ``print``, which corrupted
+machine-parseable output (``figure --csv/--json`` previews, piped
+``report`` markdown).  This module routes them through a standard
+:mod:`logging` logger whose handler writes to *current* ``sys.stderr``
+(resolved per record, so pytest's capture and late redirections work),
+keeping stdout exclusively for results.
+
+``REPRO_LOG_LEVEL`` (e.g. ``DEBUG``, ``WARNING``) overrides the default
+``INFO`` level.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sys
+from typing import Any
+
+__all__ = ["LOGGER_NAME", "LOG_LEVEL_ENV_VAR", "get_logger", "progress"]
+
+#: Root logger name of the package.
+LOGGER_NAME = "repro"
+
+#: Environment variable overriding the default INFO level.
+LOG_LEVEL_ENV_VAR = "REPRO_LOG_LEVEL"
+
+
+class _CurrentStderrHandler(logging.StreamHandler):
+    """A StreamHandler that always writes to the *current* sys.stderr."""
+
+    def __init__(self) -> None:
+        logging.Handler.__init__(self)
+
+    @property
+    def stream(self) -> Any:
+        return sys.stderr
+
+    @stream.setter
+    def stream(self, value: Any) -> None:  # pragma: no cover - unused
+        pass
+
+
+_configured = False
+
+
+def get_logger(name: str = LOGGER_NAME) -> logging.Logger:
+    """The package logger (configured on first use, stderr, no bubbling)."""
+    global _configured
+    root = logging.getLogger(LOGGER_NAME)
+    if not _configured:
+        handler = _CurrentStderrHandler()
+        handler.setFormatter(logging.Formatter("%(message)s"))
+        root.addHandler(handler)
+        level = os.environ.get(LOG_LEVEL_ENV_VAR, "").strip().upper() or "INFO"
+        root.setLevel(getattr(logging, level, logging.INFO))
+        root.propagate = False
+        _configured = True
+    if name == LOGGER_NAME:
+        return root
+    if not name.startswith(LOGGER_NAME + "."):
+        name = f"{LOGGER_NAME}.{name}"
+    return logging.getLogger(name)
+
+
+def progress(message: str) -> None:
+    """Progress callback for the experiment runner (stderr via logging)."""
+    get_logger("progress").info(message)

@@ -31,6 +31,7 @@ from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.core.allocation import ChannelAllocation
 from repro.core.cost import DEFAULT_BANDWIDTH, average_waiting_time
 from repro.exceptions import SimulationError
@@ -107,7 +108,7 @@ def run_batched_simulation(
     parameters, same report, identical measured statistics for the same
     seed), with ``events_processed = 0``.
     """
-    from repro.simulation.simulator import SimulationReport
+    from repro.simulation.simulator import SimulationReport, _record_simulation_metrics
 
     if num_requests < 1:
         raise SimulationError(f"num_requests must be >= 1, got {num_requests}")
@@ -120,39 +121,53 @@ def run_batched_simulation(
         seed=seed,
         request_probabilities=request_probabilities,
     )
-    arrivals, picks = generator.sample_batch(num_requests)
-    item_ids = generator.item_ids
-    waits = batched_waiting_times(program, item_ids, arrivals, picks)
-    if waits.size and float(waits.min()) < 0:
-        raise SimulationError(
-            f"waiting time cannot be negative, got {float(waits.min())}"
-        )
+    with obs.span(
+        "sim.run",
+        backend="numpy",
+        requests=num_requests,
+        channels=allocation.num_channels,
+    ) as span:
+        arrivals, picks = generator.sample_batch(num_requests)
+        item_ids = generator.item_ids
+        waits = batched_waiting_times(program, item_ids, arrivals, picks)
+        if waits.size and float(waits.min()) < 0:
+            raise SimulationError(
+                f"waiting time cannot be negative, got {float(waits.min())}"
+            )
 
-    # Group waits by item without a per-request Python loop: one stable
-    # sort, then contiguous slices.  Statistics go through the same
-    # summarize() (exact fsum) as the collector, so ordering is moot.
-    order = np.argsort(picks, kind="stable")
-    sorted_picks = picks[order]
-    sorted_waits = waits[order]
-    boundaries = np.flatnonzero(np.diff(sorted_picks)) + 1
-    group_starts = np.concatenate(([0], boundaries))
-    per_item: Dict[str, SummaryStatistics] = {}
-    for group in range(len(group_starts)):
-        lo = int(group_starts[group])
-        hi = (
-            int(group_starts[group + 1])
-            if group + 1 < len(group_starts)
-            else len(sorted_waits)
-        )
-        item_id = item_ids[int(sorted_picks[lo])]
-        per_item[item_id] = summarize(sorted_waits[lo:hi].tolist())
+        # Group waits by item without a per-request Python loop: one
+        # stable sort, then contiguous slices.  Statistics go through
+        # the same summarize() (exact fsum) as the collector, so
+        # ordering is moot.
+        order = np.argsort(picks, kind="stable")
+        sorted_picks = picks[order]
+        sorted_waits = waits[order]
+        boundaries = np.flatnonzero(np.diff(sorted_picks)) + 1
+        group_starts = np.concatenate(([0], boundaries))
+        per_item: Dict[str, SummaryStatistics] = {}
+        for group in range(len(group_starts)):
+            lo = int(group_starts[group])
+            hi = (
+                int(group_starts[group + 1])
+                if group + 1 < len(group_starts)
+                else len(sorted_waits)
+            )
+            item_id = item_ids[int(sorted_picks[lo])]
+            per_item[item_id] = summarize(sorted_waits[lo:hi].tolist())
 
-    return SimulationReport(
-        measured=summarize(waits.tolist()),
-        analytical_waiting_time=average_waiting_time(
-            allocation, bandwidth=bandwidth
-        ),
-        num_requests=int(num_requests),
-        events_processed=0,
-        per_item=per_item,
-    )
+        report = SimulationReport(
+            measured=summarize(waits.tolist()),
+            analytical_waiting_time=average_waiting_time(
+                allocation, bandwidth=bandwidth
+            ),
+            num_requests=int(num_requests),
+            events_processed=0,
+            per_item=per_item,
+        )
+        span.update(
+            events_processed=report.events_processed,
+            requests_served=report.num_requests,
+            measured_mean=report.measured.mean,
+        )
+        _record_simulation_metrics(report, allocation)
+    return report

@@ -26,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence
 
+from repro import obs
 from repro.core.allocation import ChannelAllocation
 from repro.core.cost import DEFAULT_BANDWIDTH, average_waiting_time
 from repro.exceptions import SimulationError
@@ -174,17 +175,66 @@ def run_broadcast_simulation(
             priority=EventPriority.ARRIVAL,
         )
 
-    engine.run()
-    per_item = {
-        item_id: collector.for_item(item_id)
-        for item_id in collector.item_ids
-    }
-    return SimulationReport(
-        measured=collector.overall(),
-        analytical_waiting_time=average_waiting_time(
-            allocation, bandwidth=bandwidth
-        ),
-        num_requests=collector.count,
-        events_processed=engine.processed_events,
-        per_item={k: v for k, v in per_item.items() if v is not None},
-    )
+    with obs.span(
+        "sim.run",
+        backend="python",
+        requests=num_requests,
+        channels=allocation.num_channels,
+    ) as span:
+        engine.run()
+        per_item = {
+            item_id: collector.for_item(item_id)
+            for item_id in collector.item_ids
+        }
+        report = SimulationReport(
+            measured=collector.overall(),
+            analytical_waiting_time=average_waiting_time(
+                allocation, bandwidth=bandwidth
+            ),
+            num_requests=collector.count,
+            events_processed=engine.processed_events,
+            per_item={k: v for k, v in per_item.items() if v is not None},
+        )
+        span.update(
+            events_processed=report.events_processed,
+            requests_served=report.num_requests,
+            measured_mean=report.measured.mean,
+        )
+        _record_simulation_metrics(report, allocation)
+    return report
+
+
+def _record_simulation_metrics(
+    report: "SimulationReport", allocation: ChannelAllocation
+) -> None:
+    """Bump the ``sim.*`` counters and per-channel utilization gauges.
+
+    Utilization here is each channel's share of the served requests —
+    the broadcast medium itself is always transmitting, so demand share
+    is the quantity that distinguishes hot channels from cold ones.
+    Gauges are per channel index; everything is computed from the
+    report's per-item summaries (no per-event bookkeeping).
+    """
+    registry = obs.get_metrics()
+    if not registry.enabled:
+        return
+    registry.counter("sim.runs").inc()
+    registry.counter("sim.requests_served").inc(report.num_requests)
+    registry.counter("sim.events_processed").inc(report.events_processed)
+    total = report.num_requests
+    if not total:
+        return
+    channel_of: Dict[str, int] = {}
+    for channel in range(allocation.num_channels):
+        for item in allocation.channel_items(channel):
+            channel_of[item.item_id] = channel
+    served = [0] * allocation.num_channels
+    for item_id, summary in report.per_item.items():
+        channel = channel_of.get(item_id)
+        if channel is not None:
+            served[channel] += summary.count
+    for channel, count in enumerate(served):
+        registry.gauge("sim.channel_utilization", channel=channel).set(
+            count / total
+        )
+        registry.counter("sim.channel_requests", channel=channel).inc(count)

@@ -1,0 +1,269 @@
+"""Integration tests: observability across allocators, runner, workers.
+
+The contracts under test:
+
+* **Parity** — enabling tracing/metrics changes *nothing* about the
+  computed results: identical allocations, identical experiment rows
+  (wall-clock ``elapsed`` aggregates excepted), serial and parallel.
+* **Golden trace** — on the paper's Table 2 example, the CDS cost
+  trajectory is monotonically non-increasing and ends at the paper's
+  22.29.
+* **Worker spans** — with ``workers=2`` the merged trace contains every
+  cell's span, tagged with the worker pid and the queue wait measured
+  by the parent.
+* **Overhead** — the disabled (no-op) instrumentation costs less than
+  5% on a small DRP+CDS workload.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import sys
+import time
+
+import pytest
+
+from repro import obs
+from repro.core.cds import cds_refine
+from repro.core.cost import allocation_cost
+from repro.core.drp import drp_allocate
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+from repro.workloads.generator import WorkloadSpec, generate_database
+from repro.workloads.paper_profile import PAPER_NUM_CHANNELS, paper_database
+
+from tests.trace_schema import validate_metrics_snapshot, validate_trace_jsonl
+
+_FORK_ONLY = pytest.mark.skipif(
+    multiprocessing.get_start_method(allow_none=False) != "fork"
+    and sys.platform != "linux",
+    reason="worker tests assume a fork-capable platform",
+)
+
+
+@pytest.fixture(autouse=True)
+def _reset_obs():
+    obs.reset()
+    yield
+    obs.reset()
+
+
+def small_config(**overrides):
+    defaults = dict(
+        name="obs-test",
+        description="observability integration sweep",
+        sweep_parameter="num_channels",
+        sweep_values=(3.0, 4.0),
+        algorithms=("drp", "drp-cds"),
+        num_items=20,
+        replications=2,
+    )
+    defaults.update(overrides)
+    return ExperimentConfig(**defaults)
+
+
+def rows_without_elapsed(result):
+    return [
+        dataclasses.replace(
+            row, mean_elapsed_seconds=0.0, std_elapsed_seconds=0.0
+        )
+        for row in result.rows
+    ]
+
+
+# ----------------------------------------------------------------------
+# Parity: observability must never change results
+# ----------------------------------------------------------------------
+class TestParity:
+    def test_allocation_identical_with_tracing(self):
+        database = generate_database(
+            WorkloadSpec(num_items=40, skewness=0.8, seed=3)
+        )
+        baseline = drp_allocate(database, 5)
+        refined_baseline = cds_refine(baseline.allocation)
+
+        obs.configure(trace=True, metrics=True)
+        traced = drp_allocate(database, 5)
+        refined_traced = cds_refine(traced.allocation)
+
+        assert traced.allocation.as_id_lists() == baseline.allocation.as_id_lists()
+        assert traced.cost == baseline.cost
+        assert (
+            refined_traced.allocation.as_id_lists()
+            == refined_baseline.allocation.as_id_lists()
+        )
+        assert refined_traced.cost == refined_baseline.cost
+        assert [m.item_id for m in refined_traced.moves] == [
+            m.item_id for m in refined_baseline.moves
+        ]
+
+    def test_serial_rows_identical_with_tracing(self):
+        config = small_config()
+        baseline = run_experiment(config)
+        obs.configure(trace=True, metrics=True)
+        traced = run_experiment(config)
+        assert rows_without_elapsed(traced) == rows_without_elapsed(baseline)
+        assert traced.errors == baseline.errors
+
+    @_FORK_ONLY
+    def test_parallel_rows_identical_with_tracing(self):
+        config = small_config()
+        baseline = run_experiment(config)
+        obs.configure(trace=True, metrics=True)
+        traced = run_experiment(config, workers=2)
+        assert rows_without_elapsed(traced) == rows_without_elapsed(baseline)
+
+
+# ----------------------------------------------------------------------
+# Golden trace: the paper's worked example, observable end to end
+# ----------------------------------------------------------------------
+class TestGoldenTrace:
+    def test_cds_trajectory_reaches_paper_cost(self):
+        database = paper_database()
+        rough = drp_allocate(
+            database, PAPER_NUM_CHANNELS, split_policy="max-reduction"
+        )
+        refined = cds_refine(rough.allocation)
+        trajectory = refined.cost_trajectory
+        assert trajectory[0] == pytest.approx(rough.cost)
+        assert all(
+            later <= earlier
+            for earlier, later in zip(trajectory, trajectory[1:])
+        ), "CDS cost trajectory must be monotonically non-increasing"
+        assert trajectory[-1] == pytest.approx(22.29, abs=0.005)
+        assert abs(trajectory[-1] - refined.cost) < 1e-9
+
+    def test_cds_span_carries_the_trajectory(self):
+        tracer, _ = obs.configure(trace=True)
+        database = paper_database()
+        rough = drp_allocate(
+            database, PAPER_NUM_CHANNELS, split_policy="max-reduction"
+        )
+        cds_refine(rough.allocation)
+        span = tracer.find("cds.refine")[0]
+        trajectory = span.attributes["cost_trajectory"]
+        assert trajectory == list(cds_refine(rough.allocation).cost_trajectory)
+        assert span.attributes["cost_final"] == pytest.approx(22.29, abs=0.005)
+        assert span.attributes["converged"] is True
+
+    def test_drp_trajectory_tracks_running_cost(self):
+        database = paper_database()
+        result = drp_allocate(
+            database, PAPER_NUM_CHANNELS, split_policy="max-reduction"
+        )
+        trajectory = result.cost_trajectory
+        # Initial one-group cost plus one entry per split.
+        assert len(trajectory) == result.iterations + 1
+        assert all(
+            later <= earlier
+            for earlier, later in zip(trajectory, trajectory[1:])
+        )
+        assert trajectory[-1] == pytest.approx(result.cost)
+        assert trajectory[-1] == pytest.approx(
+            allocation_cost(result.allocation)
+        )
+
+
+# ----------------------------------------------------------------------
+# Worker spans: parallel runs produce a complete merged trace
+# ----------------------------------------------------------------------
+@_FORK_ONLY
+class TestWorkerSpans:
+    def test_parallel_trace_has_every_cell(self):
+        config = small_config()
+        tracer, registry = obs.configure(trace=True, metrics=True)
+        run_experiment(config, workers=2)
+
+        cells = tracer.find("experiment.cell")
+        grid = (
+            len(config.sweep_values)
+            * config.replications
+            * len(config.algorithms)
+        )
+        assert len(cells) == grid
+        run_span = tracer.find("experiment.run")[0]
+        for cell in cells:
+            assert cell.parent_id == run_span.span_id
+            assert isinstance(cell.attributes["worker_pid"], int)
+            assert cell.attributes["queue_wait_seconds"] >= 0.0
+            assert cell.attributes["compute_seconds"] >= 0.0
+        # Algorithm spans from the workers nest under their cells.
+        cell_ids = {cell.span_id for cell in cells}
+        drp_spans = tracer.find("drp.allocate")
+        assert drp_spans
+        assert all(span.parent_id in cell_ids for span in drp_spans)
+
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["experiment.cells"] == grid
+        assert snapshot["counters"]["drp.runs"] == grid
+        assert "experiment.queue_wait_seconds" in snapshot["histograms"]
+
+    def test_exported_artifacts_validate(self, tmp_path):
+        config = small_config(replications=1)
+        tracer, registry = obs.configure(trace=True, metrics=True)
+        run_experiment(config, workers=2)
+        trace_path = tmp_path / "run.jsonl"
+        metrics_path = tmp_path / "metrics.json"
+        tracer.export_jsonl(trace_path)
+        registry.export_json(metrics_path)
+        assert validate_trace_jsonl(trace_path) == len(tracer.records)
+        assert validate_metrics_snapshot(metrics_path) > 0
+
+
+# ----------------------------------------------------------------------
+# Overhead: disabled instrumentation must be (nearly) free
+# ----------------------------------------------------------------------
+class TestOverhead:
+    def test_noop_span_cost_is_sub_microsecond_scale(self):
+        """A disabled span costs a fraction of the smallest real run."""
+        obs.reset()
+        iterations = 20_000
+        start = time.perf_counter()
+        for _ in range(iterations):
+            with obs.span("noop", a=1, b=2):
+                pass
+        per_span = (time.perf_counter() - start) / iterations
+        # Generous CI bound: tens of microseconds would still pass the
+        # <5% budget below; anything worse points at a regression on
+        # the disabled path (e.g. building records while disabled).
+        assert per_span < 50e-6
+
+    def test_disabled_overhead_under_five_percent(self):
+        """Instrumented-but-disabled runs stay within 5% of their cost.
+
+        Spans are opened per *run*, never per item/move, so the no-op
+        budget is spans-per-run x per-span cost.  Measuring two
+        end-to-end timings in CI is hopelessly noisy; instead measure
+        the per-span no-op cost, count the spans a run opens, and
+        require head-room of 10x against 5% of the run's time.
+        """
+        obs.reset()
+        database = generate_database(
+            WorkloadSpec(num_items=120, skewness=0.8, seed=1)
+        )
+
+        def workload():
+            rough = drp_allocate(database, 7)
+            cds_refine(rough.allocation)
+
+        workload()  # warm-up
+        runs = 5
+        start = time.perf_counter()
+        for _ in range(runs):
+            workload()
+        run_seconds = (time.perf_counter() - start) / runs
+
+        spans_per_run = 2  # drp.allocate + cds.refine
+        iterations = 20_000
+        start = time.perf_counter()
+        for _ in range(iterations):
+            with obs.span("noop", items=60, channels=5):
+                pass
+        per_span = (time.perf_counter() - start) / iterations
+
+        overhead = spans_per_run * per_span
+        assert overhead * 10 < run_seconds * 0.05, (
+            f"no-op instrumentation costs {overhead * 1e6:.2f}us per run "
+            f"against a {run_seconds * 1e3:.2f}ms workload"
+        )
