@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-kernels bench-parallel bench-obs trace-smoke figures report examples clean
+.PHONY: install test bench bench-kernels bench-incr bench-parallel bench-obs trace-smoke figures report examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -17,6 +17,12 @@ bench:
 # repo root (see the Performance section of README.md for the schema).
 bench-kernels:
 	$(PYTHON) benchmarks/bench_kernels.py
+
+# Warm-start vs cold epoch re-allocation timings across drift rates;
+# writes BENCH_incr.json at the repo root (schema in
+# docs/observability.md).
+bench-incr:
+	$(PYTHON) benchmarks/bench_incremental.py
 
 # Serial-vs-parallel sweep and engine-vs-batched simulation timings;
 # writes BENCH_runner.json at the repo root (schema in README.md).

@@ -34,6 +34,7 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+import time
 from typing import Optional, Sequence, Tuple
 
 import repro.baselines  # noqa: F401  (registers baseline allocators)
@@ -107,6 +108,17 @@ def _add_figure_arguments(parser: argparse.ArgumentParser) -> None:
             "seconds as an error instead of waiting forever"
         ),
     )
+    parser.add_argument(
+        "--warm-start",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help=(
+            "seed DRP-CDS cells from the nearest finished sweep "
+            "neighbour's allocation (replications reuse replication 0); "
+            "identical for any --workers count, but costs may differ "
+            "slightly from a cold sweep within the warm-start guard"
+        ),
+    )
     parser.add_argument("--csv", default=None, help="write rows to CSV file")
     parser.add_argument("--json", default=None, help="write result to JSON file")
     parser.add_argument(
@@ -178,6 +190,17 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "also print per-algorithm work counters (DRP splits/heap "
             "traffic, CDS moves/Δc evaluations/improvement)"
+        ),
+    )
+    allocate.add_argument(
+        "--warm-start",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help=(
+            "route algorithms through an allocation cache keyed by the "
+            "workload fingerprint (seed, N, K, algorithm): repeated "
+            "algorithm names become cache hits; --stats reports "
+            "hits/misses"
         ),
     )
 
@@ -256,6 +279,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="popularity rank rotation per epoch",
     )
     adaptive.add_argument("--seed", type=int, default=0)
+    adaptive.add_argument(
+        "--warm-start",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help=(
+            "re-seed CDS from the previous epoch's allocation at each "
+            "epoch boundary (incremental engine with regression guard "
+            "and allocation cache) instead of re-running DRP+CDS cold"
+        ),
+    )
 
     hetero = subparsers.add_parser(
         "hetero",
@@ -394,11 +427,17 @@ def _cmd_allocate(args: argparse.Namespace) -> int:
     bound = waiting_time_lower_bound(
         database, args.channels, bandwidth=args.bandwidth
     )
+    cache = None
+    if getattr(args, "warm_start", False):
+        from repro.core.incremental import AllocationCache
+
+        cache = AllocationCache()
     rows = []
     outcomes = []
     for name in args.algorithms:
-        allocator = make_allocator(name)
-        outcome = allocator.allocate(database, args.channels)
+        outcome = _allocate_one(
+            name, database, args.channels, args.seed, cache
+        )
         outcomes.append(outcome)
         rows.append(
             (
@@ -420,7 +459,53 @@ def _cmd_allocate(args: argparse.Namespace) -> int:
     if args.stats:
         print()
         _print_allocate_stats(outcomes)
+        if cache is not None:
+            stats = cache.stats()
+            print(
+                f"\nallocation cache: {stats['hits']} hits, "
+                f"{stats['misses']} misses, {stats['entries']} entries"
+            )
     return 0
+
+
+def _allocate_one(name, database, num_channels, seed, cache):
+    """Run one algorithm, consulting the allocation cache when enabled.
+
+    The cache is keyed by the workload fingerprint (seed, N, K,
+    algorithm) — the tuple that deterministically generated the
+    database — so a repeated algorithm name returns the stored
+    allocation without re-searching.
+    """
+    from repro.core.cost import allocation_cost
+    from repro.core.incremental import workload_fingerprint
+    from repro.core.scheduler import AllocationOutcome
+
+    key = None
+    if cache is not None:
+        key = workload_fingerprint(
+            num_items=len(database),
+            num_channels=num_channels,
+            seed=seed,
+            algorithm=name,
+        )
+        compact = cache.get(key)
+        if compact is not None and compact.compatible_with(
+            database, num_channels
+        ):
+            start = time.perf_counter()
+            allocation = compact.to_allocation(database)
+            return AllocationOutcome(
+                allocation=allocation,
+                cost=allocation_cost(allocation),
+                elapsed_seconds=time.perf_counter() - start,
+                algorithm=name,
+                metadata={"cache_hit": True},
+            )
+    allocator = make_allocator(name)
+    outcome = allocator.allocate(database, num_channels)
+    if cache is not None and key is not None:
+        cache.put(key, outcome.allocation, cost=outcome.cost)
+    return outcome
 
 
 #: ``allocate --stats`` columns: (metadata key, printed label).
@@ -469,6 +554,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         replications=args.replications,
         workers=args.workers,
         cell_timeout=args.cell_timeout,
+        warm_start=args.warm_start,
         progress=progress,
     )
     print()
@@ -597,8 +683,9 @@ def _cmd_adaptive(args: argparse.Namespace) -> int:
         drift=drift,
         seed=args.seed,
     )
+    warm = getattr(args, "warm_start", False)
     adaptive = run_adaptive_simulation(
-        database, DRPCDSAllocator(), adapt=True, **common
+        database, DRPCDSAllocator(), adapt=True, warm_start=warm, **common
     )
     static = run_adaptive_simulation(
         database, DRPCDSAllocator(), adapt=False, **common
@@ -622,6 +709,20 @@ def _cmd_adaptive(args: argparse.Namespace) -> int:
             precision=3,
         )
     )
+    if warm:
+        warm_epochs = sum(
+            1 for r in adaptive if r.allocation_mode in ("warm", "fallback")
+        )
+        fallbacks = sum(
+            1 for r in adaptive if r.allocation_mode == "fallback"
+        )
+        cache_hits = sum(1 for r in adaptive if r.cache_hit)
+        moves = sum(r.warm_moves for r in adaptive)
+        print(
+            f"\nwarm start: {warm_epochs}/{len(adaptive)} epochs warm "
+            f"({moves} CDS moves total), {cache_hits} cache hits, "
+            f"{fallbacks} guard fallbacks"
+        )
     return 0
 
 

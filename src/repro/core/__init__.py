@@ -30,7 +30,20 @@ from repro.core.hetero import (
     hetero_move_delta,
     hetero_waiting_time,
 )
-from repro.core.incremental import insert_item, remove_item, update_frequency
+from repro.core.incremental import (
+    DEFAULT_REGRESSION_GUARD,
+    AllocationCache,
+    CompactAllocation,
+    IncrementalAllocator,
+    IncrementalStats,
+    WarmStartResult,
+    database_fingerprint,
+    insert_item,
+    remove_item,
+    update_frequency,
+    warm_start_refine,
+    workload_fingerprint,
+)
 from repro.core.item import DataItem
 from repro.core.kernels import BACKENDS, HAS_NUMPY, resolve_backend
 from repro.core.partition import (
@@ -92,6 +105,15 @@ __all__ = [
     "insert_item",
     "remove_item",
     "update_frequency",
+    "DEFAULT_REGRESSION_GUARD",
+    "AllocationCache",
+    "CompactAllocation",
+    "IncrementalAllocator",
+    "IncrementalStats",
+    "WarmStartResult",
+    "database_fingerprint",
+    "warm_start_refine",
+    "workload_fingerprint",
     "Allocator",
     "AllocationOutcome",
     "DRPAllocator",

@@ -205,6 +205,51 @@ class ChannelAllocation:
         )
 
     @classmethod
+    def rebase(
+        cls,
+        database: BroadcastDatabase,
+        source: "ChannelAllocation | Iterable[Sequence[str]]",
+    ) -> "ChannelAllocation":
+        """Apply the grouping of ``source`` onto ``database``.
+
+        ``source`` is an allocation over an *earlier profile* of the
+        same catalogue (same item ids, possibly different frequencies)
+        or plain per-channel id lists.  Items are looked up fresh in
+        ``database`` so the returned allocation carries the current
+        frequencies — this is how warm starts re-seed CDS after drift.
+
+        Raises
+        ------
+        InvalidAllocationError
+            If the source grouping is not an exact cover of
+            ``database``'s item ids.
+        """
+        if isinstance(source, ChannelAllocation):
+            id_lists: List[List[str]] = source.as_id_lists()
+        else:
+            id_lists = [list(ids) for ids in source]
+        groups: List[List[DataItem]] = []
+        seen: set = set()
+        try:
+            for ids in id_lists:
+                groups.append([database[item_id] for item_id in ids])
+                seen.update(ids)
+        except KeyError as exc:
+            raise InvalidAllocationError(
+                f"cannot rebase: {exc.args[0]!r} is not in the database"
+            ) from None
+        if len(seen) != len(database) or len(seen) != sum(
+            len(ids) for ids in id_lists
+        ):
+            raise InvalidAllocationError(
+                f"cannot rebase: source ids do not partition the database "
+                f"({len(seen)} distinct ids for {len(database)} items)"
+            )
+        # Every id resolved, none duplicated, the counts match — an
+        # exact partition; skip the heavier item-equality re-validation.
+        return cls._trusted(database, groups)
+
+    @classmethod
     def from_assignment_vector(
         cls,
         database: BroadcastDatabase,

@@ -21,7 +21,7 @@ non-empty" invariant therefore holds automatically.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro import obs
 from repro.core import kernels
@@ -108,6 +108,7 @@ class CDSResult:
 def cds_refine(
     allocation: ChannelAllocation,
     *,
+    initial: "ChannelAllocation | Sequence[Sequence[str]] | None" = None,
     max_iterations: Optional[int] = None,
     backend: str = "auto",
 ) -> CDSResult:
@@ -119,6 +120,16 @@ def cds_refine(
         Any valid channel allocation (typically the output of DRP, but
         CDS accepts arbitrary starting points — e.g. a random allocation
         for the "CDS from scratch" ablation).
+    initial:
+        Optional warm-start seed: an allocation (or plain per-channel
+        item-id lists) whose *grouping* — not its item objects — should
+        be the starting point.  It may come
+        from an earlier profile of the same catalogue — the grouping is
+        rebased onto ``allocation.database`` before the search, so the
+        drifted frequencies apply.  ``allocation`` then only supplies
+        the target database; its own grouping is ignored.  The rebase
+        happens once, before backend dispatch, so the python and numpy
+        backends remain bitwise-identical with or without a seed.
     max_iterations:
         Optional hard cap on the number of moves.  ``None`` (default)
         runs to convergence, which Eq. (4) guarantees is finite: the
@@ -144,6 +155,8 @@ def cds_refine(
     The instrumentation reads bookkeeping CDS keeps anyway, so enabling
     it cannot change the refinement.
     """
+    if initial is not None:
+        allocation = ChannelAllocation.rebase(allocation.database, initial)
     resolved = kernels.resolve_backend(backend)
     num_items = len(allocation.database)
     with obs.span(
@@ -151,6 +164,7 @@ def cds_refine(
         items=num_items,
         channels=allocation.num_channels,
         backend=resolved,
+        warm_start=initial is not None,
     ) as span:
         if resolved == "numpy":
             result = _cds_refine_numpy(allocation, max_iterations=max_iterations)

@@ -39,16 +39,30 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
 from repro import obs
+from repro.core import kernels
 from repro.core.allocation import ChannelAllocation
 from repro.core.database import BroadcastDatabase
 from repro.core.item import DataItem
 from repro.core.partition import PrefixSums, best_split_in
 from repro.exceptions import InfeasibleProblemError
 
-__all__ = ["DRPSnapshot", "DRPResult", "drp_allocate", "SPLIT_POLICIES"]
+__all__ = [
+    "DRPSnapshot",
+    "DRPResult",
+    "drp_allocate",
+    "SPLIT_POLICIES",
+    "AUTO_BACKEND_CROSSOVER",
+]
 
 #: Recognised split-selection policies (see module docstring).
 SPLIT_POLICIES = ("max-cost", "max-reduction")
+
+#: Below this catalogue size, ``backend="auto"`` resolves to the scalar
+#: split scan: per-call numpy dispatch overhead swallows the
+#: vectorization win on short ranges (BENCH_core.json measured 1.04× at
+#: N=100 when "auto" meant "always numpy").  An explicit
+#: ``backend="numpy"`` request is still honoured at any size.
+AUTO_BACKEND_CROSSOVER = 512
 
 
 @dataclass(frozen=True)
@@ -107,6 +121,11 @@ class DRPResult:
     #: ``iterations + 1`` and the series is non-increasing whenever a
     #: split cannot raise the cost (always true for optimal splits).
     cost_trajectory: Tuple[float, ...] = ()
+    #: The concrete split-scan implementation that ran: ``"python"`` or
+    #: ``"numpy"``.  ``backend="auto"`` resolves by catalogue size (see
+    #: :data:`AUTO_BACKEND_CROSSOVER`), so callers and tests can pin the
+    #: resolution here.
+    resolved_backend: str = ""
 
 
 def drp_allocate(
@@ -142,8 +161,11 @@ def drp_allocate(
         exactly as the paper prescribes.
     backend:
         ``"python"``, ``"numpy"`` or ``"auto"`` (default) — which
-        implementation of the split scan to use.  Both produce
-        identical splits; see :mod:`repro.core.kernels`.
+        implementation of the split scan to use.  ``"auto"`` picks the
+        scalar path below :data:`AUTO_BACKEND_CROSSOVER` items (numpy
+        dispatch overhead dominates there) and numpy above it.  Both
+        produce identical splits; the choice taken is reported in
+        :attr:`DRPResult.resolved_backend`.
 
     Returns
     -------
@@ -164,12 +186,13 @@ def drp_allocate(
     algorithm keeps anyway, so enabling tracing cannot change the
     allocation.
     """
+    resolved_backend = _resolve_backend_by_size(backend, len(database))
     with obs.span(
         "drp.allocate",
         items=len(database),
         channels=num_channels,
         split_policy=split_policy,
-        backend=backend,
+        backend=resolved_backend,
     ) as span:
         result = _drp_allocate(
             database,
@@ -177,8 +200,9 @@ def drp_allocate(
             split_policy=split_policy,
             trace=trace,
             presorted_items=presorted_items,
-            backend=backend,
+            backend=resolved_backend,
         )
+        result.resolved_backend = resolved_backend
         span.update(
             cost=result.cost,
             iterations=result.iterations,
@@ -195,6 +219,22 @@ def drp_allocate(
             registry.counter("drp.heap_pushes").inc(result.heap_pushes)
             registry.counter("drp.heap_pops").inc(result.heap_pops)
     return result
+
+
+def _resolve_backend_by_size(backend: str, num_items: int) -> str:
+    """Resolve ``"auto"`` with the size-based crossover.
+
+    Both backends compute identical splits, so the crossover is purely
+    a latency decision: it never changes an allocation.
+    """
+    resolved = kernels.resolve_backend(backend)
+    if (
+        backend == "auto"
+        and resolved == "numpy"
+        and num_items < AUTO_BACKEND_CROSSOVER
+    ):
+        return "python"
+    return resolved
 
 
 def _drp_allocate(

@@ -58,6 +58,7 @@ import repro.baselines  # noqa: F401  (registers baseline allocators)
 from repro import obs
 from repro.core.cost import average_waiting_time
 from repro.core.database import BroadcastDatabase
+from repro.core.incremental import CompactAllocation
 from repro.core.scheduler import make_allocator
 from repro.experiments.config import ExperimentConfig
 from repro.workloads.generator import WorkloadSpec, generate_database
@@ -122,6 +123,11 @@ class CellOutcome:
     finished_unix: Optional[float] = None
     spans: Optional[Tuple[Dict[str, Any], ...]] = None
     metrics: Optional[Dict[str, Any]] = None
+    #: The cell's allocation as a compact item-id→channel vector;
+    #: populated only for warm-start sweeps (``collect_seed=True``), so
+    #: later cells can warm-start from it.  Stripped before outcomes
+    #: leave :func:`execute_cells` — it exists to ride the result pipe.
+    seed_result: Optional[CompactAllocation] = None
 
 
 class WorkloadMemo:
@@ -206,8 +212,17 @@ def run_cell(
     config: ExperimentConfig,
     spec: CellSpec,
     memo: Optional[WorkloadMemo] = None,
+    *,
+    warm_seed: Optional[CompactAllocation] = None,
+    collect_seed: bool = False,
 ) -> CellOutcome:
     """Execute one cell, capturing any failure as a recorded error.
+
+    ``warm_seed`` — optional compact allocation from a neighbouring
+    finished cell; it is handed to the allocator as a warm-start seed
+    (algorithms without warm-start support ignore it).  With
+    ``collect_seed`` the outcome carries the cell's own allocation in
+    compact form so the scheduler can seed later cells from it.
 
     Emits an ``experiment.cell`` span (worker pid, sweep coordinates,
     outcome or error tag) on whatever tracer is active in the executing
@@ -221,6 +236,7 @@ def run_cell(
         replication=spec.replication,
         algorithm=spec.algorithm,
         worker_pid=os.getpid(),
+        warm_seeded=warm_seed is not None,
     ) as span:
         try:
             value = config.sweep_values[spec.value_index]
@@ -235,7 +251,9 @@ def run_cell(
                 memo.get(workload) if memo is not None else generate_database(workload)
             )
             allocator = make_allocator(spec.algorithm)
-            outcome = allocator.allocate(database, point.num_channels)
+            outcome = allocator.allocate(
+                database, point.num_channels, initial=warm_seed
+            )
             span.update(cost=outcome.cost, compute_seconds=outcome.elapsed_seconds)
             registry = obs.get_metrics()
             if registry.enabled:
@@ -246,6 +264,8 @@ def run_cell(
                 registry.histogram("experiment.cell_seconds").observe(
                     outcome.elapsed_seconds
                 )
+                if warm_seed is not None:
+                    registry.counter("experiment.warm_seeded_cells").inc()
             return CellOutcome(
                 value_index=spec.value_index,
                 replication=spec.replication,
@@ -258,6 +278,13 @@ def run_cell(
                 worker_pid=os.getpid(),
                 started_unix=started,
                 finished_unix=time.time(),
+                seed_result=(
+                    CompactAllocation.from_allocation(
+                        outcome.allocation, cost=outcome.cost
+                    )
+                    if collect_seed
+                    else None
+                ),
             )
         except Exception as exc:  # noqa: BLE001 — degrade to a recorded error
             message = f"{type(exc).__name__}: {exc}"
@@ -298,10 +325,20 @@ def _initialize_worker(
     obs.configure(**(obs_options or {}))
 
 
-def _run_cell_in_worker(spec: CellSpec) -> CellOutcome:
+def _run_cell_in_worker(
+    spec: CellSpec,
+    warm_seed: Optional[CompactAllocation] = None,
+    collect_seed: bool = False,
+) -> CellOutcome:
     if _WORKER_CONFIG is None:  # pragma: no cover — initializer always ran
         raise RuntimeError("worker used before initialization")
-    outcome = run_cell(_WORKER_CONFIG, spec, _WORKER_MEMO)
+    outcome = run_cell(
+        _WORKER_CONFIG,
+        spec,
+        _WORKER_MEMO,
+        warm_seed=warm_seed,
+        collect_seed=collect_seed,
+    )
     # Attach this cell's observability payload to the outcome so it can
     # ride the existing result pipe; draining keeps worker memory flat.
     tracer = obs.get_tracer()
@@ -315,12 +352,88 @@ def _run_cell_in_worker(spec: CellSpec) -> CellOutcome:
     return outcome
 
 
+def _collect_outcome(
+    spec: CellSpec,
+    future: "Any",
+    *,
+    cell_timeout: Optional[float],
+    tracer: "Any",
+    registry: "Any",
+    submitted_unix: float,
+) -> CellOutcome:
+    """Await one worker future, degrading failures to recorded errors
+    and adopting the worker's observability payload (see
+    :func:`execute_cells`)."""
+    try:
+        outcome = future.result(timeout=cell_timeout)
+    except _FutureTimeout:
+        future.cancel()
+        outcome = CellOutcome(
+            value_index=spec.value_index,
+            replication=spec.replication,
+            algorithm=spec.algorithm,
+            error=(
+                f"cell timed out after {cell_timeout}s "
+                "(worker not interrupted)"
+            ),
+        )
+        tracer.instant(
+            "experiment.cell_timeout",
+            value_index=spec.value_index,
+            replication=spec.replication,
+            algorithm=spec.algorithm,
+            timeout_seconds=cell_timeout,
+        )
+        registry.counter("experiment.cell_timeouts").inc()
+    except Exception as exc:  # noqa: BLE001 — e.g. BrokenProcessPool
+        outcome = CellOutcome(
+            value_index=spec.value_index,
+            replication=spec.replication,
+            algorithm=spec.algorithm,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+        tracer.instant(
+            "experiment.cell_failure",
+            value_index=spec.value_index,
+            replication=spec.replication,
+            algorithm=spec.algorithm,
+            error=outcome.error,
+        )
+        registry.counter("experiment.cell_errors").inc()
+    else:
+        # Merge the worker's observability payload, in grid
+        # order (this loop), so merged traces and metrics are
+        # deterministic for any completion order.  Queue wait is
+        # measured by the parent: time from fan-out submission
+        # until the worker actually started the cell.
+        queue_wait = (
+            max(0.0, outcome.started_unix - submitted_unix)
+            if outcome.started_unix is not None
+            else None
+        )
+        if queue_wait is not None:
+            registry.histogram("experiment.queue_wait_seconds").observe(
+                queue_wait
+            )
+        if outcome.spans and tracer.enabled:
+            root_attributes: Dict[str, Any] = {}
+            if queue_wait is not None:
+                root_attributes["queue_wait_seconds"] = queue_wait
+            tracer.adopt(outcome.spans, root_attributes=root_attributes)
+        if outcome.metrics and registry.enabled:
+            registry.merge(outcome.metrics)
+        if outcome.spans is not None or outcome.metrics is not None:
+            outcome = replace(outcome, spans=None, metrics=None)
+    return outcome
+
+
 def execute_cells(
     config: ExperimentConfig,
     cells: Sequence[CellSpec],
     *,
     workers: int = 1,
     cell_timeout: Optional[float] = None,
+    warm_start: bool = False,
 ) -> List[CellOutcome]:
     """Run ``cells`` and return their outcomes in the given order.
 
@@ -329,10 +442,20 @@ def execute_cells(
     The returned list is always ordered like ``cells`` regardless of
     completion order — the ordered merge that makes parallel runs
     reproduce serial results exactly.
+
+    ``warm_start`` routes through the wave scheduler of
+    :func:`_execute_cells_warm`: warm-startable algorithms receive the
+    nearest finished neighbour's allocation as a compact seed.  Results
+    may legitimately differ from a cold sweep (CDS converges to a
+    different local optimum), but stay identical across worker counts.
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
     cells = list(cells)
+    if warm_start:
+        return _execute_cells_warm(
+            config, cells, workers=workers, cell_timeout=cell_timeout
+        )
     if workers == 1 or len(cells) <= 1:
         memo = WorkloadMemo()
         return [run_cell(config, spec, memo) for spec in cells]
@@ -348,67 +471,128 @@ def execute_cells(
         submitted_unix = time.time()
         futures = [pool.submit(_run_cell_in_worker, spec) for spec in cells]
         for index, (spec, future) in enumerate(zip(cells, futures)):
-            try:
-                outcome = future.result(timeout=cell_timeout)
-            except _FutureTimeout:
-                future.cancel()
-                outcome = CellOutcome(
-                    value_index=spec.value_index,
-                    replication=spec.replication,
-                    algorithm=spec.algorithm,
-                    error=(
-                        f"cell timed out after {cell_timeout}s "
-                        "(worker not interrupted)"
-                    ),
-                )
-                tracer.instant(
-                    "experiment.cell_timeout",
-                    value_index=spec.value_index,
-                    replication=spec.replication,
-                    algorithm=spec.algorithm,
-                    timeout_seconds=cell_timeout,
-                )
-                registry.counter("experiment.cell_timeouts").inc()
-            except Exception as exc:  # noqa: BLE001 — e.g. BrokenProcessPool
-                outcome = CellOutcome(
-                    value_index=spec.value_index,
-                    replication=spec.replication,
-                    algorithm=spec.algorithm,
-                    error=f"{type(exc).__name__}: {exc}",
-                )
-                tracer.instant(
-                    "experiment.cell_failure",
-                    value_index=spec.value_index,
-                    replication=spec.replication,
-                    algorithm=spec.algorithm,
-                    error=outcome.error,
-                )
-                registry.counter("experiment.cell_errors").inc()
-            else:
-                # Merge the worker's observability payload, in grid
-                # order (this loop), so merged traces and metrics are
-                # deterministic for any completion order.  Queue wait is
-                # measured by the parent: time from fan-out submission
-                # until the worker actually started the cell.
-                queue_wait = (
-                    max(0.0, outcome.started_unix - submitted_unix)
-                    if outcome.started_unix is not None
-                    else None
-                )
-                if queue_wait is not None:
-                    registry.histogram("experiment.queue_wait_seconds").observe(
-                        queue_wait
+            outcomes[index] = _collect_outcome(
+                spec,
+                future,
+                cell_timeout=cell_timeout,
+                tracer=tracer,
+                registry=registry,
+                submitted_unix=submitted_unix,
+            )
+    return [outcome for outcome in outcomes if outcome is not None]
+
+
+def _execute_cells_warm(
+    config: ExperimentConfig,
+    cells: List[CellSpec],
+    *,
+    workers: int,
+    cell_timeout: Optional[float],
+) -> List[CellOutcome]:
+    """Warm-start wave scheduler over the sweep grid.
+
+    Seeds follow a fixed dependency DAG so that every cell receives the
+    same seed for any worker count (determinism across ``workers``):
+
+    * ``(value, replication 0)`` cells are seeded by the replication-0
+      result of the **nearest smaller sweep value** whose problem shape
+      (N, K) matches — "the nearest finished value's allocation", shipped
+      to the worker as a compact item-id→channel vector;
+    * ``(value, replication > 0)`` cells are seeded by their own value's
+      replication-0 result — the cross-replication reuse of the cell's
+      allocation cache.
+
+    Execution proceeds value by value in two sub-waves (replication 0,
+    then the rest), so the DAG's edges always point at already-finished
+    waves.  Sweeps over N or K yield no compatible neighbours and every
+    replication-0 cell runs cold — exactly the cold sweep.
+    """
+    outcomes: List[Optional[CellOutcome]] = [None] * len(cells)
+    rep0: Dict[Tuple[int, str], CompactAllocation] = {}
+
+    def shape_ok(seed: CompactAllocation, value_index: int) -> bool:
+        point = config.point_parameters(config.sweep_values[value_index])
+        return (
+            seed.num_channels == point.num_channels
+            and len(seed.item_ids) == point.num_items
+        )
+
+    def seed_for(spec: CellSpec) -> Optional[CompactAllocation]:
+        if spec.replication > 0:
+            seed = rep0.get((spec.value_index, spec.algorithm))
+            if seed is not None and shape_ok(seed, spec.value_index):
+                return seed
+        for value_index in range(spec.value_index - 1, -1, -1):
+            seed = rep0.get((value_index, spec.algorithm))
+            if seed is not None and shape_ok(seed, spec.value_index):
+                return seed
+        return None
+
+    def harvest(index: int, spec: CellSpec, outcome: CellOutcome) -> None:
+        if outcome.seed_result is not None:
+            if spec.replication == 0:
+                rep0[(spec.value_index, spec.algorithm)] = outcome.seed_result
+            outcome = replace(outcome, seed_result=None)
+        outcomes[index] = outcome
+
+    indexed = list(enumerate(cells))
+    if workers == 1 or len(cells) <= 1:
+        memo = WorkloadMemo()
+        for index, spec in indexed:
+            harvest(
+                index,
+                spec,
+                run_cell(
+                    config,
+                    spec,
+                    memo,
+                    warm_seed=seed_for(spec),
+                    collect_seed=spec.replication == 0,
+                ),
+            )
+        return [outcome for outcome in outcomes if outcome is not None]
+
+    tracer = obs.get_tracer()
+    registry = obs.get_metrics()
+    by_value: Dict[int, List[Tuple[int, CellSpec]]] = {}
+    for index, spec in indexed:
+        by_value.setdefault(spec.value_index, []).append((index, spec))
+    with ProcessPoolExecutor(
+        max_workers=min(workers, len(cells)),
+        initializer=_initialize_worker,
+        initargs=(config, obs.worker_options()),
+    ) as pool:
+        for value_index in sorted(by_value):
+            members = by_value[value_index]
+            for wave in (
+                [(i, s) for i, s in members if s.replication == 0],
+                [(i, s) for i, s in members if s.replication > 0],
+            ):
+                if not wave:
+                    continue
+                submitted_unix = time.time()
+                futures = [
+                    pool.submit(
+                        _run_cell_in_worker,
+                        spec,
+                        seed_for(spec),
+                        spec.replication == 0,
                     )
-                if outcome.spans and tracer.enabled:
-                    root_attributes: Dict[str, Any] = {}
-                    if queue_wait is not None:
-                        root_attributes["queue_wait_seconds"] = queue_wait
-                    tracer.adopt(outcome.spans, root_attributes=root_attributes)
-                if outcome.metrics and registry.enabled:
-                    registry.merge(outcome.metrics)
-                if outcome.spans is not None or outcome.metrics is not None:
-                    outcome = replace(outcome, spans=None, metrics=None)
-            outcomes[index] = outcome
+                    for _, spec in wave
+                ]
+                for (index, spec), future in zip(wave, futures):
+                    harvest(
+                        index,
+                        spec,
+                        _collect_outcome(
+                            spec,
+                            future,
+                            cell_timeout=cell_timeout,
+                            tracer=tracer,
+                            registry=registry,
+                            submitted_unix=submitted_unix,
+                        ),
+                    )
     return [outcome for outcome in outcomes if outcome is not None]
 
 

@@ -26,9 +26,15 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.core.allocation import ChannelAllocation
 from repro.core.cost import DEFAULT_BANDWIDTH
 from repro.core.database import BroadcastDatabase
+from repro.core.incremental import (
+    DEFAULT_REGRESSION_GUARD,
+    AllocationCache,
+    IncrementalAllocator,
+)
 from repro.core.scheduler import Allocator
 from repro.exceptions import SimulationError
 from repro.simulation.metrics import SummaryStatistics, summarize
@@ -91,6 +97,17 @@ class EpochReport:
         the epoch's true distribution (0 = the server knew the truth).
     reallocated:
         Whether the program was regenerated before this epoch.
+    cache_hit:
+        True when the epoch boundary reused a previous program instead
+        of searching: the estimator reported zero L1 drift, or the warm
+        engine's allocation cache held the believed profile.
+    warm_moves:
+        CDS moves the warm-started refinement executed at the preceding
+        epoch boundary (0 for cold/static/reused epochs).
+    allocation_mode:
+        How this epoch's program was obtained: ``"cold"``, ``"warm"``,
+        ``"fallback"``, ``"cache"``, ``"reused"`` (zero-drift program
+        reuse) or ``"static"`` (no adaptation requested).
     """
 
     epoch: int
@@ -98,6 +115,9 @@ class EpochReport:
     cost_under_truth: float
     profile_error: float
     reallocated: bool
+    cache_hit: bool = False
+    warm_moves: int = 0
+    allocation_mode: str = "cold"
 
 
 def run_adaptive_simulation(
@@ -112,6 +132,9 @@ def run_adaptive_simulation(
     adapt: bool = True,
     bandwidth: float = DEFAULT_BANDWIDTH,
     seed: int = 0,
+    warm_start: bool = False,
+    cache: Optional[AllocationCache] = None,
+    regression_guard: Optional[float] = DEFAULT_REGRESSION_GUARD,
 ) -> List[EpochReport]:
     """Simulate epochs of drifting demand with optional re-allocation.
 
@@ -139,10 +162,36 @@ def run_adaptive_simulation(
         Channel bandwidth ``b``.
     seed:
         Master seed; per-epoch streams derive from it.
+    warm_start:
+        Route epoch-boundary re-allocations through an
+        :class:`~repro.core.incremental.IncrementalAllocator`: CDS is
+        re-seeded from the previous epoch's allocation (guarded by
+        ``regression_guard``) instead of rebuilding from scratch, and an
+        allocation cache short-circuits recurring believed profiles.
+        The engine's pipeline is DRP+CDS regardless of ``allocator``
+        (its first build is a cold DRP+CDS run).  Off by default — the
+        cold loop reproduces the pre-existing behaviour bit for bit.
+    cache:
+        Optional :class:`~repro.core.incremental.AllocationCache` to
+        consult/populate across epochs (and across calls, when shared);
+        only used with ``warm_start``.  Default: a fresh private cache.
+    regression_guard:
+        Warm-start fallback threshold (see
+        :func:`~repro.core.incremental.warm_start_refine`); only used
+        with ``warm_start``.
 
     Returns
     -------
     list of EpochReport, one per epoch.
+
+    Notes
+    -----
+    Independent of ``warm_start``, an epoch boundary whose re-estimated
+    profile shows **zero** L1 drift against the current believed profile
+    reuses the previous program verbatim (the allocator is
+    deterministic, so rebuilding could only reproduce it); the epoch is
+    reported with ``allocation_mode="reused"``, ``cache_hit=True`` and
+    counted on the ``incremental.cache_hits`` metrics counter.
     """
     if epochs < 1:
         raise SimulationError(f"epochs must be >= 1, got {epochs}")
@@ -162,15 +211,27 @@ def run_adaptive_simulation(
     }
     ids = list(database.item_ids)
     believed = database  # the profile the current program was built from
-    allocation: ChannelAllocation = allocator.allocate(
-        believed, num_channels
-    ).allocation
+    engine: Optional[IncrementalAllocator] = None
+    if warm_start:
+        engine = IncrementalAllocator(
+            num_channels,
+            regression_guard=regression_guard,
+            cache=cache if cache is not None else AllocationCache(),
+        )
+        allocation: ChannelAllocation = engine.reallocate(believed).allocation
+    else:
+        allocation = allocator.allocate(believed, num_channels).allocation
+    # The program is rebuilt only when the allocation changes — an
+    # unchanged epoch reuses the previous program verbatim.
+    program = BroadcastProgram(allocation, bandwidth=bandwidth)
 
     reports: List[EpochReport] = []
     reallocated = True  # the initial build counts as a (re)allocation
+    cache_hit = False
+    warm_moves = 0
+    mode = "cold" if adapt else "static"
     for epoch in range(epochs):
         truth = drift.probabilities(epoch)
-        program = BroadcastProgram(allocation, bandwidth=bandwidth)
         trace = synthesize_trace(
             database,
             requests_per_epoch,
@@ -192,13 +253,45 @@ def run_adaptive_simulation(
                 cost_under_truth=_cost_under_profile(allocation, true_profile),
                 profile_error=profile_l1_error(believed_profile, true_profile),
                 reallocated=reallocated,
+                cache_hit=cache_hit,
+                warm_moves=warm_moves,
+                allocation_mode=mode,
             )
         )
         reallocated = False
+        cache_hit = False
+        warm_moves = 0
         if adapt and epoch + 1 < epochs:
-            believed = estimate_database(trace, sizes, estimator=estimator)
-            allocation = allocator.allocate(believed, num_channels).allocation
-            reallocated = True
+            estimated = estimate_database(trace, sizes, estimator=estimator)
+            estimated_profile = {
+                item.item_id: item.frequency for item in estimated.items
+            }
+            if profile_l1_error(believed_profile, estimated_profile) == 0.0:
+                # Zero drift: the deterministic allocator would
+                # reproduce the current program — skip the rebuild and
+                # count the reuse as a cache hit.
+                cache_hit = True
+                mode = "reused"
+                registry = obs.get_metrics()
+                if registry.enabled:
+                    registry.counter("incremental.cache_hits").inc()
+                if engine is not None:
+                    engine.stats.cache_hits += 1
+            else:
+                believed = estimated
+                if engine is not None:
+                    result = engine.reallocate(believed)
+                    allocation = result.allocation
+                    mode = result.mode
+                    warm_moves = result.warm_moves
+                    cache_hit = result.mode == "cache"
+                else:
+                    allocation = allocator.allocate(
+                        believed, num_channels
+                    ).allocation
+                    mode = "cold"
+                program = BroadcastProgram(allocation, bandwidth=bandwidth)
+                reallocated = True
     return reports
 
 
