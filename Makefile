@@ -2,13 +2,23 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-kernels bench-incr bench-parallel bench-obs trace-smoke figures report examples clean
+.PHONY: install test test-fast verify-fuzz bench bench-kernels bench-incr bench-parallel bench-obs trace-smoke figures report examples clean
 
 install:
 	pip install -e . --no-build-isolation
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# Skip fuzz- and hypothesis-heavy tests (marked `slow`) for a quick
+# inner-loop signal; the full suite still runs in CI and `make test`.
+test-fast:
+	$(PYTHON) -m pytest tests/ -m "not slow"
+
+# Deterministic verification fuzz pass: invariants, metamorphic
+# relations, and differential oracles (docs/verification.md).
+verify-fuzz:
+	$(PYTHON) -m repro verify --fuzz --seed 0 --budget 200
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -346,6 +346,54 @@ def build_parser() -> argparse.ArgumentParser:
         help="Chrome JSON destination (default: input with .json suffix)",
     )
 
+    verify = subparsers.add_parser(
+        "verify",
+        help="differential verification: fuzz invariants, oracles and "
+        "metamorphic relations, or replay serialized failures",
+    )
+    verify.add_argument(
+        "--fuzz",
+        action="store_true",
+        help="run the seeded metamorphic fuzzer",
+    )
+    verify.add_argument("--seed", type=int, default=0)
+    verify.add_argument(
+        "--budget", type=int, default=200,
+        help="number of generated cases (default: 200)",
+    )
+    verify.add_argument(
+        "--failures-dir", default=None,
+        help="directory for shrunk failure repros "
+        "(default: verify_failures/)",
+    )
+    verify.add_argument(
+        "--checks",
+        nargs="+",
+        default=None,
+        metavar="NAME",
+        help="restrict to these checker names (see --list-checks)",
+    )
+    verify.add_argument(
+        "--inject-bug",
+        default=None,
+        metavar="NAME",
+        help="swap in a deliberately broken implementation to prove the "
+        "harness catches it (e.g. delta-sign)",
+    )
+    verify.add_argument(
+        "--replay",
+        nargs="+",
+        default=None,
+        metavar="FILE",
+        help="re-run serialized failure file(s) instead of fuzzing",
+    )
+    verify.add_argument(
+        "--list-checks",
+        action="store_true",
+        help="print the checker catalogue and exit",
+    )
+    verify.add_argument("--quiet", action="store_true")
+
     # Every run-producing subcommand takes the same observability flags;
     # trace-convert only transforms existing files, so it stays bare.
     for name, subparser in subparsers.choices.items():
@@ -887,6 +935,73 @@ def _export_observability(
         obs.log.progress(f"wrote {path}")
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.verify import fuzz as verify_fuzz
+
+    if args.list_checks:
+        print("Registered checks:")
+        for spec in verify_fuzz.available_checks():
+            gate = (
+                "all sizes"
+                if spec.max_items is None
+                else f"N <= {spec.max_items}"
+            )
+            if spec.once:
+                gate += ", once per run"
+            print(f"  {spec.name:40s} {gate}")
+        print("Injectable bugs:", ", ".join(sorted(verify_fuzz.INJECTABLE_BUGS)))
+        return 0
+
+    if args.replay:
+        exit_code = 0
+        for path in args.replay:
+            violations = verify_fuzz.replay_failure(path)
+            if violations:
+                exit_code = 1
+                print(f"{path}: {len(violations)} violation(s)")
+                for violation in violations:
+                    print(f"  [{violation.check}] {violation.message}")
+            else:
+                print(f"{path}: clean")
+        return exit_code
+
+    if not args.fuzz:
+        print(
+            "nothing to do: pass --fuzz, --replay FILE... or --list-checks",
+            file=sys.stderr,
+        )
+        return 2
+
+    report = verify_fuzz.run_fuzz(
+        seed=args.seed,
+        budget=args.budget,
+        failures_dir=args.failures_dir or verify_fuzz.DEFAULT_FAILURES_DIR,
+        checks=args.checks,
+        inject=args.inject_bug,
+        progress=None if args.quiet else obs.log.progress,
+    )
+    print(
+        f"verify: {report.cases} case(s) fuzzed with seed {report.seed} "
+        f"in {report.elapsed_seconds:.1f}s"
+        + (f" [injected bug: {report.injected}]" if report.injected else "")
+    )
+    if not args.quiet:
+        for name, count in sorted(report.checks_run.items()):
+            print(f"  {name:40s} {count:4d} run(s)")
+    if report.failures:
+        print(f"{len(report.failures)} check(s) FAILED:")
+        for failure in report.failures:
+            print(
+                f"  {failure.check}: shrunk to {failure.num_items} item(s) / "
+                f"{failure.num_channels} channel(s), "
+                f"{len(failure.violations)} violation(s) -> {failure.path}"
+            )
+        print("replay with: repro verify --replay <file>")
+        return 1
+    print("all checks passed")
+    return 0
+
+
 _DISPATCH = {
     "allocate": _cmd_allocate,
     "figure": _cmd_figure,
@@ -897,6 +1012,7 @@ _DISPATCH = {
     "hetero": _cmd_hetero,
     "index": _cmd_index,
     "trace-convert": _cmd_trace_convert,
+    "verify": _cmd_verify,
 }
 
 

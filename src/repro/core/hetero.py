@@ -195,6 +195,10 @@ def hetero_cds_refine(
     initial = math.fsum(
         channel_load(g) / b for g, b in zip(groups, values)
     )
+    # Improvements below this are float noise at the instance's
+    # magnitude; accepting them lets tie states cycle forever (e.g. two
+    # equal-load groups swapped back and forth by phase 2).
+    threshold = _IMPROVEMENT_EPSILON * max(1.0, initial)
     moves = 0
     reassignments = 0
     converged = True
@@ -206,7 +210,7 @@ def hetero_cds_refine(
             if max_iterations is not None and moves >= max_iterations:
                 converged = False
                 break
-            best = _best_hetero_move(groups, values)
+            best = _best_hetero_move(groups, values, threshold)
             if best is None:
                 break
             _, origin, position, destination = best
@@ -216,12 +220,21 @@ def hetero_cds_refine(
             improved = True
         if not converged:
             break
-        # Phase 2: remap groups to bandwidths.
+        # Phase 2: remap groups to bandwidths, only on strict
+        # improvement — the optimal mapping is not unique under load or
+        # bandwidth ties, and a cost-neutral reorder must not count as
+        # progress.
         mapping = assign_groups_to_bandwidths(groups, values)
         if mapping != list(range(len(groups))):
-            groups = [groups[mapping[i]] for i in range(len(groups))]
-            reassignments += 1
-            improved = True
+            loads = [channel_load(g) for g in groups]
+            current = math.fsum(l / b for l, b in zip(loads, values))
+            remapped = math.fsum(
+                loads[mapping[i]] / b for i, b in enumerate(values)
+            )
+            if remapped < current - threshold:
+                groups = [groups[mapping[i]] for i in range(len(groups))]
+                reassignments += 1
+                improved = True
         if not improved:
             break
 
@@ -240,11 +253,12 @@ def hetero_cds_refine(
 def _best_hetero_move(
     groups: List[List[DataItem]],
     bandwidths: List[float],
+    threshold: float = _IMPROVEMENT_EPSILON,
 ) -> Optional[Tuple[float, int, int, int]]:
     num_channels = len(groups)
     agg_f = [math.fsum(i.frequency for i in g) for g in groups]
     agg_z = [math.fsum(i.size for i in g) for g in groups]
-    best_delta = _IMPROVEMENT_EPSILON
+    best_delta = threshold
     best: Optional[Tuple[float, int, int, int]] = None
     for origin in range(num_channels):
         if len(groups[origin]) <= 1:

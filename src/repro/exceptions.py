@@ -54,3 +54,14 @@ class SolverLimitError(ReproError):
 
 class SimulationError(ReproError):
     """The discrete-event simulation was configured or driven incorrectly."""
+
+
+class VerificationError(ReproError):
+    """The verification layer itself was driven incorrectly.
+
+    Raised for malformed fuzz configurations (unknown check names,
+    unknown injectable bugs, unreadable failure files) — *not* for
+    detected invariant violations, which are reported as data
+    (:class:`repro.verify.invariants.Violation`) so a fuzz run can
+    collect, shrink and serialize them instead of aborting.
+    """

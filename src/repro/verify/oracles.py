@@ -1,0 +1,443 @@
+"""Differential oracles: run implementation pairs, diff the answers.
+
+The repo deliberately keeps redundant implementations of each layer —
+scalar vs numpy kernels, serial vs process-pool sweeps, event-driven vs
+batched simulation, cold vs warm-started refinement.  Each pair is
+documented as producing identical results (bitwise, except where a
+tolerance is declared below), which turns every pair into a free test
+oracle: run both halves on the same seeded input and diff.
+
+Every oracle returns ``List[Violation]`` (empty = the pair agrees), the
+same contract as :mod:`repro.verify.invariants`, so the fuzzer and the
+pytest suite consume all checkers uniformly.
+
+The four oracle pairs (named ``oracle.<slug>``):
+
+``drp-backends`` / ``cds-backends`` / ``dp-methods``
+    python vs numpy kernels, and the O(K·N²) quadratic DP vs the
+    divide-and-conquer DP — all bitwise.
+``simulators``
+    Event-driven engine vs the batched fast path — measured statistics
+    bitwise identical (``events_processed`` is exempt: the batched path
+    reports 0 by design).
+``serial-parallel``
+    ``run_experiment`` with ``workers=None`` vs ``workers=2`` — rows
+    bitwise identical except wall-clock ``elapsed`` aggregates.
+``warm-cold``
+    Warm-started refinement on a drifted profile must respect the
+    documented regression guard against a fresh DRP estimate, and must
+    be a no-op on an unchanged profile.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.allocation import ChannelAllocation
+from repro.core.cds import cds_refine
+from repro.core.database import BroadcastDatabase
+from repro.core.drp import SPLIT_POLICIES, drp_allocate
+from repro.core.incremental import DEFAULT_REGRESSION_GUARD, warm_start_refine
+from repro.core.item import DataItem
+from repro.core.partition import PrefixSums, contiguous_optimal
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+from repro.simulation.simulator import run_broadcast_simulation
+from repro.verify.invariants import REL_TOL, Violation, close
+
+__all__ = [
+    "oracle_drp_backends",
+    "oracle_cds_backends",
+    "oracle_dp_methods",
+    "oracle_simulators",
+    "oracle_serial_parallel",
+    "oracle_warm_cold",
+]
+
+
+def _violation(check: str, message: str, **context: object) -> Violation:
+    return Violation(check=check, message=message, context=context)
+
+
+# ---------------------------------------------------------------------------
+# Kernel backends
+# ---------------------------------------------------------------------------
+
+def oracle_drp_backends(
+    database: BroadcastDatabase,
+    num_channels: int,
+    *,
+    split_policy: str = "max-cost",
+) -> List[Violation]:
+    """DRP must be bitwise identical on the python and numpy backends."""
+    name = "oracle.drp-backends"
+    violations: List[Violation] = []
+    if num_channels > len(database.items):
+        return violations
+    python = drp_allocate(
+        database, num_channels, split_policy=split_policy, backend="python"
+    )
+    vectorized = drp_allocate(
+        database, num_channels, split_policy=split_policy, backend="numpy"
+    )
+    if python.allocation.as_id_lists() != vectorized.allocation.as_id_lists():
+        violations.append(
+            _violation(
+                name,
+                f"DRP groupings diverge between backends "
+                f"(policy={split_policy!r})",
+                policy=split_policy,
+            )
+        )
+    if python.cost != vectorized.cost:
+        violations.append(
+            _violation(
+                name,
+                f"DRP cost python {python.cost!r} != numpy "
+                f"{vectorized.cost!r}",
+                python=python.cost,
+                numpy=vectorized.cost,
+            )
+        )
+    if python.iterations != vectorized.iterations:
+        violations.append(
+            _violation(
+                name,
+                f"DRP iterations python {python.iterations} != numpy "
+                f"{vectorized.iterations}",
+            )
+        )
+    return violations
+
+
+def oracle_cds_backends(
+    database: BroadcastDatabase, num_channels: int
+) -> List[Violation]:
+    """CDS must take the identical move sequence on both backends."""
+    name = "oracle.cds-backends"
+    violations: List[Violation] = []
+    if num_channels > len(database.items):
+        return violations
+    seed = drp_allocate(database, num_channels, backend="python").allocation
+    python = cds_refine(seed, backend="python")
+    vectorized = cds_refine(seed, backend="numpy")
+    python_moves = [
+        (m.item_id, m.origin, m.destination, m.delta, m.cost_after)
+        for m in python.moves
+    ]
+    numpy_moves = [
+        (m.item_id, m.origin, m.destination, m.delta, m.cost_after)
+        for m in vectorized.moves
+    ]
+    if python_moves != numpy_moves:
+        violations.append(
+            _violation(
+                name,
+                f"CDS move sequences diverge: python made "
+                f"{len(python_moves)} move(s), numpy {len(numpy_moves)}",
+                python_moves=len(python_moves),
+                numpy_moves=len(numpy_moves),
+            )
+        )
+    if python.cost != vectorized.cost:
+        violations.append(
+            _violation(
+                name,
+                f"CDS cost python {python.cost!r} != numpy "
+                f"{vectorized.cost!r}",
+                python=python.cost,
+                numpy=vectorized.cost,
+            )
+        )
+    if (
+        python.allocation.as_id_lists()
+        != vectorized.allocation.as_id_lists()
+    ):
+        violations.append(
+            _violation(name, "CDS final groupings diverge between backends")
+        )
+    return violations
+
+
+def oracle_dp_methods(
+    database: BroadcastDatabase, num_channels: int
+) -> List[Violation]:
+    """Quadratic DP and divide-and-conquer DP agree exactly.
+
+    Both must return the same optimal cost (bitwise — the recurrences
+    evaluate the same ``F·Z`` products), and each method's boundaries
+    must themselves realise the cost they claim.
+    """
+    name = "oracle.dp-methods"
+    violations: List[Violation] = []
+    items = database.sorted_by_benefit_ratio()
+    if num_channels > len(items):
+        return violations
+    quad_bounds, quad_cost = contiguous_optimal(
+        items, num_channels, method="quadratic"
+    )
+    fast_bounds, fast_cost = contiguous_optimal(
+        items, num_channels, method="divide-conquer"
+    )
+    if quad_cost != fast_cost:
+        violations.append(
+            _violation(
+                name,
+                f"DP cost quadratic {quad_cost!r} != divide-conquer "
+                f"{fast_cost!r}",
+                quadratic=quad_cost,
+                divide_conquer=fast_cost,
+            )
+        )
+    sums = PrefixSums(items)
+    for method, bounds, cost in (
+        ("quadratic", quad_bounds, quad_cost),
+        ("divide-conquer", fast_bounds, fast_cost),
+    ):
+        realised = sum(sums.cost(a, b) for a, b in bounds)
+        if not close(realised, cost):
+            violations.append(
+                _violation(
+                    name,
+                    f"{method} boundaries realise {realised}, claimed "
+                    f"{cost}",
+                    method=method,
+                    realised=realised,
+                    claimed=cost,
+                )
+            )
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# Simulators
+# ---------------------------------------------------------------------------
+
+def oracle_simulators(
+    allocation: ChannelAllocation,
+    *,
+    num_requests: int = 400,
+    seed: int = 0,
+) -> List[Violation]:
+    """Event-driven and batched simulation agree bitwise on statistics.
+
+    ``events_processed`` is exempt by design (the batched path does not
+    enqueue events and reports 0).
+    """
+    name = "oracle.simulators"
+    violations: List[Violation] = []
+    engine = run_broadcast_simulation(
+        allocation, num_requests=num_requests, seed=seed, backend="python"
+    )
+    batched = run_broadcast_simulation(
+        allocation, num_requests=num_requests, seed=seed, backend="numpy"
+    )
+    if engine.measured != batched.measured:
+        violations.append(
+            _violation(
+                name,
+                f"measured summaries diverge: engine {engine.measured} vs "
+                f"batched {batched.measured}",
+            )
+        )
+    if engine.analytical_waiting_time != batched.analytical_waiting_time:
+        violations.append(
+            _violation(
+                name,
+                f"analytical W_b diverges: {engine.analytical_waiting_time!r}"
+                f" vs {batched.analytical_waiting_time!r}",
+            )
+        )
+    if engine.num_requests != batched.num_requests:
+        violations.append(
+            _violation(
+                name,
+                f"request counts diverge: {engine.num_requests} vs "
+                f"{batched.num_requests}",
+            )
+        )
+    if engine.per_item != batched.per_item:
+        mismatched = sorted(
+            item_id
+            for item_id in set(engine.per_item) | set(batched.per_item)
+            if engine.per_item.get(item_id) != batched.per_item.get(item_id)
+        )
+        violations.append(
+            _violation(
+                name,
+                f"per-item summaries diverge for {len(mismatched)} item(s)",
+                items=mismatched[:8],
+            )
+        )
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# Serial vs parallel sweeps
+# ---------------------------------------------------------------------------
+
+def oracle_serial_parallel(
+    *,
+    seed: int = 20050608,
+    workers: int = 2,
+) -> List[Violation]:
+    """Serial and fanned-out sweeps must emit identical measurement rows.
+
+    Runs one deliberately small sweep twice — ``workers=None`` and
+    ``workers=N`` — and diffs every row field except the wall-clock
+    ``elapsed`` aggregates.  Expensive (spawns a process pool), so the
+    fuzzer runs it once per session.
+    """
+    name = "oracle.serial-parallel"
+    violations: List[Violation] = []
+    config = ExperimentConfig(
+        name="verify-serial-parallel",
+        description="differential oracle sweep",
+        sweep_parameter="num_channels",
+        sweep_values=(3, 5),
+        algorithms=("drp", "drp-cds"),
+        num_items=40,
+        replications=2,
+        base_seed=seed,
+    )
+    serial = run_experiment(config)
+    parallel = run_experiment(config, workers=workers)
+    if serial.errors or parallel.errors:
+        violations.append(
+            _violation(
+                name,
+                f"sweep reported cell errors: serial={len(serial.errors)}, "
+                f"parallel={len(parallel.errors)}",
+            )
+        )
+    if len(serial.rows) != len(parallel.rows):
+        violations.append(
+            _violation(
+                name,
+                f"row counts diverge: serial {len(serial.rows)} vs "
+                f"parallel {len(parallel.rows)}",
+            )
+        )
+        return violations
+    compared = (
+        "sweep_value",
+        "algorithm",
+        "mean_cost",
+        "std_cost",
+        "mean_waiting_time",
+        "std_waiting_time",
+        "replications",
+    )
+    for serial_row, parallel_row in zip(serial.rows, parallel.rows):
+        for field_name in compared:
+            left = getattr(serial_row, field_name)
+            right = getattr(parallel_row, field_name)
+            if left != right:
+                violations.append(
+                    _violation(
+                        name,
+                        f"row ({serial_row.sweep_value}, "
+                        f"{serial_row.algorithm}) field {field_name!r} "
+                        f"diverges: serial {left!r} vs parallel {right!r}",
+                        field=field_name,
+                    )
+                )
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# Cold vs warm refinement
+# ---------------------------------------------------------------------------
+
+def oracle_warm_cold(
+    database: BroadcastDatabase,
+    num_channels: int,
+    *,
+    rng=None,
+    drift: float = 0.15,
+    backend: str = "auto",
+) -> List[Violation]:
+    """Warm starts respect the cold-start regression guard.
+
+    Three assertions: (a) warm-starting from a converged allocation on
+    the *unchanged* profile is a no-op (same cost within ``REL_TOL``);
+    (b) on a drifted profile the warm result never exceeds
+    ``DEFAULT_REGRESSION_GUARD ×`` a fresh DRP estimate; (c) the warm
+    result is a well-formed partition of the drifted database.
+    """
+    name = "oracle.warm-cold"
+    violations: List[Violation] = []
+    if num_channels > len(database.items):
+        return violations
+
+    cold = cds_refine(
+        drp_allocate(database, num_channels, backend=backend).allocation,
+        backend=backend,
+    )
+    unchanged = warm_start_refine(
+        database, num_channels, cold.allocation, backend=backend
+    )
+    if not close(unchanged.cost, cold.cost):
+        violations.append(
+            _violation(
+                name,
+                f"warm start on an unchanged profile moved the cost: "
+                f"{unchanged.cost!r} != converged {cold.cost!r} "
+                f"(mode={unchanged.mode})",
+                warm=unchanged.cost,
+                cold=cold.cost,
+                mode=unchanged.mode,
+            )
+        )
+
+    if rng is None:
+        factors = [1.0 + drift * ((i % 5) - 2) / 2.0 for i in range(len(database))]
+    else:
+        factors = [
+            float(f) for f in rng.uniform(1.0 - drift, 1.0 + drift, len(database))
+        ]
+    drifted_items = [
+        DataItem(
+            item.item_id,
+            frequency=item.frequency * factor,
+            size=item.size,
+            label=item.label,
+        )
+        for item, factor in zip(database.items, factors)
+    ]
+    drifted = BroadcastDatabase(
+        drifted_items, require_normalized=False
+    ).normalized()
+
+    warm = warm_start_refine(
+        drifted, num_channels, cold.allocation, backend=backend
+    )
+    rough = drp_allocate(drifted, num_channels, backend=backend)
+    bound = DEFAULT_REGRESSION_GUARD * rough.cost
+    if warm.cost > bound + REL_TOL * max(1.0, bound):
+        violations.append(
+            _violation(
+                name,
+                f"warm cost {warm.cost} exceeds the regression guard "
+                f"{bound} ({DEFAULT_REGRESSION_GUARD} × DRP {rough.cost}, "
+                f"mode={warm.mode})",
+                warm=warm.cost,
+                bound=bound,
+                mode=warm.mode,
+            )
+        )
+    id_lists = warm.allocation.as_id_lists()
+    flattened = sorted(item_id for channel in id_lists for item_id in channel)
+    if flattened != sorted(drifted.item_ids):
+        violations.append(
+            _violation(
+                name,
+                "warm allocation is not a partition of the drifted database",
+            )
+        )
+    return violations
+
+
+def available_split_policies() -> tuple:
+    """Split policies the DRP oracle can exercise (re-export for CLI)."""
+    return SPLIT_POLICIES

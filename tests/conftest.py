@@ -7,7 +7,45 @@ import pytest
 from repro.core.database import BroadcastDatabase
 from repro.core.item import DataItem
 from repro.workloads.generator import WorkloadSpec, generate_database
-from repro.workloads.paper_profile import paper_database
+from repro.workloads.paper_profile import (
+    PAPER_CDS_COST,
+    PAPER_DRP_COST,
+    PAPER_INITIAL_COST,
+    PAPER_NUM_CHANNELS,
+    paper_database,
+)
+
+#: Single source of truth for the paper's Table 2-4 golden values.
+#: Every test that asserts a printed number from the worked example
+#: pulls it from here (directly or via the ``paper_goldens`` fixture)
+#: instead of repeating the literal; ``tests/test_paper_goldens.py``
+#: walks the whole catalogue end to end.
+PAPER_GOLDENS = {
+    # Table 2 / 3(a): the unsplit database.
+    "num_channels": PAPER_NUM_CHANNELS,
+    "total_size": 135.60,
+    "initial_cost": PAPER_INITIAL_COST,  # 135.60 (ΣF = 1)
+    # Table 3(b)-(c): costs after DRP's first and second split.
+    "first_split_costs": (29.04, 28.62),
+    "second_split_costs": (6.82, 7.02, 28.62),
+    # Table 3(d): the finished DRP allocation (max-reduction policy).
+    "drp_channel_costs": (2.59, 1.07, 6.82, 7.26, 6.35),
+    "drp_cost": PAPER_DRP_COST,  # 24.09
+    # Listing's max-cost policy lands on a different, nearby optimum.
+    "max_cost_policy_cost": 24.22,
+    # Table 4: the two CDS moves and the local optimum.
+    "cds_moves": (
+        {"item": "d10", "delta": 0.95, "cost_after": 23.13},
+        {"item": "d12", "delta": 0.45, "cost_after": 22.68},
+    ),
+    "cds_cost": PAPER_CDS_COST,  # 22.29
+}
+
+
+@pytest.fixture(scope="session")
+def paper_goldens() -> dict:
+    """The Table 2-4 golden-value catalogue (read-only)."""
+    return dict(PAPER_GOLDENS)
 
 
 @pytest.fixture

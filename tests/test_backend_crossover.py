@@ -1,0 +1,59 @@
+"""Backend-parity regression pinned at the auto-resolution crossover.
+
+PR 4 introduced the rule that ``backend="auto"`` resolves to the scalar
+kernels below :data:`repro.core.drp.AUTO_BACKEND_CROSSOVER` items and
+to the vectorized kernels at or above it.  These tests pin the rule at
+exactly N = 511 / 512 / 513 and assert the two backends stay bitwise
+interchangeable on both sides of the switch, so neither a crossover
+drift nor a backend divergence can land silently.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.drp import AUTO_BACKEND_CROSSOVER, drp_allocate
+from repro.workloads.generator import WorkloadSpec, generate_database
+
+CROSSOVER_SIZES = (
+    AUTO_BACKEND_CROSSOVER - 1,  # 511
+    AUTO_BACKEND_CROSSOVER,      # 512
+    AUTO_BACKEND_CROSSOVER + 1,  # 513
+)
+
+NUM_CHANNELS = 7
+
+
+def _database(num_items: int):
+    return generate_database(
+        WorkloadSpec(num_items=num_items, skewness=0.8, diversity=1.5, seed=97)
+    )
+
+
+class TestAutoResolutionRule:
+    def test_crossover_constant_unchanged(self):
+        assert AUTO_BACKEND_CROSSOVER == 512
+
+    @pytest.mark.parametrize("num_items", CROSSOVER_SIZES)
+    def test_auto_resolves_by_documented_rule(self, num_items):
+        result = drp_allocate(_database(num_items), NUM_CHANNELS)
+        expected = (
+            "python" if num_items < AUTO_BACKEND_CROSSOVER else "numpy"
+        )
+        assert result.resolved_backend == expected
+
+    @pytest.mark.parametrize("num_items", CROSSOVER_SIZES)
+    def test_explicit_backends_identical_at_crossover(self, num_items):
+        database = _database(num_items)
+        python = drp_allocate(database, NUM_CHANNELS, backend="python")
+        vectorized = drp_allocate(database, NUM_CHANNELS, backend="numpy")
+        auto = drp_allocate(database, NUM_CHANNELS, backend="auto")
+        assert python.resolved_backend == "python"
+        assert vectorized.resolved_backend == "numpy"
+        assert (
+            python.allocation.as_id_lists()
+            == vectorized.allocation.as_id_lists()
+            == auto.allocation.as_id_lists()
+        )
+        assert python.cost == vectorized.cost == auto.cost
+        assert python.iterations == vectorized.iterations == auto.iterations

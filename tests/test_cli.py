@@ -6,6 +6,8 @@ import pytest
 
 from repro.cli import build_parser, main
 
+from tests.conftest import PAPER_GOLDENS
+
 
 class TestParser:
     def test_requires_subcommand(self):
@@ -37,9 +39,9 @@ class TestExampleCommand:
     def test_walks_paper_tables(self, capsys):
         assert main(["example"]) == 0
         output = capsys.readouterr().out
-        assert "135.6" in output          # Table 3(a)
-        assert "24.09" in output          # DRP cost
-        assert "22.29" in output          # CDS cost
+        assert f"{PAPER_GOLDENS['initial_cost']:.1f}" in output  # Table 3(a)
+        assert f"{PAPER_GOLDENS['drp_cost']:.2f}" in output      # DRP cost
+        assert f"{PAPER_GOLDENS['cds_cost']:.2f}" in output      # CDS cost
         assert "move d10" in output       # first CDS move
         assert "channel 5" in output      # five channels printed
 

@@ -21,6 +21,8 @@ from repro.core.cost import (
 from repro.core.item import DataItem
 from repro.exceptions import InvalidAllocationError
 
+from tests.conftest import PAPER_GOLDENS
+
 
 class TestGroupQuantities:
     def test_group_aggregates(self, tiny_db):
@@ -36,7 +38,9 @@ class TestGroupQuantities:
 
     def test_whole_paper_database_cost(self, paper_db):
         # Table 3(a): cost(D) = 135.60.
-        assert group_cost(paper_db.items) == pytest.approx(135.60, abs=0.01)
+        assert group_cost(paper_db.items) == pytest.approx(
+            PAPER_GOLDENS["initial_cost"], abs=0.01
+        )
 
 
 class TestAllocationCost:

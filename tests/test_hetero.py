@@ -187,6 +187,27 @@ class TestHeteroCDS:
         assert result.moves == 0
         assert not result.converged
 
+    def test_equal_loads_terminate(self):
+        """Regression: equal-load groups must not cycle through phase 2.
+
+        With identical loads every group→channel mapping is optimal, so
+        ``assign_groups_to_bandwidths`` keeps proposing the same
+        non-identity permutation; before the strict-improvement gate
+        the refine loop swapped the groups forever.
+        """
+        from repro.core.database import BroadcastDatabase
+        from repro.core.item import DataItem
+
+        a, b = DataItem("a", 0.5, 1.0), DataItem("b", 0.5, 1.0)
+        db = BroadcastDatabase([a, b])
+        seed = ChannelAllocation(db, [[a], [b]])
+        result = hetero_cds_refine(seed, [1.0, 2.0])
+        assert result.converged
+        assert result.reassignments == 0
+        assert result.waiting_time == pytest.approx(
+            result.initial_waiting_time
+        )
+
 
 class TestHeteroAllocator:
     BANDWIDTHS = [4.0, 8.0, 16.0, 32.0]

@@ -41,6 +41,8 @@ _FORK_ONLY = pytest.mark.skipif(
     reason="worker tests assume a fork-capable platform",
 )
 
+from tests.conftest import PAPER_GOLDENS
+
 
 @pytest.fixture(autouse=True)
 def _reset_obs():
@@ -131,7 +133,9 @@ class TestGoldenTrace:
             later <= earlier
             for earlier, later in zip(trajectory, trajectory[1:])
         ), "CDS cost trajectory must be monotonically non-increasing"
-        assert trajectory[-1] == pytest.approx(22.29, abs=0.005)
+        assert trajectory[-1] == pytest.approx(
+            PAPER_GOLDENS["cds_cost"], abs=0.005
+        )
         assert abs(trajectory[-1] - refined.cost) < 1e-9
 
     def test_cds_span_carries_the_trajectory(self):
@@ -144,7 +148,9 @@ class TestGoldenTrace:
         span = tracer.find("cds.refine")[0]
         trajectory = span.attributes["cost_trajectory"]
         assert trajectory == list(cds_refine(rough.allocation).cost_trajectory)
-        assert span.attributes["cost_final"] == pytest.approx(22.29, abs=0.005)
+        assert span.attributes["cost_final"] == pytest.approx(
+            PAPER_GOLDENS["cds_cost"], abs=0.005
+        )
         assert span.attributes["converged"] is True
 
     def test_drp_trajectory_tracks_running_cost(self):

@@ -24,6 +24,8 @@ from repro.workloads.paper_profile import (
     paper_database,
 )
 
+from tests.conftest import PAPER_GOLDENS
+
 
 @pytest.fixture(scope="module")
 def db():
@@ -51,7 +53,9 @@ class TestTable2:
         assert db.total_frequency == pytest.approx(1.0, abs=1e-3)
 
     def test_total_size(self, db):
-        assert db.total_size == pytest.approx(135.60, abs=0.01)
+        assert db.total_size == pytest.approx(
+            PAPER_GOLDENS["total_size"], abs=0.01
+        )
 
     def test_initial_cost_table3a(self, db):
         assert group_cost(db.items) == pytest.approx(
@@ -70,7 +74,7 @@ class TestTable3:
     def test_first_iteration_costs(self, drp_result):
         snap = drp_result.snapshots[1]
         assert sorted(snap.costs, reverse=True) == pytest.approx(
-            [29.04, 28.62], abs=0.02
+            list(PAPER_GOLDENS["first_split_costs"]), abs=0.02
         )
         assert snap.groups[0] == (
             "d9", "d2", "d3", "d6", "d5", "d15", "d1", "d12",
@@ -79,7 +83,7 @@ class TestTable3:
     def test_second_iteration_costs(self, drp_result):
         snap = drp_result.snapshots[2]
         assert sorted(round(c, 2) for c in snap.costs) == pytest.approx(
-            [6.82, 7.02, 28.62], abs=0.02
+            sorted(PAPER_GOLDENS["second_split_costs"]), abs=0.02
         )
 
     def test_final_grouping_table3d(self, drp_result):
@@ -91,7 +95,7 @@ class TestTable3:
             stat.cost for stat in drp_result.allocation.channel_stats
         )
         assert costs == pytest.approx(
-            sorted([2.59, 1.07, 6.82, 7.26, 6.35]), abs=0.02
+            sorted(PAPER_GOLDENS["drp_channel_costs"]), abs=0.02
         )
 
     def test_drp_total_cost(self, drp_result):
@@ -101,14 +105,15 @@ class TestTable3:
 class TestTable4:
     def test_initial_cost_table4a(self, drp_result):
         assert allocation_cost(drp_result.allocation) == pytest.approx(
-            24.09, abs=0.02
+            PAPER_GOLDENS["drp_cost"], abs=0.02
         )
 
     def test_first_move_is_d10_with_delta_095(self, cds_result):
+        golden = PAPER_GOLDENS["cds_moves"][0]
         move = cds_result.moves[0]
-        assert move.item_id == "d10"
-        assert move.delta == pytest.approx(0.95, abs=0.01)
-        assert move.cost_after == pytest.approx(23.13, abs=0.02)
+        assert move.item_id == golden["item"]
+        assert move.delta == pytest.approx(golden["delta"], abs=0.01)
+        assert move.cost_after == pytest.approx(golden["cost_after"], abs=0.02)
 
     def test_first_move_goes_from_group4_to_group2(self, cds_result, drp_result):
         move = cds_result.moves[0]
@@ -118,10 +123,11 @@ class TestTable4:
         assert set(dest_ids) == {"d6", "d5", "d15"}
 
     def test_second_move_is_d12_with_delta_045(self, cds_result):
+        golden = PAPER_GOLDENS["cds_moves"][1]
         move = cds_result.moves[1]
-        assert move.item_id == "d12"
-        assert move.delta == pytest.approx(0.45, abs=0.01)
-        assert move.cost_after == pytest.approx(22.68, abs=0.02)
+        assert move.item_id == golden["item"]
+        assert move.delta == pytest.approx(golden["delta"], abs=0.01)
+        assert move.cost_after == pytest.approx(golden["cost_after"], abs=0.02)
 
     def test_local_optimum_cost_table4d(self, cds_result):
         assert cds_result.cost == pytest.approx(PAPER_CDS_COST, abs=0.02)
@@ -149,4 +155,6 @@ class TestPaperConsistencyNote:
         }
         assert listing_groups != example_groups
         # Both are valid DRP outputs with nearby costs.
-        assert listing.cost == pytest.approx(24.22, abs=0.02)
+        assert listing.cost == pytest.approx(
+            PAPER_GOLDENS["max_cost_policy_cost"], abs=0.02
+        )

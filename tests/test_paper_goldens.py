@@ -1,0 +1,134 @@
+"""Parametrized walk over the consolidated Table 2-4 golden values.
+
+``tests/conftest.py`` owns the catalogue (``PAPER_GOLDENS``); this
+module re-derives every number from one shared pipeline run so a drift
+in any stage shows up as exactly one named parameter failing.  The
+narrative, table-by-table assertions live in ``test_paper_example.py``;
+here the point is coverage of the catalogue itself.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cds import cds_refine
+from repro.core.cost import allocation_cost, group_cost
+from repro.core.drp import drp_allocate
+from repro.workloads.paper_profile import (
+    PAPER_CDS_COST,
+    PAPER_DRP_COST,
+    PAPER_INITIAL_COST,
+    PAPER_NUM_CHANNELS,
+    paper_database,
+)
+
+from tests.conftest import PAPER_GOLDENS
+
+
+@pytest.fixture(scope="module")
+def db():
+    return paper_database()
+
+
+@pytest.fixture(scope="module")
+def drp_result(db):
+    return drp_allocate(
+        db,
+        PAPER_GOLDENS["num_channels"],
+        split_policy="max-reduction",
+        trace=True,
+    )
+
+
+@pytest.fixture(scope="module")
+def cds_result(drp_result):
+    return cds_refine(drp_result.allocation)
+
+
+class TestCatalogueConsistency:
+    """The catalogue must mirror the package's published constants."""
+
+    @pytest.mark.parametrize(
+        "key, constant",
+        [
+            ("num_channels", PAPER_NUM_CHANNELS),
+            ("initial_cost", PAPER_INITIAL_COST),
+            ("drp_cost", PAPER_DRP_COST),
+            ("cds_cost", PAPER_CDS_COST),
+        ],
+    )
+    def test_matches_paper_profile_constant(self, key, constant):
+        assert PAPER_GOLDENS[key] == constant
+
+    def test_costs_strictly_improve(self):
+        assert (
+            PAPER_GOLDENS["initial_cost"]
+            > PAPER_GOLDENS["drp_cost"]
+            > PAPER_GOLDENS["cds_cost"]
+        )
+
+    def test_channel_costs_sum_to_drp_cost(self):
+        assert sum(PAPER_GOLDENS["drp_channel_costs"]) == pytest.approx(
+            PAPER_GOLDENS["drp_cost"], abs=0.02
+        )
+
+
+class TestGoldensEndToEnd:
+    def test_total_size(self, db, paper_goldens):
+        assert db.total_size == pytest.approx(
+            paper_goldens["total_size"], abs=0.01
+        )
+
+    def test_initial_cost(self, db, paper_goldens):
+        assert group_cost(db.items) == pytest.approx(
+            paper_goldens["initial_cost"], abs=0.01
+        )
+
+    @pytest.mark.parametrize("snapshot_index", (1, 2))
+    def test_split_snapshot_costs(
+        self, drp_result, paper_goldens, snapshot_index
+    ):
+        key = ("first_split_costs", "second_split_costs")[snapshot_index - 1]
+        snap = drp_result.snapshots[snapshot_index]
+        assert sorted(snap.costs) == pytest.approx(
+            sorted(paper_goldens[key]), abs=0.02
+        )
+
+    def test_drp_channel_costs(self, drp_result, paper_goldens):
+        costs = sorted(
+            stat.cost for stat in drp_result.allocation.channel_stats
+        )
+        assert costs == pytest.approx(
+            sorted(paper_goldens["drp_channel_costs"]), abs=0.02
+        )
+
+    def test_drp_cost(self, drp_result, paper_goldens):
+        assert drp_result.cost == pytest.approx(
+            paper_goldens["drp_cost"], abs=0.02
+        )
+        assert allocation_cost(drp_result.allocation) == pytest.approx(
+            paper_goldens["drp_cost"], abs=0.02
+        )
+
+    @pytest.mark.parametrize("move_index", (0, 1))
+    def test_cds_moves(self, cds_result, paper_goldens, move_index):
+        golden = paper_goldens["cds_moves"][move_index]
+        move = cds_result.moves[move_index]
+        assert move.item_id == golden["item"]
+        assert move.delta == pytest.approx(golden["delta"], abs=0.01)
+        assert move.cost_after == pytest.approx(
+            golden["cost_after"], abs=0.02
+        )
+
+    def test_cds_cost(self, cds_result, paper_goldens):
+        assert cds_result.cost == pytest.approx(
+            paper_goldens["cds_cost"], abs=0.02
+        )
+
+    def test_max_cost_policy_cost(self, db, paper_goldens):
+        listing = drp_allocate(
+            db, paper_goldens["num_channels"], split_policy="max-cost"
+        )
+        assert listing.cost == pytest.approx(
+            paper_goldens["max_cost_policy_cost"], abs=0.02
+        )

@@ -17,6 +17,8 @@ from repro.core.partition import (
 )
 from repro.exceptions import InfeasibleProblemError
 
+from tests.conftest import PAPER_GOLDENS
+
 
 def make_items(pairs):
     total = sum(f for f, _ in pairs)
@@ -83,7 +85,9 @@ class TestBestSplit:
         p, cost = best_split(items)
         assert p == 8
         assert [i.item_id for i in items[:p]][-1] == "d12"
-        assert cost == pytest.approx(29.04 + 28.62, abs=0.02)
+        assert cost == pytest.approx(
+            sum(PAPER_GOLDENS["first_split_costs"]), abs=0.02
+        )
 
     def test_rejects_short_sequences(self, tiny_db):
         with pytest.raises(InfeasibleProblemError):

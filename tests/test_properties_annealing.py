@@ -1,0 +1,117 @@
+"""Hypothesis properties for the simulated-annealing baseline.
+
+The instances are kept small enough that :func:`brute_force_optimal`
+enumerates the true global optimum, which is the *exact* oracle here:
+the contiguous DP is exact only over contiguous partitions of the
+benefit-ratio ordering, so it upper-bounds — and can sit above — the
+global optimum that annealing searches for.  The properties:
+
+* annealing's output always passes the verification layer's checkers;
+* annealing never beats the exact optimum (it ends with a CDS descent,
+  so its cost is a local-optimum cost ≥ the global one) — and neither
+  does the exact DP;
+* annealing never exceeds the flat single-channel cost;
+* a fixed seed makes the whole anneal deterministic.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.annealing import AnnealingAllocator, AnnealingParameters
+from repro.baselines.exact import brute_force_optimal
+from repro.core.database import BroadcastDatabase
+from repro.core.item import DataItem
+from repro.core.partition import contiguous_optimal
+from repro.verify.invariants import (
+    REL_TOL,
+    check_allocation_wellformed,
+    check_cost_identities,
+)
+
+pytestmark = pytest.mark.slow
+
+_positive = st.floats(
+    min_value=1e-3, max_value=1e3, allow_nan=False, allow_infinity=False
+)
+
+#: Small, fast anneal — the properties hold for any schedule.
+_FAST_SCHEDULE = AnnealingParameters(epochs=12, moves_per_epoch=30)
+
+
+@st.composite
+def exact_instances(draw, min_items=3, max_items=7, max_channels=3):
+    """Instances small enough for exhaustive enumeration."""
+    n = draw(st.integers(min_value=min_items, max_value=max_items))
+    raw_freqs = draw(st.lists(_positive, min_size=n, max_size=n))
+    sizes = draw(st.lists(_positive, min_size=n, max_size=n))
+    total = math.fsum(raw_freqs)
+    db = BroadcastDatabase(
+        [
+            DataItem(f"d{i}", frequency=f / total, size=z)
+            for i, (f, z) in enumerate(zip(raw_freqs, sizes))
+        ]
+    )
+    k = draw(st.integers(min_value=2, max_value=min(max_channels, n)))
+    seed = draw(st.integers(min_value=0, max_value=2 ** 16))
+    return db, k, seed
+
+
+common_settings = settings(
+    max_examples=30,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestAnnealingProperties:
+    @common_settings
+    @given(exact_instances())
+    def test_output_passes_invariant_checkers(self, instance):
+        db, k, seed = instance
+        outcome = AnnealingAllocator(_FAST_SCHEDULE, seed=seed).allocate(db, k)
+        assert check_allocation_wellformed(outcome.allocation) == []
+        assert check_cost_identities(outcome.allocation) == []
+
+    @common_settings
+    @given(exact_instances())
+    def test_never_beats_the_exact_optimum(self, instance):
+        db, k, seed = instance
+        outcome = AnnealingAllocator(_FAST_SCHEDULE, seed=seed).allocate(db, k)
+        _, exact_cost = brute_force_optimal(db, k)
+        slack = REL_TOL * max(1.0, exact_cost)
+        assert outcome.cost >= exact_cost - slack
+        # The contiguous DP is bounded the same way: exact over a
+        # subset of the partition space, never below the global optimum.
+        _, dp_cost = contiguous_optimal(db.sorted_by_benefit_ratio(), k)
+        assert dp_cost >= exact_cost - slack
+
+    @common_settings
+    @given(exact_instances())
+    def test_never_exceeds_flat_cost(self, instance):
+        db, k, seed = instance
+        outcome = AnnealingAllocator(_FAST_SCHEDULE, seed=seed).allocate(db, k)
+        flat = db.total_frequency * db.total_size
+        assert outcome.cost <= flat + REL_TOL * max(1.0, flat)
+
+    @settings(
+        max_examples=10,
+        deadline=None,
+        derandomize=True,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(exact_instances())
+    def test_fixed_seed_is_deterministic(self, instance):
+        db, k, seed = instance
+        allocator = AnnealingAllocator(_FAST_SCHEDULE, seed=seed)
+        first = allocator.allocate(db, k)
+        second = allocator.allocate(db, k)
+        assert first.cost == second.cost
+        assert (
+            first.allocation.as_id_lists() == second.allocation.as_id_lists()
+        )

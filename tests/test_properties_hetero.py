@@ -1,0 +1,119 @@
+"""Hypothesis properties for the heterogeneous-bandwidth extension.
+
+``core/hetero.py`` generalises the paper's machinery to per-channel
+bandwidths; these properties pin the generalisation to the base model:
+
+* every refined allocation passes the verification layer's
+  well-formedness checker;
+* with equal bandwidths the generalised waiting time collapses to the
+  paper's Eq. (2);
+* ``hetero_cds_refine`` never worsens the waiting time it starts from;
+* ``assign_groups_to_bandwidths`` is a permutation and (by the
+  rearrangement inequality) beats every other pairing.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.cost import average_waiting_time
+from repro.core.database import BroadcastDatabase
+from repro.core.drp import drp_allocate
+from repro.core.hetero import (
+    assign_groups_to_bandwidths,
+    channel_load,
+    hetero_cds_refine,
+    hetero_waiting_time,
+)
+from repro.core.item import DataItem
+from repro.verify.invariants import REL_TOL, check_allocation_wellformed
+
+pytestmark = pytest.mark.slow
+
+_positive = st.floats(
+    min_value=1e-3, max_value=1e3, allow_nan=False, allow_infinity=False
+)
+_bandwidth = st.floats(
+    min_value=0.5, max_value=50.0, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def hetero_instances(draw, min_items=3, max_items=16, max_channels=4):
+    """A database, a channel count and per-channel bandwidths."""
+    n = draw(st.integers(min_value=min_items, max_value=max_items))
+    raw_freqs = draw(st.lists(_positive, min_size=n, max_size=n))
+    sizes = draw(st.lists(_positive, min_size=n, max_size=n))
+    total = math.fsum(raw_freqs)
+    db = BroadcastDatabase(
+        [
+            DataItem(f"d{i}", frequency=f / total, size=z)
+            for i, (f, z) in enumerate(zip(raw_freqs, sizes))
+        ]
+    )
+    k = draw(st.integers(min_value=2, max_value=min(max_channels, n)))
+    bandwidths = draw(st.lists(_bandwidth, min_size=k, max_size=k))
+    return db, k, bandwidths
+
+
+common_settings = settings(
+    max_examples=40,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestHeteroRefineProperties:
+    @common_settings
+    @given(hetero_instances())
+    def test_output_passes_invariant_checker(self, instance):
+        db, k, bandwidths = instance
+        seed = drp_allocate(db, k).allocation
+        result = hetero_cds_refine(seed, bandwidths)
+        assert check_allocation_wellformed(result.allocation) == []
+
+    @common_settings
+    @given(hetero_instances())
+    def test_refine_never_worsens_waiting_time(self, instance):
+        db, k, bandwidths = instance
+        seed = drp_allocate(db, k).allocation
+        result = hetero_cds_refine(seed, bandwidths)
+        start = hetero_waiting_time(seed, bandwidths)
+        slack = REL_TOL * max(1.0, start)
+        assert result.waiting_time <= start + slack
+        assert result.initial_waiting_time == pytest.approx(start, rel=1e-9)
+        assert result.improvement >= -slack
+
+    @common_settings
+    @given(hetero_instances(), _bandwidth)
+    def test_equal_bandwidths_reduce_to_eq2(self, instance, bandwidth):
+        db, k, _ = instance
+        allocation = drp_allocate(db, k).allocation
+        hetero = hetero_waiting_time(allocation, [bandwidth] * k)
+        homogeneous = average_waiting_time(allocation, bandwidth=bandwidth)
+        assert hetero == pytest.approx(homogeneous, rel=1e-9)
+
+
+class TestGroupAssignmentProperties:
+    @common_settings
+    @given(hetero_instances(max_items=10, max_channels=4))
+    def test_assignment_is_optimal_permutation(self, instance):
+        db, k, bandwidths = instance
+        groups = drp_allocate(db, k).allocation.channels
+        order = assign_groups_to_bandwidths(groups, bandwidths)
+        assert sorted(order) == list(range(k))
+        loads = [channel_load(group) for group in groups]
+        chosen = math.fsum(
+            loads[order[i]] / bandwidths[i] for i in range(k)
+        )
+        for permutation in itertools.permutations(range(k)):
+            other = math.fsum(
+                loads[permutation[i]] / bandwidths[i] for i in range(k)
+            )
+            assert chosen <= other + REL_TOL * max(1.0, other)

@@ -16,6 +16,8 @@ from repro.core.scheduler import DRPCDSAllocator
 from repro.exceptions import InfeasibleProblemError
 from repro.workloads.generator import WorkloadSpec, generate_database
 
+from tests.conftest import PAPER_GOLDENS
+
 
 class TestCostLowerBound:
     def test_bound_below_global_optimum(self):
@@ -84,7 +86,9 @@ class TestSingleChannelCost:
         )
 
     def test_paper_value(self, paper_db):
-        assert single_channel_cost(paper_db) == pytest.approx(135.60, abs=0.01)
+        assert single_channel_cost(paper_db) == pytest.approx(
+            PAPER_GOLDENS["initial_cost"], abs=0.01
+        )
 
 
 class TestConventionalFormula:

@@ -1,0 +1,54 @@
+"""Replay every serialized fuzz failure as a regression test.
+
+``repro verify --fuzz`` shrinks each caught failure into
+``verify_failures/<check>-<seed>.json``.  Committing such a file makes
+the defect a permanent fixture here:
+
+* a repro recorded against **production** code must replay clean once
+  the underlying bug is fixed — and stay clean forever;
+* a repro recorded with an **injected** bug (``--inject-bug``) documents
+  the harness's detection power and must keep reproducing its
+  violations when the same injection is re-applied.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.verify.fuzz import load_failure, replay_failure
+
+FAILURES_DIR = Path(__file__).resolve().parent.parent / "verify_failures"
+FAILURE_FILES = (
+    sorted(FAILURES_DIR.glob("*.json")) if FAILURES_DIR.is_dir() else []
+)
+
+
+@pytest.mark.parametrize(
+    "path", FAILURE_FILES, ids=[path.name for path in FAILURE_FILES]
+)
+def test_serialized_failure_replays_consistently(path):
+    loaded = load_failure(path)
+    violations = replay_failure(path)
+    if loaded.injected is not None:
+        # The injection must still be caught — shrinking kept the case
+        # minimal, not the detector blind.
+        assert violations, (
+            f"{path.name}: injected bug {loaded.injected!r} no longer "
+            "reproduces"
+        )
+        assert all(v.check == loaded.check for v in violations)
+    else:
+        # A production failure is committed only after its fix; the
+        # repro must stay clean.
+        assert violations == [], (
+            f"{path.name}: previously fixed defect has regressed"
+        )
+
+
+def test_failure_files_carry_replayable_payloads():
+    for path in FAILURE_FILES:
+        loaded = load_failure(path)
+        assert len(loaded.database) >= 2
+        assert 2 <= loaded.num_channels <= len(loaded.database)

@@ -1,0 +1,80 @@
+"""Unit tests for the metamorphic relations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.cds import cds_refine
+from repro.core.drp import drp_allocate
+from repro.verify.metamorphic import (
+    relation_frequency_renormalization,
+    relation_merge_split,
+    relation_monotone_channels,
+    relation_permutation,
+    relation_size_scaling,
+)
+from repro.workloads.generator import WorkloadSpec, generate_database
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+@pytest.fixture(
+    params=[
+        WorkloadSpec(num_items=12, skewness=0.6, diversity=1.0, seed=11),
+        WorkloadSpec(num_items=48, skewness=1.1, diversity=2.0, seed=12),
+    ],
+    ids=["n12", "n48"],
+)
+def database(request):
+    return generate_database(request.param)
+
+
+class TestPermutation:
+    def test_clean_on_refined_allocation(self, database, rng):
+        allocation = cds_refine(drp_allocate(database, 4).allocation).allocation
+        assert relation_permutation(allocation, rng) == []
+
+    def test_clean_on_paper_allocation(self, paper_db, rng):
+        allocation = drp_allocate(paper_db, 5).allocation
+        assert relation_permutation(allocation, rng) == []
+
+
+class TestSizeScaling:
+    @pytest.mark.parametrize("factor", (2.0, 0.5, 4.0))
+    def test_clean_for_powers_of_two(self, database, factor):
+        assert relation_size_scaling(database, 4, factor=factor) == []
+
+    def test_rejects_non_power_of_two(self, database):
+        with pytest.raises(ValueError, match="power of two"):
+            relation_size_scaling(database, 4, factor=3.0)
+
+
+class TestFrequencyRenormalization:
+    @pytest.mark.parametrize("factor", (2.0, 0.25))
+    def test_clean_for_powers_of_two(self, database, factor):
+        assert (
+            relation_frequency_renormalization(database, 4, factor=factor)
+            == []
+        )
+
+
+class TestMonotoneChannels:
+    def test_clean_on_generated_databases(self, database):
+        assert relation_monotone_channels(database) == []
+
+    def test_clean_on_paper_database(self, paper_db):
+        assert relation_monotone_channels(paper_db) == []
+
+
+class TestMergeSplit:
+    def test_clean_on_refined_allocation(self, database, rng):
+        allocation = cds_refine(drp_allocate(database, 4).allocation).allocation
+        assert relation_merge_split(allocation, rng) == []
+
+    def test_clean_on_paper_allocation(self, paper_db, rng):
+        allocation = drp_allocate(paper_db, 5).allocation
+        assert relation_merge_split(allocation, rng) == []

@@ -1,0 +1,73 @@
+"""Unit tests for the differential oracles."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.cds import cds_refine
+from repro.core.drp import drp_allocate
+from repro.verify.oracles import (
+    oracle_cds_backends,
+    oracle_dp_methods,
+    oracle_drp_backends,
+    oracle_serial_parallel,
+    oracle_simulators,
+    oracle_warm_cold,
+)
+from repro.workloads.generator import WorkloadSpec, generate_database
+
+
+@pytest.fixture(scope="module")
+def database():
+    return generate_database(
+        WorkloadSpec(num_items=40, skewness=0.8, diversity=1.5, seed=2024)
+    )
+
+
+class TestKernelOracles:
+    @pytest.mark.parametrize("policy", ("max-cost", "max-reduction"))
+    def test_drp_backends_agree(self, database, policy):
+        assert oracle_drp_backends(database, 5, split_policy=policy) == []
+
+    def test_drp_backends_agree_on_paper_db(self, paper_db):
+        assert oracle_drp_backends(paper_db, 5) == []
+
+    def test_cds_backends_agree(self, database, paper_db):
+        assert oracle_cds_backends(database, 5) == []
+        assert oracle_cds_backends(paper_db, 5) == []
+
+    def test_dp_methods_agree(self, database, paper_db):
+        assert oracle_dp_methods(database, 5) == []
+        assert oracle_dp_methods(paper_db, 4) == []
+
+    def test_infeasible_channel_count_is_vacuous(self, tiny_db):
+        assert oracle_drp_backends(tiny_db, 99) == []
+        assert oracle_cds_backends(tiny_db, 99) == []
+        assert oracle_dp_methods(tiny_db, 99) == []
+
+
+class TestSimulatorOracle:
+    def test_event_and_batched_agree(self, database):
+        allocation = cds_refine(drp_allocate(database, 4).allocation).allocation
+        assert (
+            oracle_simulators(allocation, num_requests=300, seed=5) == []
+        )
+
+
+@pytest.mark.slow
+class TestSerialParallelOracle:
+    def test_rows_identical(self):
+        assert oracle_serial_parallel(seed=42) == []
+
+
+class TestWarmColdOracle:
+    def test_guard_respected_with_default_drift(self, database):
+        assert oracle_warm_cold(database, 5) == []
+
+    def test_guard_respected_with_random_drift(self, database):
+        rng = np.random.default_rng(99)
+        assert oracle_warm_cold(database, 5, rng=rng, drift=0.3) == []
+
+    def test_infeasible_channel_count_is_vacuous(self, tiny_db):
+        assert oracle_warm_cold(tiny_db, 99) == []
