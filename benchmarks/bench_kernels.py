@@ -16,12 +16,22 @@ bottom keeps the kernel comparison in the ``make bench`` record.
 
 Methodology: every (kernel, N) cell reports the median of ``--repeats``
 runs.  CDS is timed for a fixed move budget from a deliberately bad
-contiguous seed (per-iteration cost is the quantity of interest; both
-backends execute the identical move sequence, which the harness
-asserts).  The quadratic DP oracle is skipped above
-``--dp-oracle-limit`` items — O(K·N²) in pure Python is minutes at
-N=10k — and the skip is recorded in the JSON rather than silently
-dropped.
+contiguous seed built through the trusted index-group constructor, so
+seeding a million-item run materialises zero per-item objects.  The
+contiguous DP cell times divide-and-conquer against SMAWK on the same
+structure-of-arrays prefix sums and cross-checks that every method
+returns the identical cost.  Scalar backends are skipped above
+``--scalar-limit`` items and the quadratic DP oracle above
+``--dp-oracle-limit`` — O(K·N²) in pure Python is minutes at N=10k —
+with the skip recorded in the JSON rather than silently dropped.
+
+Memory: each cell reports ``items_materialized`` (the
+:func:`repro.core.item.items_created` delta across its timed runs —
+the SoA zero-churn guarantee, asserted at large N), the process peak
+RSS high-watermark after the cell, and — below
+``--memory-profile-limit`` items — a ``tracemalloc`` peak for one
+extra instrumented run of the vectorized path (tracemalloc slows the
+run several-fold, so it is never sampled during timing).
 """
 
 from __future__ import annotations
@@ -29,10 +39,14 @@ from __future__ import annotations
 import argparse
 import json
 import platform
+import resource
 import sys
 import time
+import tracemalloc
 from pathlib import Path
 from typing import List, Optional
+
+import numpy as np
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 
@@ -44,15 +58,19 @@ except ImportError:  # running from a checkout without `pip install -e .`
 from repro.core.allocation import ChannelAllocation
 from repro.core.cds import cds_refine
 from repro.core.drp import drp_allocate
-from repro.core.partition import contiguous_optimal
+from repro.core.item import items_created
+from repro.core.kernels import HAS_NUMBA
+from repro.core.partition import PrefixSums, contiguous_optimal
 from repro.workloads.generator import WorkloadSpec, generate_database
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 DEFAULT_SIZES = (100, 1000, 10000)
 DEFAULT_CHANNELS = 8
 DEFAULT_CDS_ITERATIONS = 10
 DEFAULT_REPEATS = 3
 DEFAULT_DP_ORACLE_LIMIT = 2000
+DEFAULT_SCALAR_LIMIT = 20_000
+DEFAULT_MEMORY_PROFILE_LIMIT = 200_000
 DEFAULT_SEED = 7
 
 
@@ -66,15 +84,49 @@ def _median_seconds(function, repeats: int) -> float:
     return samples[len(samples) // 2]
 
 
+def _median_seconds_with_result(function, repeats: int):
+    """Like :func:`_median_seconds` but also hands back the last result,
+    so correctness cross-checks don't need an extra untimed run (the DP
+    at N=10^6 costs minutes per invocation)."""
+    samples = []
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = function()
+        samples.append(time.perf_counter() - start)
+    samples.sort()
+    return samples[len(samples) // 2], result
+
+
+def _tracemalloc_peak(function) -> int:
+    """Peak traced allocation (bytes) of one instrumented run."""
+    tracemalloc.start()
+    try:
+        function()
+        return tracemalloc.get_traced_memory()[1]
+    finally:
+        tracemalloc.stop()
+
+
+def _peak_rss_kb() -> int:
+    """Process peak RSS high-watermark in KiB (monotone over the run)."""
+    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+
 def _contiguous_seed(database, num_channels: int) -> ChannelAllocation:
-    """A deliberately bad catalogue-order chunking: plenty of CDS moves."""
-    items = database.items
-    size = max(1, len(items) // num_channels)
+    """A deliberately bad catalogue-order chunking: plenty of CDS moves.
+
+    Built from index groups through the trusted constructor — no
+    per-item objects even at a million items.
+    """
+    n = len(database)
+    size = max(1, n // num_channels)
     groups = [
-        list(items[i * size: (i + 1) * size]) for i in range(num_channels - 1)
+        np.arange(i * size, (i + 1) * size)
+        for i in range(num_channels - 1)
     ]
-    groups.append(list(items[(num_channels - 1) * size:]))
-    return ChannelAllocation(database, groups)
+    groups.append(np.arange((num_channels - 1) * size, n))
+    return ChannelAllocation._from_index_groups(database, groups)
 
 
 def _speedup(python_seconds: Optional[float], numpy_seconds: Optional[float]):
@@ -85,92 +137,168 @@ def _speedup(python_seconds: Optional[float], numpy_seconds: Optional[float]):
 
 def run_benchmarks(
     sizes=DEFAULT_SIZES,
-    num_channels: int = DEFAULT_CHANNELS,
+    num_channels=DEFAULT_CHANNELS,
     cds_iterations: int = DEFAULT_CDS_ITERATIONS,
     repeats: int = DEFAULT_REPEATS,
     dp_oracle_limit: int = DEFAULT_DP_ORACLE_LIMIT,
+    scalar_limit: int = DEFAULT_SCALAR_LIMIT,
+    memory_profile_limit: int = DEFAULT_MEMORY_PROFILE_LIMIT,
     seed: int = DEFAULT_SEED,
 ) -> dict:
-    """Time every kernel at every size; return the BENCH_core document."""
+    """Time every kernel at every size; return the BENCH_core document.
+
+    ``num_channels`` is either one K for every size or a sequence
+    aligned with ``sizes`` — the large-N tier runs at K in the
+    hundreds while the historical small tiers stay at K=8.
+    """
+    if isinstance(num_channels, int):
+        channels_per_size = [num_channels] * len(sizes)
+    else:
+        channels_per_size = list(num_channels)
+        if len(channels_per_size) == 1:
+            channels_per_size *= len(sizes)
+        if len(channels_per_size) != len(sizes):
+            raise ValueError(
+                f"--channels takes one K or one per size: got "
+                f"{len(channels_per_size)} for {len(sizes)} sizes"
+            )
     results: List[dict] = []
-    for n in sizes:
-        k = min(num_channels, n)
+    for n, size_channels in zip(sizes, channels_per_size):
+        k = min(size_channels, n)
         database = generate_database(
             WorkloadSpec(num_items=n, skewness=0.8, diversity=1.5, seed=seed)
         )
-        ordered = database.sorted_by_benefit_ratio()
+        time_scalar = n <= scalar_limit
+        profile_memory = n <= memory_profile_limit
+        skip_note = (
+            f"python backend skipped above N={scalar_limit}"
+            if not time_scalar
+            else None
+        )
 
         # --- CDS: fixed move budget from a bad seed ------------------
         cds_seed = _contiguous_seed(database, k)
-        scalar = cds_refine(
-            cds_seed, max_iterations=cds_iterations, backend="python"
-        )
         vector = cds_refine(
             cds_seed, max_iterations=cds_iterations, backend="numpy"
         )
-        assert scalar.moves == vector.moves, "backends diverged — bug"
-        python_s = _median_seconds(
-            lambda: cds_refine(
+        python_s = None
+        if time_scalar:
+            scalar = cds_refine(
                 cds_seed, max_iterations=cds_iterations, backend="python"
-            ),
-            repeats,
-        )
+            )
+            assert scalar.moves == vector.moves, "backends diverged — bug"
+            python_s = _median_seconds(
+                lambda: cds_refine(
+                    cds_seed, max_iterations=cds_iterations, backend="python"
+                ),
+                repeats,
+            )
+        created_before = items_created()
         numpy_s = _median_seconds(
             lambda: cds_refine(
                 cds_seed, max_iterations=cds_iterations, backend="numpy"
             ),
             repeats,
         )
-        results.append(
-            {
-                "kernel": "cds_refine",
-                "n": n,
-                "k": k,
-                "iterations": len(scalar.moves),
-                "python_seconds": python_s,
-                "numpy_seconds": numpy_s,
-                "speedup": _speedup(python_s, numpy_s),
-            }
-        )
+        materialized = items_created() - created_before
+        row = {
+            "kernel": "cds_refine",
+            "n": n,
+            "k": k,
+            "iterations": len(vector.moves),
+            "python_seconds": python_s,
+            "numpy_seconds": numpy_s,
+            "speedup": _speedup(python_s, numpy_s),
+            "items_materialized": materialized,
+            "tracemalloc_peak_bytes": (
+                _tracemalloc_peak(
+                    lambda: cds_refine(
+                        cds_seed,
+                        max_iterations=cds_iterations,
+                        backend="numpy",
+                    )
+                )
+                if profile_memory
+                else None
+            ),
+            "peak_rss_kb": _peak_rss_kb(),
+        }
+        if skip_note:
+            row["note"] = skip_note
+        results.append(row)
 
         # --- DRP: full allocation, split-heavy policy ----------------
-        python_s = _median_seconds(
-            lambda: drp_allocate(
-                database, k, split_policy="max-reduction", backend="python"
-            ),
-            repeats,
-        )
+        python_s = None
+        if time_scalar:
+            python_s = _median_seconds(
+                lambda: drp_allocate(
+                    database, k, split_policy="max-reduction",
+                    backend="python",
+                ),
+                repeats,
+            )
+        created_before = items_created()
         numpy_s = _median_seconds(
             lambda: drp_allocate(
                 database, k, split_policy="max-reduction", backend="numpy"
             ),
             repeats,
         )
-        results.append(
-            {
-                "kernel": "drp_allocate",
-                "n": n,
-                "k": k,
-                "python_seconds": python_s,
-                "numpy_seconds": numpy_s,
-                "speedup": _speedup(python_s, numpy_s),
-            }
-        )
+        materialized = items_created() - created_before
+        row = {
+            "kernel": "drp_allocate",
+            "n": n,
+            "k": k,
+            "python_seconds": python_s,
+            "numpy_seconds": numpy_s,
+            "speedup": _speedup(python_s, numpy_s),
+            "items_materialized": materialized,
+            "tracemalloc_peak_bytes": (
+                _tracemalloc_peak(
+                    lambda: drp_allocate(
+                        database, k, split_policy="max-reduction",
+                        backend="numpy",
+                    )
+                )
+                if profile_memory
+                else None
+            ),
+            "peak_rss_kb": _peak_rss_kb(),
+        }
+        if skip_note:
+            row["note"] = skip_note
+        results.append(row)
 
-        # --- Contiguous DP: quadratic oracle vs divide-and-conquer ---
+        # --- Contiguous DP: quadratic oracle vs D&C vs SMAWK ---------
+        # All methods time the same structure-of-arrays prefix sums;
+        # building them is a one-off O(N) cumsum kept outside the
+        # timed region.
+        order = database.benefit_ratio_order()
+        sums = PrefixSums.from_arrays(
+            database.frequencies[order], database.sizes[order]
+        )
         row = {"kernel": "contiguous_dp", "n": n, "k": k}
-        dc_s = _median_seconds(
-            lambda: contiguous_optimal(ordered, k, method="divide-conquer"),
+        dc_s, (_, dc_cost) = _median_seconds_with_result(
+            lambda: contiguous_optimal(
+                None, k, method="divide-conquer", sums=sums
+            ),
             repeats,
         )
+        smawk_s, (_, smawk_cost) = _median_seconds_with_result(
+            lambda: contiguous_optimal(None, k, method="smawk", sums=sums),
+            repeats,
+        )
+        assert dc_cost == smawk_cost, "DP methods diverged — bug"
         row["divide_conquer_seconds"] = dc_s
+        row["smawk_seconds"] = smawk_s
+        row["smawk_speedup_vs_divide_conquer"] = _speedup(dc_s, smawk_s)
         if n <= dp_oracle_limit:
-            quad_s = _median_seconds(
-                lambda: contiguous_optimal(ordered, k, method="quadratic"),
+            quad_s, (_, quad_cost) = _median_seconds_with_result(
+                lambda: contiguous_optimal(
+                    None, k, method="quadratic", sums=sums
+                ),
                 max(1, repeats if n <= 200 else 1),
             )
-            _, quad_cost = contiguous_optimal(ordered, k, method="quadratic")
-            _, dc_cost = contiguous_optimal(ordered, k, method="divide-conquer")
             assert quad_cost == dc_cost, "DP methods diverged — bug"
             row["quadratic_seconds"] = quad_s
             row["speedup"] = _speedup(quad_s, dc_s)
@@ -181,6 +309,14 @@ def run_benchmarks(
                 f"quadratic oracle skipped above N={dp_oracle_limit} "
                 "(O(K*N^2) in pure Python)"
             )
+        row["tracemalloc_peak_bytes"] = (
+            _tracemalloc_peak(
+                lambda: contiguous_optimal(None, k, method="smawk", sums=sums)
+            )
+            if profile_memory
+            else None
+        )
+        row["peak_rss_kb"] = _peak_rss_kb()
         results.append(row)
 
     return {
@@ -188,13 +324,23 @@ def run_benchmarks(
         "generated_by": "benchmarks/bench_kernels.py",
         "config": {
             "sizes": list(sizes),
-            "num_channels": num_channels,
+            "num_channels": channels_per_size,
             "cds_iterations": cds_iterations,
             "repeats": repeats,
             "dp_oracle_limit": dp_oracle_limit,
+            "scalar_limit": scalar_limit,
+            "memory_profile_limit": memory_profile_limit,
             "seed": seed,
             "python": platform.python_version(),
             "machine": platform.machine(),
+            "numpy": np.__version__,
+            "has_numba": HAS_NUMBA,
+            "memory_notes": (
+                "peak_rss_kb is the process high-watermark (monotone "
+                "across rows); tracemalloc_peak_bytes instruments one "
+                "extra vectorized run and is null above "
+                "memory_profile_limit"
+            ),
         },
         "results": results,
     }
@@ -202,17 +348,22 @@ def run_benchmarks(
 
 def _format_report(document: dict) -> str:
     lines = [
-        f"{'kernel':<15} {'N':>6} {'K':>3}  "
+        f"{'kernel':<15} {'N':>8} {'K':>4}  "
         f"{'scalar (s)':>10}  {'kernel (s)':>10}  {'speedup':>8}"
     ]
     for row in document["results"]:
-        base = row.get("python_seconds") or row.get("quadratic_seconds")
-        fast = row.get("numpy_seconds") or row.get("divide_conquer_seconds")
-        speedup = row.get("speedup")
+        if row["kernel"] == "contiguous_dp":
+            base = row.get("divide_conquer_seconds")
+            fast = row.get("smawk_seconds")
+            speedup = row.get("smawk_speedup_vs_divide_conquer")
+        else:
+            base = row.get("python_seconds")
+            fast = row.get("numpy_seconds")
+            speedup = row.get("speedup")
         base_text = f"{base:>10.4f}" if base is not None else f"{'—':>10}"
         speed_text = f"{speedup:>7.1f}x" if speedup else f"{'—':>8}"
         lines.append(
-            f"{row['kernel']:<15} {row['n']:>6} {row['k']:>3}  "
+            f"{row['kernel']:<15} {row['n']:>8} {row['k']:>4}  "
             f"{base_text}  {fast:>10.4f}  {speed_text}"
         )
     return "\n".join(lines)
@@ -225,12 +376,13 @@ def main(argv=None) -> int:
         help="catalogue sizes N to benchmark (default: 100 1000 10000)",
     )
     parser.add_argument(
-        "--channels", type=int, default=DEFAULT_CHANNELS,
-        help="channel count K (default: 8)",
+        "--channels", type=int, nargs="+", default=[DEFAULT_CHANNELS],
+        help="channel count K — one value for every size, or one per "
+             "size (default: 8)",
     )
     parser.add_argument(
         "--cds-iterations", type=int, default=DEFAULT_CDS_ITERATIONS,
-        help="CDS move budget per timed run (default: 5)",
+        help="CDS move budget per timed run (default: 10)",
     )
     parser.add_argument(
         "--repeats", type=int, default=DEFAULT_REPEATS,
@@ -239,6 +391,17 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--dp-oracle-limit", type=int, default=DEFAULT_DP_ORACLE_LIMIT,
         help="largest N the quadratic DP oracle is timed at (default: 2000)",
+    )
+    parser.add_argument(
+        "--scalar-limit", type=int, default=DEFAULT_SCALAR_LIMIT,
+        help="largest N the pure-Python backends are timed at "
+             "(default: 20000)",
+    )
+    parser.add_argument(
+        "--memory-profile-limit", type=int,
+        default=DEFAULT_MEMORY_PROFILE_LIMIT,
+        help="largest N given an extra tracemalloc-instrumented run "
+             "(default: 200000)",
     )
     parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
     parser.add_argument(
@@ -253,6 +416,8 @@ def main(argv=None) -> int:
         cds_iterations=options.cds_iterations,
         repeats=options.repeats,
         dp_oracle_limit=options.dp_oracle_limit,
+        scalar_limit=options.scalar_limit,
+        memory_profile_limit=options.memory_profile_limit,
         seed=options.seed,
     )
     options.output.write_text(json.dumps(document, indent=2) + "\n")
@@ -275,6 +440,7 @@ def test_kernel_speedups_smoke(benchmark):
     for row in document["results"]:
         if row["kernel"] == "cds_refine" and row["n"] >= 1000:
             assert row["speedup"] and row["speedup"] > 1.0
+            assert row["items_materialized"] == 0
     save_report("kernels", _format_report(document))
 
 

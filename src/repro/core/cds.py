@@ -287,21 +287,40 @@ def _cds_refine_numpy(
 ) -> CDSResult:
     """The numpy backend of :func:`cds_refine`.
 
-    Flat-array bookkeeping: per-item feature arrays, a channel index
-    per item and per-channel ``(F_i, Z_i)`` aggregate arrays.  The
-    per-channel index lists mirror the scalar backend's mutable group
-    lists (pop at position / append at end), so the scan order — and
-    therefore the tie-break — stays identical move for move.
+    Structure-of-arrays bookkeeping, end to end: the database's feature
+    arrays are read in place (catalogue order), the working state is a
+    channel index per item plus per-channel ``(F_i, Z_i)`` aggregate
+    arrays, and the per-channel index lists mirror the scalar backend's
+    mutable group lists (pop at position / append at end), so the scan
+    order — and therefore the tie-break — stays identical move for
+    move.  No :class:`DataItem` is ever materialised: the Δc scan, the
+    aggregate updates and the final rebuild all run on catalogue
+    indices (the only per-move object is the executed move's id
+    string).
     """
-    items, freq, size, group_of, groups, agg_f, agg_z = kernels.cds_state_arrays(
-        allocation.channels, allocation.channel_stats
+    np = kernels.np
+    database = allocation.database
+    freq = database.frequencies
+    size = database.sizes
+    num_items = len(database)
+    groups: List[List[int]] = [
+        [int(i) for i in group] for group in allocation.channel_index_groups
+    ]
+    group_of = np.empty(num_items, dtype=np.intp)
+    for channel, members in enumerate(groups):
+        group_of[members] = channel
+    agg_f = np.array(
+        [stat.frequency for stat in allocation.channel_stats], dtype=np.float64
+    )
+    agg_z = np.array(
+        [stat.size for stat in allocation.channel_stats], dtype=np.float64
     )
     offsets = [0] * len(groups)
     initial_cost = allocation_cost(allocation)
     current_cost = initial_cost
     moves: List[CDSMove] = []
     converged = True
-    order = kernels.np.empty(len(items), dtype=kernels.np.intp)
+    order = np.empty(num_items, dtype=np.intp)
 
     while True:
         if max_iterations is not None and len(moves) >= max_iterations:
@@ -312,7 +331,7 @@ def _cds_refine_numpy(
             offsets[channel] = position
             order[position: position + len(members)] = members
             position += len(members)
-        best = kernels.cds_best_move_numpy(
+        best = kernels.cds_best_move(
             freq, size, order, group_of, agg_f, agg_z, _IMPROVEMENT_EPSILON
         )
         if best is None:
@@ -323,15 +342,16 @@ def _cds_refine_numpy(
         groups[origin].pop(rank - offsets[origin])
         groups[destination].append(index)
         group_of[index] = destination
-        item = items[index]
-        agg_f[origin] -= item.frequency
-        agg_z[origin] -= item.size
-        agg_f[destination] += item.frequency
-        agg_z[destination] += item.size
+        item_frequency = float(freq[index])
+        item_size = float(size[index])
+        agg_f[origin] -= item_frequency
+        agg_z[origin] -= item_size
+        agg_f[destination] += item_frequency
+        agg_z[destination] += item_size
         current_cost -= delta
         moves.append(
             CDSMove(
-                item_id=item.item_id,
+                item_id=database.item_id_at(index),
                 origin=origin,
                 destination=destination,
                 delta=delta,
@@ -339,10 +359,7 @@ def _cds_refine_numpy(
             )
         )
 
-    refined = allocation.replace_channels(
-        [[items[index] for index in members] for members in groups],
-        validate=False,
-    )
+    refined = allocation.replace_index_groups(groups)
     # Recompute from scratch to shed accumulated floating-point drift.
     final_cost = allocation_cost(refined)
     return CDSResult(

@@ -33,6 +33,7 @@ __all__ = [
     "group_cost",
     "group_aggregates",
     "allocation_cost",
+    "soa_allocation_cost",
     "channel_costs",
     "item_waiting_time",
     "channel_waiting_time",
@@ -94,6 +95,26 @@ def channel_costs(allocation: ChannelAllocation) -> List[float]:
 def allocation_cost(allocation: ChannelAllocation) -> float:
     """Total cost of an allocation, Eq. (3): :math:`\\sum_i F_i Z_i`."""
     return math.fsum(channel_costs(allocation))
+
+
+def soa_allocation_cost(frequencies, sizes, index_groups) -> float:
+    """Eq. (3) straight from feature arrays and catalogue-index groups.
+
+    The array-resident twin of :func:`allocation_cost` for callers that
+    hold a grouping as index arrays rather than a validated
+    :class:`ChannelAllocation` (benchmarks, differential oracles).  Uses
+    the same exact ``math.fsum`` accumulation in group item order, so it
+    returns the identical float.
+    """
+    costs: List[float] = []
+    for group in index_groups:
+        if len(group) == 0:
+            costs.append(0.0)
+            continue
+        frequency = math.fsum(frequencies[group].tolist())
+        size = math.fsum(sizes[group].tolist())
+        costs.append(frequency * size)
+    return math.fsum(costs)
 
 
 # ----------------------------------------------------------------------

@@ -10,15 +10,42 @@ The database owns the global invariants the paper assumes:
 It also exposes the derived quantities every algorithm needs (aggregate
 frequency/size, items sorted by benefit ratio) so that callers never
 recompute them ad hoc.
+
+Storage model (structure of arrays)
+-----------------------------------
+The canonical state is **array-resident**: two contiguous float64
+arrays (``frequencies``, ``sizes``) plus the id metadata.  Per-item
+:class:`DataItem` objects and the id→index map are *views* created
+lazily the first time an object-level API (``items``, ``__getitem__``,
+``subset`` …) is touched, then cached.  Algorithm hot paths (DRP, CDS,
+the contiguous DP, the incremental engine) read the arrays directly and
+never materialise items, which is what lets a single database scale to
+millions of items.  Databases built from explicit :class:`DataItem`
+objects keep those exact objects as the (pre-populated) view cache, so
+the object-level API is unchanged — including identity.
+
+Construction parity: building from items and building from arrays with
+the same floats yields equal databases (same totals, same order, same
+hash) — ``repro verify`` carries a differential oracle for it.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, Iterator, List, Mapping, Sequence, Tuple
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.core.item import DataItem
-from repro.exceptions import InvalidDatabaseError
+from repro.core.kernels import HAS_NUMPY, np
+from repro.exceptions import InvalidDatabaseError, InvalidItemError
 
 __all__ = ["BroadcastDatabase", "FREQUENCY_SUM_TOLERANCE"]
 
@@ -28,8 +55,17 @@ __all__ = ["BroadcastDatabase", "FREQUENCY_SUM_TOLERANCE"]
 FREQUENCY_SUM_TOLERANCE = 1e-3
 
 
+def _record_materialization(count: int) -> None:
+    """Bump the ``core.items_materialized`` counter when metrics are on."""
+    from repro import obs
+
+    registry = obs.get_metrics()
+    if registry.enabled:
+        registry.counter("core.items_materialized").inc(count)
+
+
 class BroadcastDatabase:
-    """Immutable collection of :class:`DataItem` objects.
+    """Immutable collection of broadcast items (array-resident).
 
     Parameters
     ----------
@@ -53,7 +89,19 @@ class BroadcastDatabase:
     ['b', 'a']
     """
 
-    __slots__ = ("_items", "_by_id", "_total_frequency", "_total_size")
+    __slots__ = (
+        "_freq",
+        "_size",
+        "_ids",
+        "_id_prefix",
+        "_labels",
+        "_total_frequency",
+        "_total_size",
+        # lazy caches (never pickled)
+        "_items",
+        "_index_by_id",
+        "_br_order",
+    )
 
     def __init__(
         self,
@@ -64,54 +112,309 @@ class BroadcastDatabase:
         item_list: List[DataItem] = list(items)
         if not item_list:
             raise InvalidDatabaseError("a broadcast database cannot be empty")
-        by_id: Dict[str, DataItem] = {}
-        for item in item_list:
+        index_by_id: Dict[str, int] = {}
+        for index, item in enumerate(item_list):
             if not isinstance(item, DataItem):
                 raise InvalidDatabaseError(
                     f"database entries must be DataItem, got {type(item).__name__}"
                 )
-            if item.item_id in by_id:
+            if item.item_id in index_by_id:
                 raise InvalidDatabaseError(
                     f"duplicate item_id {item.item_id!r} in database"
                 )
-            by_id[item.item_id] = item
-        total_frequency = math.fsum(item.frequency for item in item_list)
+            index_by_id[item.item_id] = index
+        freq = [item.frequency for item in item_list]
+        size = [item.size for item in item_list]
+        total_frequency = math.fsum(freq)
         if require_normalized and abs(total_frequency - 1.0) > FREQUENCY_SUM_TOLERANCE:
             raise InvalidDatabaseError(
                 "access frequencies must sum to 1 "
                 f"(got {total_frequency:.6f}); build with "
                 "require_normalized=False and call .normalized() to rescale"
             )
-        self._items: Tuple[DataItem, ...] = tuple(item_list)
-        self._by_id = by_id
+        self._freq = self._freeze(freq)
+        self._size = self._freeze(size)
+        self._ids: Optional[Tuple[str, ...]] = tuple(
+            item.item_id for item in item_list
+        )
+        self._id_prefix: Optional[str] = None
+        labels = tuple(item.label for item in item_list)
+        self._labels: Optional[Tuple[Optional[str], ...]] = (
+            labels if any(label is not None for label in labels) else None
+        )
         self._total_frequency = total_frequency
-        self._total_size = math.fsum(item.size for item in item_list)
+        self._total_size = math.fsum(size)
+        # The given objects *are* the item view — identity preserved.
+        self._items: Optional[Tuple[DataItem, ...]] = tuple(item_list)
+        self._index_by_id: Optional[Dict[str, int]] = index_by_id
+        self._br_order = None
+
+    @staticmethod
+    def _freeze(values: Sequence[float]):
+        """Per-item feature storage: a read-only float64 array (or a
+        plain list when numpy is unavailable)."""
+        if HAS_NUMPY:
+            array = np.array(values, dtype=np.float64)
+            array.setflags(write=False)
+            return array
+        return list(map(float, values))  # pragma: no cover - numpy baked in
+
+    # ------------------------------------------------------------------
+    # Array-native constructor
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_soa(
+        cls,
+        frequencies: Sequence[float],
+        sizes: Sequence[float],
+        *,
+        ids: Optional[Sequence[str]] = None,
+        id_prefix: str = "d",
+        labels: Optional[Sequence[Optional[str]]] = None,
+        require_normalized: bool = True,
+    ) -> "BroadcastDatabase":
+        """Build a database directly from feature arrays (zero items).
+
+        The structure-of-arrays twin of ``__init__``: validates the
+        per-item invariants (finite, positive) vectorized, never
+        constructs a :class:`DataItem`.  When ``ids`` is omitted, item
+        ids are *virtual* — ``{id_prefix}{i+1}`` — and only rendered to
+        strings on demand (:meth:`item_id_at`, ``item_ids``).
+
+        Equal floats produce a database equal (and hash-equal) to the
+        object-built one; the ``database-construction`` verify oracle
+        pins that parity.
+        """
+        if len(frequencies) != len(sizes):
+            raise InvalidDatabaseError(
+                "frequencies and sizes must have equal length "
+                f"({len(frequencies)} != {len(sizes)})"
+            )
+        if len(frequencies) == 0:
+            raise InvalidDatabaseError("a broadcast database cannot be empty")
+        if ids is not None and len(ids) != len(frequencies):
+            raise InvalidDatabaseError(
+                f"ids length {len(ids)} != feature length {len(frequencies)}"
+            )
+        if labels is not None and len(labels) != len(frequencies):
+            raise InvalidDatabaseError(
+                f"labels length {len(labels)} != feature length {len(frequencies)}"
+            )
+        self = object.__new__(cls)
+        self._freq = cls._freeze(frequencies)
+        self._size = cls._freeze(sizes)
+        self._ids = tuple(ids) if ids is not None else None
+        self._id_prefix = id_prefix if ids is None else None
+        self._labels = tuple(labels) if labels is not None else None
+        self._items = None
+        self._index_by_id = None
+        self._br_order = None
+        self._validate_soa(require_normalized)
+        return self
+
+    def _validate_soa(self, require_normalized: bool) -> None:
+        if HAS_NUMPY:
+            freq, size = self._freq, self._size
+            bad = ~(np.isfinite(freq) & (freq > 0.0))
+            bad |= ~(np.isfinite(size) & (size > 0.0))
+            if bool(bad.any()):
+                index = int(np.argmax(bad))
+                raise InvalidItemError(
+                    f"features of {self.item_id_at(index)!r} must be finite "
+                    f"and > 0, got frequency={float(freq[index])!r} "
+                    f"size={float(size[index])!r}"
+                )
+            freq_list = freq.tolist()
+            size_list = size.tolist()
+        else:  # pragma: no cover - numpy baked into the image
+            freq_list, size_list = self._freq, self._size
+            for index, (f, z) in enumerate(zip(freq_list, size_list)):
+                if not (math.isfinite(f) and f > 0.0 and math.isfinite(z) and z > 0.0):
+                    raise InvalidItemError(
+                        f"features of {self.item_id_at(index)!r} must be "
+                        f"finite and > 0, got frequency={f!r} size={z!r}"
+                    )
+        if self._ids is not None:
+            seen: Dict[str, int] = {}
+            for item_id in self._ids:
+                if item_id in seen:
+                    raise InvalidDatabaseError(
+                        f"duplicate item_id {item_id!r} in database"
+                    )
+                seen[item_id] = 1
+        total_frequency = math.fsum(freq_list)
+        if require_normalized and abs(total_frequency - 1.0) > FREQUENCY_SUM_TOLERANCE:
+            raise InvalidDatabaseError(
+                "access frequencies must sum to 1 "
+                f"(got {total_frequency:.6f}); build with "
+                "require_normalized=False and call .normalized() to rescale"
+            )
+        self._total_frequency = total_frequency
+        self._total_size = math.fsum(size_list)
+
+    # ------------------------------------------------------------------
+    # Array accessors (the hot-path API)
+    # ------------------------------------------------------------------
+    @property
+    def frequencies(self):
+        """Per-item access frequencies in catalogue order.
+
+        A read-only float64 array (a list when numpy is unavailable).
+        The exact floats the item view exposes — no copies, no rounding.
+        """
+        return self._freq
+
+    @property
+    def sizes(self):
+        """Per-item sizes in catalogue order (read-only float64 array)."""
+        return self._size
+
+    def item_id_at(self, index: int) -> str:
+        """The id of catalogue position ``index`` without materialising
+        the whole id tuple (virtual ids render on demand)."""
+        if self._ids is not None:
+            return self._ids[index]
+        if not -len(self) <= index < len(self):
+            raise IndexError(index)
+        if index < 0:
+            index += len(self)
+        return f"{self._id_prefix}{index + 1}"
+
+    def index_of(self, item_id: str) -> int:
+        """Catalogue position of ``item_id`` (KeyError when absent)."""
+        index_by_id = self._id_index()
+        try:
+            return index_by_id[item_id]
+        except KeyError:
+            raise KeyError(f"no item {item_id!r} in database") from None
+
+    def benefit_ratio_order(self):
+        """Catalogue indices sorted by descending benefit ratio ``f/z``.
+
+        Ties break by catalogue order (stable sort), exactly matching
+        :meth:`sorted_by_benefit_ratio`; the result is cached.  Returns
+        an intp array (a list of ints without numpy).
+        """
+        if self._br_order is None:
+            if HAS_NUMPY:
+                ratios = self._freq / self._size
+                order = np.argsort(-ratios, kind="stable")
+                order.setflags(write=False)
+            else:  # pragma: no cover - numpy baked in
+                ratios = [f / z for f, z in zip(self._freq, self._size)]
+                order = sorted(range(len(ratios)), key=lambda i: (-ratios[i], i))
+            self._br_order = order
+        return self._br_order
+
+    def frequency_order(self):
+        """Catalogue indices sorted by descending access frequency."""
+        if HAS_NUMPY:
+            return np.argsort(
+                -np.asarray(self._freq, dtype=np.float64), kind="stable"
+            )
+        return sorted(  # pragma: no cover - numpy baked in
+            range(len(self._freq)), key=lambda i: (-self._freq[i], i)
+        )
+
+    def with_frequencies(
+        self,
+        frequencies: Sequence[float],
+        *,
+        require_normalized: bool = True,
+    ) -> "BroadcastDatabase":
+        """A copy with replaced frequencies (ids, sizes, labels shared).
+
+        The array-native profile update the incremental engine uses —
+        no per-item objects are built.
+        """
+        if len(frequencies) != len(self):
+            raise InvalidDatabaseError(
+                f"frequencies length {len(frequencies)} != database size "
+                f"{len(self)}"
+            )
+        clone = object.__new__(BroadcastDatabase)
+        clone._freq = self._freeze(frequencies)
+        clone._size = self._size
+        clone._ids = self._ids
+        clone._id_prefix = self._id_prefix
+        clone._labels = self._labels
+        clone._items = None
+        clone._index_by_id = self._index_by_id
+        clone._br_order = None
+        clone._validate_soa(require_normalized)
+        return clone
+
+    # ------------------------------------------------------------------
+    # Lazy view materialisation
+    # ------------------------------------------------------------------
+    def _materialize_items(self) -> Tuple[DataItem, ...]:
+        freq = self._freq.tolist() if HAS_NUMPY else self._freq
+        size = self._size.tolist() if HAS_NUMPY else self._size
+        labels = self._labels
+        items = tuple(
+            DataItem(
+                self.item_id_at(i),
+                freq[i],
+                size[i],
+                label=labels[i] if labels is not None else None,
+            )
+            for i in range(len(freq))
+        )
+        _record_materialization(len(items))
+        return items
+
+    def _id_index(self) -> Dict[str, int]:
+        if self._index_by_id is None:
+            self._index_by_id = {
+                self.item_id_at(i): i for i in range(len(self))
+            }
+        return self._index_by_id
 
     # ------------------------------------------------------------------
     # Container protocol
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._items)
+        return len(self._freq)
 
     def __iter__(self) -> Iterator[DataItem]:
-        return iter(self._items)
+        return iter(self.items)
 
     def __contains__(self, item_id: object) -> bool:
-        return item_id in self._by_id
+        return item_id in self._id_index()
 
     def __getitem__(self, item_id: str) -> DataItem:
-        try:
-            return self._by_id[item_id]
-        except KeyError:
-            raise KeyError(f"no item {item_id!r} in database") from None
+        return self.items[self.index_of(item_id)]
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, BroadcastDatabase):
             return NotImplemented
-        return self._items == other._items
+        if self is other:
+            return True
+        if len(self) != len(other):
+            return False
+        if HAS_NUMPY:
+            if not (
+                np.array_equal(self._freq, other._freq)
+                and np.array_equal(self._size, other._size)
+            ):
+                return False
+        else:  # pragma: no cover - numpy baked in
+            if self._freq != other._freq or self._size != other._size:
+                return False
+        if (
+            self._ids is None
+            and other._ids is None
+            and self._id_prefix == other._id_prefix
+        ):
+            return True
+        return self.item_ids == other.item_ids
 
     def __hash__(self) -> int:
-        return hash(self._items)
+        if HAS_NUMPY:
+            features = (self._freq.tobytes(), self._size.tobytes())
+        else:  # pragma: no cover - numpy baked in
+            features = (tuple(self._freq), tuple(self._size))
+        return hash((self.item_ids, features))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -119,16 +422,51 @@ class BroadcastDatabase:
         )
 
     # ------------------------------------------------------------------
+    # Pickling — ship the arrays, drop the lazy caches
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        return {
+            "freq": self._freq,
+            "size": self._size,
+            "ids": self._ids,
+            "id_prefix": self._id_prefix,
+            "labels": self._labels,
+            "total_frequency": self._total_frequency,
+            "total_size": self._total_size,
+        }
+
+    def __setstate__(self, state) -> None:
+        self._freq = state["freq"]
+        self._size = state["size"]
+        if HAS_NUMPY and hasattr(self._freq, "setflags"):
+            self._freq.setflags(write=False)
+            self._size.setflags(write=False)
+        self._ids = state["ids"]
+        self._id_prefix = state["id_prefix"]
+        self._labels = state["labels"]
+        self._total_frequency = state["total_frequency"]
+        self._total_size = state["total_size"]
+        self._items = None
+        self._index_by_id = None
+        self._br_order = None
+
+    # ------------------------------------------------------------------
     # Derived quantities
     # ------------------------------------------------------------------
     @property
     def items(self) -> Tuple[DataItem, ...]:
-        """The items in catalogue order."""
+        """The items in catalogue order (materialised lazily, cached)."""
+        if self._items is None:
+            self._items = self._materialize_items()
         return self._items
 
     @property
     def item_ids(self) -> Tuple[str, ...]:
-        return tuple(item.item_id for item in self._items)
+        if self._ids is None:
+            self._ids = tuple(
+                f"{self._id_prefix}{i + 1}" for i in range(len(self))
+            )
+        return self._ids
 
     @property
     def total_frequency(self) -> float:
@@ -147,7 +485,11 @@ class BroadcastDatabase:
     @property
     def fixed_download_cost(self) -> float:
         """The allocation-independent term :math:`\\sum f_i z_i` of Eq. (2)."""
-        return math.fsum(item.weight for item in self._items)
+        if HAS_NUMPY:
+            return math.fsum((self._freq * self._size).tolist())
+        return math.fsum(  # pragma: no cover - numpy baked in
+            f * z for f, z in zip(self._freq, self._size)
+        )
 
     def sorted_by_benefit_ratio(self) -> Tuple[DataItem, ...]:
         """Items sorted by benefit ratio ``f/z`` in descending order.
@@ -155,11 +497,8 @@ class BroadcastDatabase:
         Ties are broken by catalogue order so the sort is deterministic;
         DRP's behaviour is then reproducible for any input.
         """
-        order = sorted(
-            range(len(self._items)),
-            key=lambda i: (-self._items[i].benefit_ratio, i),
-        )
-        return tuple(self._items[i] for i in order)
+        items = self.items
+        return tuple(items[int(i)] for i in self.benefit_ratio_order())
 
     def sorted_by_frequency(self) -> Tuple[DataItem, ...]:
         """Items sorted by access frequency in descending order.
@@ -167,11 +506,8 @@ class BroadcastDatabase:
         This is the order conventional (equal item size) algorithms such
         as VF^K operate on.
         """
-        order = sorted(
-            range(len(self._items)),
-            key=lambda i: (-self._items[i].frequency, i),
-        )
-        return tuple(self._items[i] for i in order)
+        items = self.items
+        return tuple(items[int(i)] for i in self.frequency_order())
 
     # ------------------------------------------------------------------
     # Constructors / transforms
@@ -179,9 +515,11 @@ class BroadcastDatabase:
     def normalized(self) -> "BroadcastDatabase":
         """Return a copy whose frequencies are rescaled to sum to 1."""
         factor = 1.0 / self._total_frequency
-        return BroadcastDatabase(
-            (item.scaled(frequency_factor=factor) for item in self._items),
-        )
+        if HAS_NUMPY:
+            rescaled = self._freq * factor
+        else:  # pragma: no cover - numpy baked in
+            rescaled = [f * factor for f in self._freq]
+        return self.with_frequencies(rescaled)
 
     def subset(self, item_ids: Sequence[str]) -> Tuple[DataItem, ...]:
         """Look up a sequence of items by id, preserving the given order."""
@@ -218,17 +556,12 @@ class BroadcastDatabase:
         """Build a database from parallel frequency/size arrays.
 
         Items are named ``{prefix}1 .. {prefix}N`` following the paper's
-        convention.
+        convention.  Array-resident: no per-item objects are created
+        until an object-level accessor is touched.
         """
-        if len(frequencies) != len(sizes):
-            raise InvalidDatabaseError(
-                "frequencies and sizes must have equal length "
-                f"({len(frequencies)} != {len(sizes)})"
-            )
-        return cls(
-            (
-                DataItem(f"{prefix}{i + 1}", frequency=float(f), size=float(z))
-                for i, (f, z) in enumerate(zip(frequencies, sizes))
-            ),
+        return cls.from_soa(
+            frequencies,
+            sizes,
+            id_prefix=prefix,
             require_normalized=require_normalized,
         )

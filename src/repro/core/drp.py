@@ -256,15 +256,37 @@ def _drp_allocate(
         raise InfeasibleProblemError(
             f"unknown split_policy {split_policy!r}; choose from {SPLIT_POLICIES}"
         )
-    if presorted_items is None:
-        ordered: Tuple[DataItem, ...] = database.sorted_by_benefit_ratio()
+    use_arrays = presorted_items is None and kernels.HAS_NUMPY
+    if use_arrays:
+        # Array-resident path: the benefit-ratio permutation and the
+        # prefix sums come straight off the database's feature arrays —
+        # zero DataItem objects at any catalogue size.  np.argsort with
+        # a stable kind and np.cumsum reproduce the object path's order
+        # and floats bit-for-bit.
+        ordered: Optional[Tuple[DataItem, ...]] = None
+        order = database.benefit_ratio_order()
+        sums = PrefixSums.from_arrays(
+            database.frequencies[order], database.sizes[order]
+        )
+    elif presorted_items is None:  # pragma: no cover - numpy baked in
+        ordered = database.sorted_by_benefit_ratio()
+        order = None
+        sums = PrefixSums(ordered)
     else:
         ordered = tuple(presorted_items)
         if sorted(item.item_id for item in ordered) != sorted(database.item_ids):
             raise InfeasibleProblemError(
                 "presorted_items must be a permutation of the database"
             )
-    sums = PrefixSums(ordered)
+        order = None
+        sums = PrefixSums(ordered)
+
+    def ids_in(start: int, stop: int) -> Tuple[str, ...]:
+        if ordered is not None:
+            return tuple(item.item_id for item in ordered[start:stop])
+        return tuple(
+            database.item_id_at(int(order[k])) for k in range(start, stop)
+        )
 
     # The priority queue holds contiguous ranges [start, stop) of the
     # ordered sequence.  heapq is a min-heap, so priorities are negated;
@@ -315,10 +337,7 @@ def _drp_allocate(
         ranges = sorted(
             [(start, stop) for (_, _, start, stop, _) in heap] + final_groups
         )
-        groups = tuple(
-            tuple(item.item_id for item in ordered[start:stop])
-            for start, stop in ranges
-        )
+        groups = tuple(ids_in(start, stop) for start, stop in ranges)
         costs = tuple(sums.cost(start, stop) for start, stop in ranges)
         split_group: Optional[int] = None
         if not last and heap:
@@ -364,10 +383,16 @@ def _drp_allocate(
     ranges = sorted(
         [(start, stop) for (_, _, start, stop, _) in heap] + final_groups
     )
-    groups = [ordered[start:stop] for start, stop in ranges]
-    # The ranges partition `ordered`, itself a validated permutation of
+    # The ranges partition the order, itself a validated permutation of
     # the database — skip the O(N) partition re-checks.
-    allocation = ChannelAllocation._trusted(database, groups)
+    if ordered is None:
+        allocation = ChannelAllocation._from_index_groups(
+            database, [order[start:stop] for start, stop in ranges]
+        )
+    else:
+        allocation = ChannelAllocation._trusted(
+            database, [ordered[start:stop] for start, stop in ranges]
+        )
     total_cost = sum(sums.cost(start, stop) for start, stop in ranges)
     return DRPResult(
         allocation=allocation,

@@ -61,6 +61,7 @@ from typing import (
 )
 
 from repro import obs
+from repro.core import kernels
 from repro.core.allocation import ChannelAllocation
 from repro.core.cds import cds_refine
 from repro.core.cost import allocation_cost
@@ -478,10 +479,20 @@ def database_fingerprint(
     """
     hasher = hashlib.sha256()
     hasher.update(f"K={num_channels};alg={algorithm or ''};".encode())
-    for item in database.items:
-        hasher.update(
-            f"{item.item_id}:{item.frequency!r}:{item.size!r};".encode()
-        )
+    if kernels.HAS_NUMPY:
+        # Array path: same bytes as the per-item loop — ``tolist()``
+        # yields the identical doubles, so ``repr`` renders identically.
+        for item_id, frequency, size in zip(
+            database.item_ids,
+            database.frequencies.tolist(),
+            database.sizes.tolist(),
+        ):
+            hasher.update(f"{item_id}:{frequency!r}:{size!r};".encode())
+    else:  # pragma: no cover - numpy baked in
+        for item in database.items:
+            hasher.update(
+                f"{item.item_id}:{item.frequency!r}:{item.size!r};".encode()
+            )
     return hasher.hexdigest()
 
 
@@ -644,7 +655,7 @@ class IncrementalAllocator:
         self._database: Optional[BroadcastDatabase] = None
         self._allocation: Optional[ChannelAllocation] = None
         self._cost: Optional[float] = None
-        self._frequencies: Dict[str, float] = {}
+        self._frequency_map: Optional[Dict[str, float]] = None
         self._agg_f: List[float] = []
         self._agg_z: List[float] = []
 
@@ -681,11 +692,28 @@ class IncrementalAllocator:
         self._database = database
         self._allocation = allocation
         self._cost = cost
-        self._frequencies = {
-            item.item_id: item.frequency for item in database.items
-        }
+        self._frequency_map = None  # rebuilt lazily on the next patch
         self._agg_f = [stat.frequency for stat in allocation.channel_stats]
         self._agg_z = [stat.size for stat in allocation.channel_stats]
+
+    def _frequencies(self) -> Dict[str, float]:
+        """The held profile as an id → frequency map (lazy, cached).
+
+        Only the frequency-patch path needs it; plain reallocate cycles
+        never pay for the N-entry dict.  Built off the id/feature
+        arrays, so no :class:`DataItem` objects are materialised.
+        """
+        if self._frequency_map is None:
+            database = self._database
+            if kernels.HAS_NUMPY:
+                self._frequency_map = dict(
+                    zip(database.item_ids, database.frequencies.tolist())
+                )
+            else:  # pragma: no cover - numpy baked in
+                self._frequency_map = {
+                    item.item_id: item.frequency for item in database.items
+                }
+        return self._frequency_map
 
     def _shape_changed(
         self, database: BroadcastDatabase, num_channels: int
@@ -804,9 +832,10 @@ class IncrementalAllocator:
             items=len(self._database),
         ):
             allocation = self._allocation
+            frequencies = self._frequencies()
             # O(changed) aggregate deltas on the un-normalised scale.
             for item_id, frequency in changed.items():
-                if item_id not in self._frequencies:
+                if item_id not in frequencies:
                     raise InvalidDatabaseError(
                         f"no item {item_id!r} in the catalogue; use "
                         "insert_item for new items"
@@ -817,32 +846,49 @@ class IncrementalAllocator:
                         f"got {frequency!r}"
                     )
                 channel = allocation.channel_of(item_id)
-                self._agg_f[channel] += frequency - self._frequencies[item_id]
-                self._frequencies[item_id] = frequency
+                self._agg_f[channel] += frequency - frequencies[item_id]
+                frequencies[item_id] = frequency
             # O(K) renormalisation: scaling every frequency by 1/total
             # scales every F_i identically (Z_i untouched).
             total = sum(self._agg_f)
             scale = 1.0 / total
             self._agg_f = [f * scale for f in self._agg_f]
-            updated_items = [
-                DataItem(
-                    item.item_id,
-                    self._frequencies[item.item_id] * scale,
-                    item.size,
-                    label=item.label,
+            if kernels.HAS_NUMPY:
+                # Array path: patch the changed entries in a copy of the
+                # frequency array, scale elementwise (``x * scale`` is
+                # the per-item multiply, so the floats match the object
+                # path exactly) and clone the database around the new
+                # array — sizes, ids and labels are shared, and no
+                # DataItem is materialised.
+                np = kernels.np
+                current = np.array(self._database.frequencies)
+                for item_id, frequency in changed.items():
+                    current[self._database.index_of(item_id)] = frequency
+                database = self._database.with_frequencies(
+                    current * scale, require_normalized=False
                 )
-                if item.item_id in changed or scale != 1.0
-                else item
-                for item in self._database.items
-            ]
-            database = BroadcastDatabase(updated_items, require_normalized=False)
-            self._frequencies = {
-                item.item_id: item.frequency for item in database.items
-            }
+                refreshed = self._allocation.with_database(database)
+            else:  # pragma: no cover - numpy baked in
+                updated_items = [
+                    DataItem(
+                        item.item_id,
+                        frequencies[item.item_id] * scale,
+                        item.size,
+                        label=item.label,
+                    )
+                    if item.item_id in changed or scale != 1.0
+                    else item
+                    for item in self._database.items
+                ]
+                database = BroadcastDatabase(
+                    updated_items, require_normalized=False
+                )
+                refreshed = ChannelAllocation.rebase(
+                    database, self._allocation
+                )
+            self._frequency_map = None
             self._database = database
-            self._allocation = ChannelAllocation.rebase(
-                database, self._allocation
-            )
+            self._allocation = refreshed
             self.stats.updates += 1
         if not refine:
             cost = self.cost

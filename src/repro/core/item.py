@@ -15,7 +15,22 @@ from typing import Optional
 
 from repro.exceptions import InvalidItemError
 
-__all__ = ["DataItem"]
+__all__ = ["DataItem", "items_created"]
+
+#: Monotone count of successfully constructed :class:`DataItem` objects.
+#: The array-resident hot paths (SoA DRP/CDS/DP at production catalogue
+#: sizes) must not materialise per-item objects; benchmarks and tests
+#: take a before/after delta of :func:`items_created` to prove it.
+_ITEMS_CREATED = 0
+
+
+def items_created() -> int:
+    """Total number of :class:`DataItem` instances created so far.
+
+    A cheap process-global construction counter (no reset: callers
+    compare deltas), incremented only for items that passed validation.
+    """
+    return _ITEMS_CREATED
 
 
 @dataclass(frozen=True, order=False)
@@ -76,6 +91,8 @@ class DataItem:
             raise InvalidItemError(
                 f"size of {self.item_id!r} must be > 0, got {self.size}"
             )
+        global _ITEMS_CREATED
+        _ITEMS_CREATED += 1
 
     @property
     def benefit_ratio(self) -> float:

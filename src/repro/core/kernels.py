@@ -42,12 +42,23 @@ except ImportError:  # pragma: no cover - the image bakes numpy in
     np = None  # type: ignore[assignment]
     HAS_NUMPY = False
 
+try:  # numba is optional everywhere; the JIT path is a pure accelerant.
+    import numba
+
+    HAS_NUMBA = True
+except ImportError:
+    numba = None  # type: ignore[assignment]
+    HAS_NUMBA = False
+
 __all__ = [
     "HAS_NUMPY",
+    "HAS_NUMBA",
     "BACKENDS",
     "resolve_backend",
     "cds_state_arrays",
+    "cds_best_move",
     "cds_best_move_numpy",
+    "cds_best_move_chunked",
     "best_split_range_numpy",
     "dp_window_argmin_numpy",
 ]
@@ -157,6 +168,138 @@ def cds_best_move_numpy(
     if not best > epsilon:
         return None
     return best, rank, destination
+
+
+#: Element budget for one Δc chunk (float64 block ≈ 32 MiB).  Above
+#: ``N·K`` elements the full broadcast matrix would dominate peak RSS
+#: (1 GiB at N=10⁶, K=128), so the scan switches to row blocks.
+CDS_DELTA_CHUNK_ELEMENTS = 1 << 22
+
+
+def cds_best_move_chunked(
+    freq,
+    size,
+    order,
+    group_of,
+    agg_f,
+    agg_z,
+    epsilon: float,
+    *,
+    chunk_elements: int = CDS_DELTA_CHUNK_ELEMENTS,
+) -> Optional[Tuple[float, int, int]]:
+    """Blocked variant of :func:`cds_best_move_numpy` with bounded RSS.
+
+    Scans the rank axis in row blocks of at most ``chunk_elements``
+    matrix entries.  Each block applies the identical elementwise
+    expression, and blocks combine under strict ``>``, so the global
+    first-maximum tie-break (origin → position → destination) and every
+    float are exactly those of the one-shot matrix.
+    """
+    n = len(order)
+    num_channels = agg_f.shape[0]
+    rows = max(1, chunk_elements // max(1, num_channels))
+    best = -np.inf
+    best_rank = -1
+    best_destination = -1
+    for start in range(0, n, rows):
+        sel = order[start : start + rows]
+        f = freq[sel]
+        z = size[sel]
+        origin = group_of[sel]
+        origin_f = agg_f[origin]
+        origin_z = agg_z[origin]
+        delta = (
+            f[:, None] * (origin_z[:, None] - agg_z[None, :])
+            + z[:, None] * (origin_f[:, None] - agg_f[None, :])
+            - (2.0 * f * z)[:, None]
+        )
+        delta[np.arange(len(sel)), origin] = -np.inf
+        flat = int(np.argmax(delta))
+        rank, destination = divmod(flat, num_channels)
+        value = float(delta[rank, destination])
+        if value > best:
+            best = value
+            best_rank = start + rank
+            best_destination = destination
+    if best_rank < 0 or not best > epsilon:
+        return None
+    return best, best_rank, best_destination
+
+
+if HAS_NUMBA:
+
+    @numba.njit(cache=True)
+    def _cds_best_move_jit(freq, size, order, group_of, agg_f, agg_z):
+        """First strict maximum of Eq. (4) over (rank, destination).
+
+        Rank-major, destination-minor scan order — the same row-major
+        order ``np.argmax`` flattens, so the tie-break matches.  The
+        delta expression keeps the numpy kernel's exact association
+        ``(f·(Z_p−Z_q) + z·(F_p−F_q)) − (2·f)·z`` and numba's default
+        strict-IEEE mode (no fastmath, no FMA contraction) reproduces
+        its floats bit-for-bit.
+        """
+        best = -np.inf
+        best_rank = -1
+        best_destination = -1
+        num_channels = agg_f.shape[0]
+        for rank in range(order.shape[0]):
+            index = order[rank]
+            f = freq[index]
+            z = size[index]
+            origin = group_of[index]
+            origin_f = agg_f[origin]
+            origin_z = agg_z[origin]
+            two_fz = 2.0 * f * z
+            for destination in range(num_channels):
+                if destination == origin:
+                    continue
+                delta = (
+                    f * (origin_z - agg_z[destination])
+                    + z * (origin_f - agg_f[destination])
+                    - two_fz
+                )
+                if delta > best:
+                    best = delta
+                    best_rank = rank
+                    best_destination = destination
+        return best, best_rank, best_destination
+
+else:
+    _cds_best_move_jit = None
+
+
+def cds_best_move(
+    freq,
+    size,
+    order,
+    group_of,
+    agg_f,
+    agg_z,
+    epsilon: float,
+) -> Optional[Tuple[float, int, int]]:
+    """Best single CDS move — dispatching Δc scan.
+
+    Routes to the numba JIT kernel when numba is importable, to the
+    blocked scan when the full ``N×K`` matrix would exceed the chunk
+    budget, and to the one-shot broadcast matrix otherwise.  All three
+    produce identical floats and the identical first-maximum winner, so
+    the choice is purely a speed/memory trade.
+    """
+    if HAS_NUMBA:
+        best, rank, destination = _cds_best_move_jit(
+            freq, size, order, group_of, agg_f, agg_z
+        )
+        if rank < 0 or not best > epsilon:
+            return None
+        return float(best), int(rank), int(destination)
+    if len(order) * agg_f.shape[0] > CDS_DELTA_CHUNK_ELEMENTS:
+        return cds_best_move_chunked(
+            freq, size, order, group_of, agg_f, agg_z, epsilon
+        )
+    return cds_best_move_numpy(
+        freq, size, order, group_of, agg_f, agg_z, epsilon
+    )
 
 
 # ----------------------------------------------------------------------

@@ -17,10 +17,11 @@ partitioning problem over the sequence of items sorted by benefit ratio
   of a sequence via dynamic programming.  DRP's recursive bisection
   searches a subset of contiguous partitions; this DP yields the best
   contiguous partition outright and is used as a strong baseline and as
-  an ablation reference.  Two methods are available: the O(K·N²)
-  textbook DP (``method="quadratic"``, kept as the cross-check oracle)
-  and an O(K·N log N) divide-and-conquer monotone-optimisation variant
-  (``method="divide-conquer"``, the default) — valid because the range
+  an ablation reference.  Three methods are available: the O(K·N²)
+  textbook DP (``method="quadratic"``, kept as the cross-check oracle),
+  an O(K·N log N) divide-and-conquer monotone-optimisation variant
+  (``method="divide-conquer"``) and an O(K·N) SMAWK row-minima variant
+  (``method="smawk"``, the default behind ``"auto"``) — valid because the range
   cost ``w(j, i) = (F_i − F_j)(Z_i − Z_j)`` is concave-Monge over
   non-decreasing prefix sums, which makes the optimal predecessor
   monotone in ``i``.
@@ -46,7 +47,7 @@ __all__ = [
 ]
 
 #: Recognised ``contiguous_optimal`` methods (see module docstring).
-DP_METHODS = ("auto", "quadratic", "divide-conquer")
+DP_METHODS = ("auto", "quadratic", "divide-conquer", "smawk")
 
 
 class PrefixSums:
@@ -68,6 +69,37 @@ class PrefixSums:
         self._freq = freq
         self._size = size
         self._arrays = None
+
+    @classmethod
+    def from_arrays(cls, frequencies, sizes) -> "PrefixSums":
+        """Prefix sums straight from feature arrays — no item objects.
+
+        ``np.cumsum`` (``add.accumulate``) runs strictly sequentially,
+        so the prefix floats are bit-for-bit the ones the per-item
+        constructor accumulates.  Scalar accessors index plain Python
+        floats (``tolist()``), so nothing downstream (heap priorities,
+        JSON reports) ever sees a ``np.float64``.
+        """
+        if not kernels.HAS_NUMPY:  # pragma: no cover - numpy baked in
+            raise InfeasibleProblemError(
+                "PrefixSums.from_arrays() requires numpy"
+            )
+        import numpy as np
+
+        n = len(frequencies)
+        pf = np.empty(n + 1, dtype=np.float64)
+        pz = np.empty(n + 1, dtype=np.float64)
+        pf[0] = 0.0
+        pz[0] = 0.0
+        np.cumsum(frequencies, out=pf[1:])
+        np.cumsum(sizes, out=pz[1:])
+        self = object.__new__(cls)
+        self._freq = pf.tolist()
+        self._size = pz.tolist()
+        pf.setflags(write=False)
+        pz.setflags(write=False)
+        self._arrays = (pf, pz)
+        return self
 
     def __len__(self) -> int:
         return len(self._freq) - 1
@@ -197,10 +229,11 @@ def split_costs(items: Sequence[DataItem]) -> List[float]:
 
 
 def contiguous_optimal(
-    items: Sequence[DataItem],
+    items: Optional[Sequence[DataItem]],
     num_groups: int,
     *,
     method: str = "auto",
+    sums: Optional[PrefixSums] = None,
 ) -> Tuple[List[Tuple[int, int]], float]:
     """Optimal K-way contiguous partition by dynamic programming.
 
@@ -216,11 +249,19 @@ def contiguous_optimal(
     method:
         ``"quadratic"`` — the O(K·N²) textbook DP, kept as the
         cross-check oracle; ``"divide-conquer"`` — the O(K·N log N)
-        monotone-optimisation variant; ``"auto"`` (default) — the
-        divide-and-conquer method.  Both return identical costs (the
-        range cost is concave-Monge, so the optimal predecessor is
-        monotone and the restricted candidate windows always contain
-        the optimum).
+        monotone-optimisation variant; ``"smawk"`` — the O(K·N) SMAWK
+        row-minima variant; ``"auto"`` (default) — SMAWK.  All return
+        identical costs (the range cost is concave-Monge, so the
+        per-layer candidate matrix is totally monotone and every
+        restricted search always contains the optimum — the minima are
+        the same floats because all methods evaluate the identical
+        candidate expression).
+    sums:
+        Optional pre-built :class:`PrefixSums` over the ordered
+        sequence.  When given, ``items`` may be ``None`` — the
+        array-resident entry point used by the SoA hot paths
+        (``PrefixSums.from_arrays`` + ``sums=``) so a million-item DP
+        never materialises :class:`DataItem` objects.
 
     Returns
     -------
@@ -241,7 +282,7 @@ def contiguous_optimal(
     so ``contiguous_optimal cost <= DRP cost`` always holds for the
     same item order — a property the test suite asserts.
     """
-    n = len(items)
+    n = len(sums) if sums is not None else len(items)
     if not 1 <= num_groups <= n:
         raise InfeasibleProblemError(
             f"cannot split {n} item(s) into {num_groups} non-empty groups"
@@ -250,20 +291,23 @@ def contiguous_optimal(
         raise InfeasibleProblemError(
             f"unknown method {method!r}; choose from {DP_METHODS}"
         )
-    resolved = "quadratic" if method == "quadratic" else "divide-conquer"
+    resolved = "smawk" if method == "auto" else method
     with obs.span(
         "partition.contiguous_optimal",
         items=n,
         groups=num_groups,
         method=resolved,
     ) as span:
-        sums = PrefixSums(items)
-        if method == "quadratic":
+        if sums is None:
+            sums = PrefixSums(items)
+        if resolved == "quadratic":
             choice, total, cells, evaluations = _dp_quadratic(sums, n, num_groups)
-        else:
+        elif resolved == "divide-conquer":
             choice, total, cells, evaluations = _dp_divide_conquer(
                 sums, n, num_groups
             )
+        else:
+            choice, total, cells, evaluations = _dp_smawk(sums, n, num_groups)
         boundaries: List[Tuple[int, int]] = []
         stop = n
         for g in range(num_groups, 0, -1):
@@ -381,3 +425,254 @@ def _dp_divide_conquer(
             stack.append((mid + 1, hi, best_j, j_hi))
         dp_prev = dp_cur
     return choice, float(dp_prev[n]), cells, evaluations
+
+
+def _dp_smawk(
+    sums: PrefixSums, n: int, num_groups: int
+) -> Tuple[List[List[int]], float, int, int]:
+    """O(K·N) DP via SMAWK row-minima per layer.
+
+    The layer recurrence ``dp_g(i) = min_j dp_{g-1}(j) + w(j, i)`` is a
+    row-minima problem over the matrix ``M[i][j] = dp_{g-1}(j) +
+    (F_i − F_j)(Z_i − Z_j)`` with ``j < i`` and the upper-right
+    staircase (``j >= i``) padded with ``+inf``.  ``w`` is
+    concave-Monge over non-decreasing prefix sums, so ``M`` is totally
+    monotone and SMAWK finds every row minimum with O(rows + cols)
+    candidate evaluations per layer.
+
+    Exactness of the *values*: SMAWK only ever compares true matrix
+    entries — every ``dp_g(i)`` it reports is the minimum of the same
+    candidate floats the quadratic oracle scans, computed by the
+    identical expression, so the costs agree bit-for-bit.  Among equal
+    minima the *choice* of predecessor may differ from the oracle's
+    leftmost-``j`` rule; boundaries are therefore validated by the cost
+    they realise, not by position.
+
+    Works on the plain-float prefix lists (indexing a Python list of
+    floats is markedly faster than boxing ``np.float64`` scalars).
+    """
+    infinity = math.inf
+    pf = sums._freq
+    pz = sums._size
+    dp_prev: List[float] = [infinity] * (n + 1)
+    dp_prev[0] = 0.0
+    choice = [[0] * (n + 1) for _ in range(num_groups + 1)]
+    cells = 0
+    evaluations = 0
+    feature_arrays = None  # (pf, pz) as ndarrays, built once when needed
+    for g in range(1, num_groups + 1):
+        dp_cur: List[float] = [infinity] * (n + 1)
+        i_lo, i_hi = g, n - (num_groups - g)
+        if g == 1:
+            # Only j = 0 is reachable: dp_1(i) = 0.0 + w(0, i), written
+            # with the exact expression the oracle evaluates.
+            base = dp_prev[0]
+            f0 = pf[0]
+            z0 = pz[0]
+            for i in range(i_lo, i_hi + 1):
+                dp_cur[i] = base + (pf[i] - f0) * (pz[i] - z0)
+            cells += i_hi - i_lo + 1
+            evaluations += i_hi - i_lo + 1
+        else:
+            rows = list(range(i_lo, i_hi + 1))
+            # Layer g-1's feasible states are exactly [g-1, i_hi - 1],
+            # so every column holds a finite dp_prev and the only +inf
+            # entries are the staircase pad — an all-right suffix per
+            # row, which preserves total monotonicity.
+            cols = list(range(g - 1, i_hi))
+            argmin = [0] * (n + 1)
+            scratch = [0] * (n + 1)
+            if kernels.HAS_NUMPY and len(rows) >= _SMAWK_VECTOR_ROWS:
+                np = kernels.np
+                if feature_arrays is None:
+                    feature_arrays = (
+                        np.asarray(pf, dtype=np.float64),
+                        np.asarray(pz, dtype=np.float64),
+                    )
+                arrays = feature_arrays + (
+                    np.asarray(dp_prev, dtype=np.float64),
+                )
+            else:
+                arrays = None
+            evaluations += _smawk_solve(
+                rows, cols, pf, pz, dp_prev, argmin, scratch, arrays
+            )
+            choice_g = choice[g]
+            for i in rows:
+                j = argmin[i]
+                dp_cur[i] = dp_prev[j] + (pf[i] - pf[j]) * (pz[i] - pz[j])
+                choice_g[i] = j
+            cells += len(rows)
+            evaluations += len(rows)
+        dp_prev = dp_cur
+    return choice, dp_prev[n], cells, evaluations
+
+
+#: Levels with at least this many rows interpolate through the numpy
+#: segment-argmin path; smaller levels stay on the scalar scan.
+_SMAWK_VECTOR_ROWS = 2048
+
+
+def _smawk_solve(
+    rows: List[int],
+    cols: List[int],
+    pf: List[float],
+    pz: List[float],
+    prev: List[float],
+    result: List[int],
+    pos: List[int],
+    arrays=None,
+) -> int:
+    """Row minima of the implicit DP matrix, written into ``result``.
+
+    ``result[row]`` is the argmin column, leftmost kept on ties (strict
+    ``<`` comparisons throughout).  The matrix entry at ``(i, j)`` is
+    ``prev[j] + (pf[i] − pf[j]) · (pz[i] − pz[j])`` for ``j < i`` and
+    ``+inf`` on the staircase ``j ≥ i`` — the staircase never wins a
+    strict comparison, so it is handled by guards instead of computed
+    sentinels (columns are increasing, so the pad is a per-row suffix
+    and the guards are loop exits).
+
+    Hot-path notes: the arithmetic is inlined (a per-entry closure call
+    would cost more than the DP itself at a million rows per layer),
+    the survivor stack's length is tracked in a plain int, and
+    ``result``/``pos`` are flat lists indexed by row/column id rather
+    than dicts — ``pos`` is a scratch buffer shared across recursion
+    levels, safe because each level writes its own columns before
+    reading them and children are done with it by then.  Returns the
+    number of matrix entries actually evaluated; recursion depth is
+    ``log2(len(rows))``.
+    """
+    if not rows:
+        return 0
+    evaluations = 0
+    num_rows = len(rows)
+    # REDUCE: discard columns that cannot be any row's minimum, keeping
+    # at most len(rows) survivors.
+    stack: List[int] = []
+    push = stack.append
+    pop = stack.pop
+    depth = 0
+    for col in cols:
+        base = prev[col]
+        fj = pf[col]
+        zj = pz[col]
+        while depth:
+            row = rows[depth - 1]
+            if col >= row:
+                break
+            top = stack[depth - 1]
+            fi = pf[row]
+            zi = pz[row]
+            evaluations += 2
+            if base + (fi - fj) * (zi - zj) < (
+                prev[top] + (fi - pf[top]) * (zi - pz[top])
+            ):
+                pop()
+                depth -= 1
+            else:
+                break
+        if depth < num_rows:
+            push(col)
+            depth += 1
+    cols = stack
+    # Recurse on the odd-indexed rows against the surviving columns.
+    evaluations += _smawk_solve(
+        rows[1::2], cols, pf, pz, prev, result, pos, arrays
+    )
+    # INTERPOLATE: each even row's minimum lies between its neighbours'
+    # minima (total monotonicity), so scan only that window.
+    for k, col in enumerate(cols):
+        pos[col] = k
+    last = len(cols) - 1
+    if arrays is not None and num_rows >= _SMAWK_VECTOR_ROWS:
+        return evaluations + _interpolate_vectorized(
+            rows, cols, pos, result, arrays, last
+        )
+    start = 0
+    for r in range(0, num_rows, 2):
+        row = rows[r]
+        stop = pos[result[rows[r + 1]]] if r + 1 < num_rows else last
+        fi = pf[row]
+        zi = pz[row]
+        best_col = cols[start]
+        if best_col < row:
+            best_value = prev[best_col] + (fi - pf[best_col]) * (
+                zi - pz[best_col]
+            )
+            evaluations += 1
+        else:
+            best_value = math.inf
+        for k in range(start + 1, stop + 1):
+            col = cols[k]
+            if col >= row:
+                # Columns are increasing: the rest of the window is
+                # staircase +inf and can never strictly win.
+                break
+            value = prev[col] + (fi - pf[col]) * (zi - pz[col])
+            evaluations += 1
+            if value < best_value:
+                best_value = value
+                best_col = col
+        result[row] = best_col
+        if r + 1 < num_rows:
+            start = pos[result[rows[r + 1]]]
+    return evaluations
+
+
+def _interpolate_vectorized(
+    rows: List[int],
+    cols: List[int],
+    pos: List[int],
+    result: List[int],
+    arrays,
+    last: int,
+) -> int:
+    """The INTERPOLATE phase as one batched segment-argmin.
+
+    Bitwise-identical to the scalar scan: every window entry is the
+    same ``prev[j] + (pf[i] − pf[j]) · (pz[i] − pz[j])`` float (numpy
+    elementwise float64 ops match the scalar expression operation for
+    operation), staircase entries are forced to ``+inf`` so they never
+    win, and ties keep the leftmost window position — the scalar
+    loop's strict ``<`` rule — by taking the first index equal to the
+    segment minimum.  An all-``+inf`` window degenerates to its first
+    position in both implementations.
+    """
+    np = kernels.np
+    pf_a, pz_a, prev_a = arrays
+    num_rows = len(rows)
+    cols_a = np.asarray(cols, dtype=np.intp)
+    even = np.asarray(rows[0::2], dtype=np.intp)
+    # Window [start, stop] per even row, chained through the odd rows'
+    # already-solved minima exactly as the scalar loop chains `start`.
+    stops_list = [pos[result[row]] for row in rows[1::2]]
+    if num_rows % 2:
+        stops_list.append(last)
+    stops = np.asarray(stops_list, dtype=np.intp)
+    starts = np.empty_like(stops)
+    starts[0] = 0
+    starts[1:] = stops[:-1]
+    counts = stops - starts + 1
+    offsets = np.cumsum(counts) - counts
+    total = int(counts.sum())
+    flat = (
+        np.arange(total, dtype=np.intp)
+        - np.repeat(offsets, counts)
+        + np.repeat(starts, counts)
+    )
+    j = cols_a[flat]
+    i = np.repeat(even, counts)
+    values = prev_a[j] + (pf_a[i] - pf_a[j]) * (pz_a[i] - pz_a[j])
+    values[j >= i] = math.inf
+    minima = np.minimum.reduceat(values, offsets)
+    candidates = np.where(
+        values == np.repeat(minima, counts),
+        np.arange(total, dtype=np.intp),
+        total,
+    )
+    first = np.minimum.reduceat(candidates, offsets)
+    best = cols_a[flat[first]]
+    for t, row in enumerate(rows[0::2]):
+        result[row] = int(best[t])
+    return total

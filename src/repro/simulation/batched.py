@@ -45,20 +45,38 @@ __all__ = ["batched_waiting_times", "run_batched_simulation"]
 def _program_geometry(
     program: BroadcastProgram, item_ids: Sequence[str]
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Per-item (cycle, slot offset, download time), in ``item_ids`` order."""
-    cycle: Dict[str, float] = {}
-    offset: Dict[str, float] = {}
-    download: Dict[str, float] = {}
-    for channel in program.channels:
-        for item in channel.items:
-            cycle[item.item_id] = channel.cycle_length
-            offset[item.item_id] = channel.slot_offset(item.item_id)
-            download[item.item_id] = channel.transmission_time(item.item_id)
-    return (
-        np.array([cycle[item_id] for item_id in item_ids]),
-        np.array([offset[item_id] for item_id in item_ids]),
-        np.array([download[item_id] for item_id in item_ids]),
+    """Per-item (cycle, slot offset, download time), in ``item_ids`` order.
+
+    Computed straight off the allocation's index groups and the
+    database's size array — no per-item objects, no per-item method
+    calls.  ``np.cumsum`` over the per-slot durations is the channel's
+    sequential ``elapsed += size / bandwidth`` accumulation, so every
+    offset and cycle length is bit-for-bit the value
+    :class:`~repro.simulation.channel.BroadcastChannel` holds.
+    """
+    allocation = program.allocation
+    database = allocation.database
+    sizes = database.sizes
+    n = len(database)
+    cycles = np.empty(n, dtype=np.float64)
+    offsets = np.empty(n, dtype=np.float64)
+    downloads = np.empty(n, dtype=np.float64)
+    for channel, group in zip(
+        program.channels, allocation.channel_index_groups
+    ):
+        slots = sizes[group] / channel.bandwidth
+        starts = np.empty(len(slots) + 1, dtype=np.float64)
+        starts[0] = 0.0
+        np.cumsum(slots, out=starts[1:])
+        cycles[group] = starts[-1]
+        offsets[group] = starts[:-1]
+        downloads[group] = slots
+    order = np.fromiter(
+        (database.index_of(item_id) for item_id in item_ids),
+        dtype=np.intp,
+        count=len(item_ids),
     )
+    return cycles[order], offsets[order], downloads[order]
 
 
 def batched_waiting_times(

@@ -40,6 +40,7 @@ from repro.verify.metamorphic import (
 )
 from repro.verify.oracles import (
     oracle_cds_backends,
+    oracle_database_construction,
     oracle_dp_methods,
     oracle_drp_backends,
     oracle_serial_parallel,
@@ -62,6 +63,7 @@ __all__ = [
     "relation_permutation",
     "relation_size_scaling",
     "oracle_cds_backends",
+    "oracle_database_construction",
     "oracle_dp_methods",
     "oracle_drp_backends",
     "oracle_serial_parallel",

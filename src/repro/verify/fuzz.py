@@ -2,10 +2,13 @@
 
 ``run_fuzz`` drives every checker of :mod:`repro.verify.invariants`,
 :mod:`repro.verify.metamorphic` and :mod:`repro.verify.oracles` against
-seeded synthetic workloads spanning three size regimes — small (most
-cases, where every checker is cheap), medium, and the N < 512 / N ≥ 512
+seeded synthetic workloads spanning four size regimes — small (most
+cases, where every checker is cheap), medium, the N < 512 / N ≥ 512
 band straddling :data:`repro.core.drp.AUTO_BACKEND_CROSSOVER` so the
-auto-backend resolution rule is exercised on both sides of the switch.
+auto-backend resolution rule is exercised on both sides of the switch,
+and an occasional large-N smoke band (low thousands of items) where
+only the uncapped checkers run — enough to catch scaling regressions
+in the array-resident pipeline without leaving seconds-scale budgets.
 
 On a violation the offending case is **shrunk** greedily (drop item
 chunks of halving size, then reduce the channel count) while it keeps
@@ -56,6 +59,7 @@ from repro.verify.metamorphic import (
 )
 from repro.verify.oracles import (
     oracle_cds_backends,
+    oracle_database_construction,
     oracle_dp_methods,
     oracle_drp_backends,
     oracle_serial_parallel,
@@ -252,6 +256,10 @@ def _all_checks() -> List[CheckSpec]:
             max_items=120,
         ),
         CheckSpec(
+            "oracle.database-construction",
+            lambda ctx: oracle_database_construction(ctx.database),
+        ),
+        CheckSpec(
             "oracle.simulators",
             lambda ctx: oracle_simulators(
                 ctx.cds().allocation,
@@ -300,14 +308,19 @@ class FuzzCase:
 
 def _generate_case(rng: np.random.Generator, index: int) -> FuzzCase:
     regime = rng.random()
-    if regime < 0.70:
+    if regime < 0.68:
         num_items = int(rng.integers(4, 25))
-    elif regime < 0.92:
+    elif regime < 0.90:
         num_items = int(rng.integers(30, 161))
-    else:
+    elif regime < 0.96:
         low = AUTO_BACKEND_CROSSOVER - 6
         high = AUTO_BACKEND_CROSSOVER + 7
         num_items = int(rng.integers(low, high))
+    else:
+        # Large-N smoke: only the uncapped checkers run here, keeping
+        # the band seconds-scale while still exercising the SoA paths
+        # at sizes where object churn or O(N²) slips would show.
+        num_items = int(rng.integers(1200, 3001))
     num_channels = int(rng.integers(2, min(8, num_items) + 1))
     return FuzzCase(
         index=index,

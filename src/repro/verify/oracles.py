@@ -49,6 +49,7 @@ __all__ = [
     "oracle_drp_backends",
     "oracle_cds_backends",
     "oracle_dp_methods",
+    "oracle_database_construction",
     "oracle_simulators",
     "oracle_serial_parallel",
     "oracle_warm_cold",
@@ -162,11 +163,16 @@ def oracle_cds_backends(
 def oracle_dp_methods(
     database: BroadcastDatabase, num_channels: int
 ) -> List[Violation]:
-    """Quadratic DP and divide-and-conquer DP agree exactly.
+    """Quadratic, divide-and-conquer and SMAWK DPs agree exactly.
 
-    Both must return the same optimal cost (bitwise — the recurrences
-    evaluate the same ``F·Z`` products), and each method's boundaries
-    must themselves realise the cost they claim.
+    The ``smawk-vs-dnc-vs-quadratic`` triple parity: all three must
+    return the same optimal cost (bitwise — the recurrences evaluate
+    the same ``F·Z`` products and every restricted search provably
+    contains the optimum), and each method's boundaries must themselves
+    realise the cost they claim.  Boundary *positions* are compared by
+    realised cost, not index: among exact ties SMAWK may pick a
+    different (equally optimal) predecessor than the leftmost-``j``
+    oracle.
     """
     name = "oracle.dp-methods"
     violations: List[Violation] = []
@@ -176,23 +182,28 @@ def oracle_dp_methods(
     quad_bounds, quad_cost = contiguous_optimal(
         items, num_channels, method="quadratic"
     )
-    fast_bounds, fast_cost = contiguous_optimal(
+    dnc_bounds, dnc_cost = contiguous_optimal(
         items, num_channels, method="divide-conquer"
     )
-    if quad_cost != fast_cost:
+    smawk_bounds, smawk_cost = contiguous_optimal(
+        items, num_channels, method="smawk"
+    )
+    if not quad_cost == dnc_cost == smawk_cost:
         violations.append(
             _violation(
                 name,
-                f"DP cost quadratic {quad_cost!r} != divide-conquer "
-                f"{fast_cost!r}",
+                f"DP cost diverges: quadratic {quad_cost!r}, "
+                f"divide-conquer {dnc_cost!r}, smawk {smawk_cost!r}",
                 quadratic=quad_cost,
-                divide_conquer=fast_cost,
+                divide_conquer=dnc_cost,
+                smawk=smawk_cost,
             )
         )
     sums = PrefixSums(items)
     for method, bounds, cost in (
         ("quadratic", quad_bounds, quad_cost),
-        ("divide-conquer", fast_bounds, fast_cost),
+        ("divide-conquer", dnc_bounds, dnc_cost),
+        ("smawk", smawk_bounds, smawk_cost),
     ):
         realised = sum(sums.cost(a, b) for a, b in bounds)
         if not close(realised, cost):
@@ -206,6 +217,67 @@ def oracle_dp_methods(
                     claimed=cost,
                 )
             )
+    return violations
+
+
+def oracle_database_construction(
+    database: BroadcastDatabase,
+) -> List[Violation]:
+    """Object-path and array-path database construction agree exactly.
+
+    Rebuilds the catalogue through the item-list constructor and
+    through :meth:`BroadcastDatabase.from_soa`, then diffs everything a
+    consumer can observe: ids, feature arrays (bitwise), the
+    benefit-ratio order, the fixed download cost, equality and hashes.
+    """
+    name = "oracle.database-construction"
+    violations: List[Violation] = []
+    items = database.items
+    object_db = BroadcastDatabase(list(items), require_normalized=False)
+    soa_db = BroadcastDatabase.from_soa(
+        [item.frequency for item in items],
+        [item.size for item in items],
+        ids=[item.item_id for item in items],
+        require_normalized=False,
+    )
+    if object_db.item_ids != soa_db.item_ids:
+        violations.append(
+            _violation(name, "item id sequences diverge between paths")
+        )
+    if (
+        list(object_db.frequencies) != list(soa_db.frequencies)
+        or list(object_db.sizes) != list(soa_db.sizes)
+    ):
+        violations.append(
+            _violation(
+                name, "feature arrays diverge between construction paths"
+            )
+        )
+    if object_db.fixed_download_cost != soa_db.fixed_download_cost:
+        violations.append(
+            _violation(
+                name,
+                f"fixed download cost diverges: "
+                f"object {object_db.fixed_download_cost!r} vs "
+                f"soa {soa_db.fixed_download_cost!r}",
+            )
+        )
+    object_order = [
+        item.item_id for item in object_db.sorted_by_benefit_ratio()
+    ]
+    soa_order = [item.item_id for item in soa_db.sorted_by_benefit_ratio()]
+    if object_order != soa_order:
+        violations.append(
+            _violation(name, "benefit-ratio orders diverge between paths")
+        )
+    if not (object_db == soa_db and soa_db == object_db):
+        violations.append(
+            _violation(name, "databases compare unequal across paths")
+        )
+    if hash(object_db) != hash(soa_db):
+        violations.append(
+            _violation(name, "database hashes diverge between paths")
+        )
     return violations
 
 

@@ -1,0 +1,69 @@
+"""Large-N smoke: the array-resident pipeline at N=10^5 in seconds.
+
+Gated behind ``REPRO_LARGE_SMOKE=1`` so the tier-1 suite's selection
+and runtime are unchanged; CI runs it as its own step on every matrix
+leg.  The point is not micro-benchmarking — it is that DRP, CDS and
+the SMAWK DP *complete* at 10^5 items in seconds-scale wall clock
+(an accidental O(N²) slip or per-item object churn would blow the CI
+step's budget immediately) while creating zero per-item objects and
+keeping the SMAWK/divide-and-conquer bitwise cost parity.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.cds import cds_refine
+from repro.core.cost import allocation_cost
+from repro.core.drp import drp_allocate
+from repro.core.item import items_created
+from repro.core.partition import PrefixSums, contiguous_optimal
+from repro.workloads.generator import WorkloadSpec, generate_database
+
+pytestmark = pytest.mark.skipif(
+    os.environ.get("REPRO_LARGE_SMOKE") != "1",
+    reason="large-N smoke runs only with REPRO_LARGE_SMOKE=1 (CI step)",
+)
+
+NUM_ITEMS = 100_000
+NUM_CHANNELS = 64
+
+
+@pytest.fixture(scope="module")
+def large_database():
+    return generate_database(
+        WorkloadSpec(
+            num_items=NUM_ITEMS, skewness=0.8, diversity=1.5, seed=7
+        )
+    )
+
+
+def test_drp_and_cds_zero_churn(large_database):
+    before = items_created()
+    allocation = drp_allocate(large_database, NUM_CHANNELS).allocation
+    drp_cost = allocation_cost(allocation)
+    refined = cds_refine(allocation, max_iterations=3)
+    assert items_created() == before
+    assert refined.cost <= drp_cost
+    assert sum(
+        len(group) for group in refined.allocation.channel_index_groups
+    ) == NUM_ITEMS
+
+
+def test_smawk_parity_at_scale(large_database):
+    order = large_database.benefit_ratio_order()
+    sums = PrefixSums.from_arrays(
+        large_database.frequencies[order], large_database.sizes[order]
+    )
+    k = 8  # keeps the divide-and-conquer reference seconds-scale
+    smawk_bounds, smawk_cost = contiguous_optimal(
+        None, k, method="smawk", sums=sums
+    )
+    _, dc_cost = contiguous_optimal(
+        None, k, method="divide-conquer", sums=sums
+    )
+    assert smawk_cost == dc_cost
+    assert len(smawk_bounds) == k
+    assert smawk_bounds[0][0] == 0 and smawk_bounds[-1][1] == NUM_ITEMS

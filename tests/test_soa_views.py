@@ -1,0 +1,177 @@
+"""Lazy item views over the array-resident core: identity, liveness,
+pickling, and the zero-churn guarantee.
+
+The structure-of-arrays refactor keeps ``BroadcastDatabase`` and
+``ChannelAllocation`` array-resident and materialises ``DataItem``
+objects only at API edges.  These tests pin the contract:
+
+* views are *lazy* (no objects until ``.items`` is touched — observed
+  through the :func:`repro.core.item.items_created` counter) and
+  *cached* (repeated access returns the identical tuple);
+* mutation is pinned shut on both representations — frozen dataclass
+  on the object side, read-only ndarray on the array side;
+* array-resident databases and allocations pickle, round-trip intact,
+  and cross a ``ProcessPoolExecutor`` worker boundary (the
+  ``experiments/parallel.py`` transport);
+* the hot pipeline (generate → DRP → CDS → cost) runs end to end
+  without creating a single per-item object.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.allocation import ChannelAllocation
+from repro.core.cds import cds_refine
+from repro.core.cost import allocation_cost
+from repro.core.database import BroadcastDatabase
+from repro.core.drp import drp_allocate
+from repro.core.incremental import database_fingerprint
+from repro.core.item import DataItem, items_created
+from repro.experiments.parallel import map_ordered
+
+
+def _array_database(n: int = 24, seed: int = 5) -> BroadcastDatabase:
+    rng = np.random.default_rng(seed)
+    frequencies = rng.random(n) + 1e-3
+    frequencies /= frequencies.sum()
+    sizes = rng.random(n) * 9.0 + 1.0
+    return BroadcastDatabase.from_arrays(
+        frequencies.tolist(), sizes.tolist()
+    )
+
+
+class TestLazyItemViews:
+    def test_array_construction_creates_no_items(self):
+        before = items_created()
+        database = _array_database()
+        database.frequencies
+        database.sizes
+        database.benefit_ratio_order()
+        assert items_created() == before
+
+    def test_items_materialize_once_and_are_cached(self):
+        database = _array_database(n=10)
+        before = items_created()
+        first = database.items
+        assert items_created() - before == 10
+        second = database.items
+        assert second is first  # cached — no second materialization
+        assert items_created() - before == 10
+
+    def test_views_mirror_the_arrays_bitwise(self):
+        database = _array_database(n=12)
+        for index, item in enumerate(database.items):
+            assert item.frequency == float(database.frequencies[index])
+            assert item.size == float(database.sizes[index])
+            assert item.item_id == database.item_id_at(index)
+
+    def test_item_mutation_raises(self):
+        database = _array_database(n=3)
+        item = database.items[0]
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            item.frequency = 0.5  # type: ignore[misc]
+
+    def test_feature_arrays_are_read_only(self):
+        database = _array_database(n=3)
+        with pytest.raises(ValueError):
+            database.frequencies[0] = 0.5
+        with pytest.raises(ValueError):
+            database.sizes[0] = 0.5
+
+    def test_item_view_slicing(self):
+        database = _array_database(n=9)
+        window = database.items[2:5]
+        assert len(window) == 3
+        assert all(isinstance(item, DataItem) for item in window)
+        assert [item.item_id for item in window] == [
+            database.item_id_at(index) for index in range(2, 5)
+        ]
+
+
+class TestPickling:
+    def test_database_round_trip(self):
+        database = _array_database()
+        clone = pickle.loads(pickle.dumps(database))
+        assert clone == database
+        assert clone.item_ids == database.item_ids
+        assert clone.frequencies.tolist() == database.frequencies.tolist()
+        assert clone.sizes.tolist() == database.sizes.tolist()
+        assert database_fingerprint(clone, 4) == database_fingerprint(
+            database, 4
+        )
+
+    def test_database_round_trip_stays_lazy(self):
+        database = _array_database(n=16)
+        payload = pickle.dumps(database)
+        before = items_created()
+        clone = pickle.loads(payload)
+        clone.benefit_ratio_order()
+        assert items_created() == before
+
+    def test_allocation_round_trip(self):
+        database = _array_database()
+        allocation = drp_allocate(database, 4).allocation
+        clone = pickle.loads(pickle.dumps(allocation))
+        assert clone == allocation
+        assert allocation_cost(clone) == allocation_cost(allocation)
+        assert [
+            group.tolist() for group in clone.channel_index_groups
+        ] == [group.tolist() for group in allocation.channel_index_groups]
+
+
+def _inspect_allocation(payload: bytes):
+    """ProcessPool worker: unpickle an allocation, use it, report back."""
+    allocation = pickle.loads(payload)
+    return (
+        len(allocation.database),
+        allocation.num_channels,
+        allocation_cost(allocation),
+        tuple(len(group) for group in allocation.channel_index_groups),
+    )
+
+
+class TestProcessPoolBoundary:
+    def test_allocation_crosses_worker_boundary(self):
+        database = _array_database(n=30, seed=9)
+        allocation = cds_refine(
+            drp_allocate(database, 5).allocation, max_iterations=3
+        ).allocation
+        payload = pickle.dumps(allocation)
+        expected = (
+            len(database),
+            5,
+            allocation_cost(allocation),
+            tuple(len(g) for g in allocation.channel_index_groups),
+        )
+        serial, pooled = map_ordered(
+            _inspect_allocation, [payload, payload], workers=2
+        )
+        assert serial == expected
+        assert pooled == expected
+
+
+class TestZeroChurnPipeline:
+    def test_generate_allocate_refine_without_items(self):
+        database = _array_database(n=400, seed=11)
+        before = items_created()
+        allocation = drp_allocate(database, 8).allocation
+        refined = cds_refine(allocation, max_iterations=5).allocation
+        allocation_cost(refined)
+        assert items_created() == before
+
+    def test_assignment_vector_matches_groups(self):
+        database = _array_database(n=40)
+        allocation = drp_allocate(database, 4).allocation
+        vector = allocation.assignment_vector()
+        for channel, group in enumerate(allocation.channel_index_groups):
+            for index in group.tolist():
+                assert vector[index] == channel
+        rebuilt = ChannelAllocation.from_assignment_vector(
+            database, vector, 4
+        )
+        assert rebuilt == allocation
