@@ -17,7 +17,12 @@ bottom keeps the kernel comparison in the ``make bench`` record.
 Methodology: every (kernel, N) cell reports the median of ``--repeats``
 runs.  CDS is timed for a fixed move budget from a deliberately bad
 contiguous seed built through the trusted index-group constructor, so
-seeding a million-item run materialises zero per-item objects.  The
+seeding a million-item run materialises zero per-item objects; it is
+timed twice — ``scan="full"`` and ``scan="incremental"`` — with an
+in-run assert that both modes executed the identical move sequence,
+and each row records the *measured* Δc evaluation count
+(``delta_evaluations_measured``), its per-move rate and the
+``per_move_reduction`` the dirty-pair index achieves (schema v3).  The
 contiguous DP cell times divide-and-conquer against SMAWK on the same
 structure-of-arrays prefix sums and cross-checks that every method
 returns the identical cost.  Scalar backends are skipped above
@@ -63,7 +68,7 @@ from repro.core.kernels import HAS_NUMBA
 from repro.core.partition import PrefixSums, contiguous_optimal
 from repro.workloads.generator import WorkloadSpec, generate_database
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 DEFAULT_SIZES = (100, 1000, 10000)
 DEFAULT_CHANNELS = 8
 DEFAULT_CDS_ITERATIONS = 10
@@ -176,11 +181,33 @@ def run_benchmarks(
             else None
         )
 
-        # --- CDS: fixed move budget from a bad seed ------------------
+        # --- CDS: fixed move budget from a bad seed, both scan modes -
         cds_seed = _contiguous_seed(database, k)
-        vector = cds_refine(
-            cds_seed, max_iterations=cds_iterations, backend="numpy"
+        created_before = items_created()
+        numpy_s, vector = _median_seconds_with_result(
+            lambda: cds_refine(
+                cds_seed,
+                max_iterations=cds_iterations,
+                backend="numpy",
+                scan="full",
+            ),
+            repeats,
         )
+        full_materialized = items_created() - created_before
+        created_before = items_created()
+        incremental_s, incremental = _median_seconds_with_result(
+            lambda: cds_refine(
+                cds_seed,
+                max_iterations=cds_iterations,
+                backend="numpy",
+                scan="incremental",
+            ),
+            repeats,
+        )
+        incremental_materialized = items_created() - created_before
+        # The dirty-pair index must execute the identical move sequence.
+        assert incremental.moves == vector.moves, "scan modes diverged — bug"
+        assert incremental.cost == vector.cost, "scan modes diverged — bug"
         python_s = None
         if time_scalar:
             scalar = cds_refine(
@@ -193,39 +220,71 @@ def run_benchmarks(
                 ),
                 repeats,
             )
-        created_before = items_created()
-        numpy_s = _median_seconds(
-            lambda: cds_refine(
-                cds_seed, max_iterations=cds_iterations, backend="numpy"
-            ),
-            repeats,
-        )
-        materialized = items_created() - created_before
-        row = {
-            "kernel": "cds_refine",
-            "n": n,
-            "k": k,
-            "iterations": len(vector.moves),
-            "python_seconds": python_s,
-            "numpy_seconds": numpy_s,
-            "speedup": _speedup(python_s, numpy_s),
-            "items_materialized": materialized,
-            "tracemalloc_peak_bytes": (
-                _tracemalloc_peak(
-                    lambda: cds_refine(
-                        cds_seed,
-                        max_iterations=cds_iterations,
-                        backend="numpy",
+
+        def _per_move(result) -> Optional[float]:
+            if not result.moves:
+                return None
+            if result.scan_mode == "incremental":
+                # Charge the cold index build (one full-scan equivalent)
+                # to setup, not to the moves it precedes.
+                build = len(database) * (k - 1)
+                return (result.delta_evaluations - build) / len(result.moves)
+            scans = len(result.moves) + (1 if result.converged else 0)
+            return result.delta_evaluations / max(1, scans)
+
+        full_per_move = _per_move(vector)
+        incremental_per_move = _per_move(incremental)
+        for scan_mode, seconds, result, materialized in (
+            ("full", numpy_s, vector, full_materialized),
+            ("incremental", incremental_s, incremental,
+             incremental_materialized),
+        ):
+            row = {
+                "kernel": "cds_refine",
+                "n": n,
+                "k": k,
+                "scan_mode": scan_mode,
+                "iterations": len(result.moves),
+                "python_seconds": python_s if scan_mode == "full" else None,
+                "numpy_seconds": seconds,
+                "speedup": (
+                    _speedup(python_s, seconds)
+                    if scan_mode == "full"
+                    else None
+                ),
+                "speedup_vs_full_scan": (
+                    _speedup(numpy_s, seconds)
+                    if scan_mode == "incremental"
+                    else None
+                ),
+                "delta_evaluations_measured": result.delta_evaluations,
+                "full_scan_equivalent": result.full_scan_equivalent,
+                "delta_evaluations_per_move": _per_move(result),
+                "per_move_reduction": (
+                    full_per_move / incremental_per_move
+                    if scan_mode == "incremental"
+                    and full_per_move
+                    and incremental_per_move
+                    else None
+                ),
+                "items_materialized": materialized,
+                "tracemalloc_peak_bytes": (
+                    _tracemalloc_peak(
+                        lambda: cds_refine(
+                            cds_seed,
+                            max_iterations=cds_iterations,
+                            backend="numpy",
+                            scan=scan_mode,
+                        )
                     )
-                )
-                if profile_memory
-                else None
-            ),
-            "peak_rss_kb": _peak_rss_kb(),
-        }
-        if skip_note:
-            row["note"] = skip_note
-        results.append(row)
+                    if profile_memory
+                    else None
+                ),
+                "peak_rss_kb": _peak_rss_kb(),
+            }
+            if skip_note:
+                row["note"] = skip_note
+            results.append(row)
 
         # --- DRP: full allocation, split-heavy policy ----------------
         python_s = None
@@ -331,6 +390,7 @@ def run_benchmarks(
             "scalar_limit": scalar_limit,
             "memory_profile_limit": memory_profile_limit,
             "seed": seed,
+            "cds_scan_modes": ["full", "incremental"],
             "python": platform.python_version(),
             "machine": platform.machine(),
             "numpy": np.__version__,
@@ -348,14 +408,20 @@ def run_benchmarks(
 
 def _format_report(document: dict) -> str:
     lines = [
-        f"{'kernel':<15} {'N':>8} {'K':>4}  "
+        f"{'kernel':<21} {'N':>8} {'K':>4}  "
         f"{'scalar (s)':>10}  {'kernel (s)':>10}  {'speedup':>8}"
     ]
     for row in document["results"]:
+        label = row["kernel"]
         if row["kernel"] == "contiguous_dp":
             base = row.get("divide_conquer_seconds")
             fast = row.get("smawk_seconds")
             speedup = row.get("smawk_speedup_vs_divide_conquer")
+        elif row.get("scan_mode") == "incremental":
+            label = f"{row['kernel']}/incr"
+            base = None  # the full-scan row above is the baseline
+            fast = row.get("numpy_seconds")
+            speedup = row.get("speedup_vs_full_scan")
         else:
             base = row.get("python_seconds")
             fast = row.get("numpy_seconds")
@@ -363,7 +429,7 @@ def _format_report(document: dict) -> str:
         base_text = f"{base:>10.4f}" if base is not None else f"{'—':>10}"
         speed_text = f"{speedup:>7.1f}x" if speedup else f"{'—':>8}"
         lines.append(
-            f"{row['kernel']:<15} {row['n']:>8} {row['k']:>4}  "
+            f"{label:<21} {row['n']:>8} {row['k']:>4}  "
             f"{base_text}  {fast:>10.4f}  {speed_text}"
         )
     return "\n".join(lines)
@@ -439,8 +505,15 @@ def test_kernel_speedups_smoke(benchmark):
     )
     for row in document["results"]:
         if row["kernel"] == "cds_refine" and row["n"] >= 1000:
-            assert row["speedup"] and row["speedup"] > 1.0
             assert row["items_materialized"] == 0
+            if row["scan_mode"] == "full":
+                assert row["speedup"] and row["speedup"] > 1.0
+            else:
+                # The dirty-pair index must pay fewer Δc evaluations
+                # per move than a full rescan, even at K=8.
+                assert row["per_move_reduction"] and (
+                    row["per_move_reduction"] > 1.0
+                )
     save_report("kernels", _format_report(document))
 
 

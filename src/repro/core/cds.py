@@ -68,11 +68,18 @@ class CDSResult:
         True when CDS stopped because no improving move exists; False
         only if ``max_iterations`` cut the search short.
     delta_evaluations:
-        Number of ``Δc`` (item, destination) pair evaluations performed
-        over the whole refinement — one full ``N·(K−1)`` scan per
-        executed move plus the final scan that proves convergence.
-        Derived arithmetically from the move count, so it is exact for
-        both backends and costs nothing to collect.
+        *Measured* number of ``Δc`` (item, destination) pair
+        evaluations performed over the whole refinement, counted where
+        the evaluations happen.  Under ``scan="full"`` every best-move
+        scan costs ``N·(K−1)`` evaluations; under
+        ``scan="incremental"`` only the cold index build does — each
+        move afterwards re-evaluates just the dirtied cells (~``O(N +
+        K²)``), so this is far below the full-scan figure.  The old
+        arithmetically-derived value survives as
+        :attr:`full_scan_equivalent`.
+    scan_mode:
+        The resolved scan mode that produced this result (``"full"``
+        or ``"incremental"``).
     """
 
     allocation: ChannelAllocation
@@ -81,10 +88,25 @@ class CDSResult:
     moves: List[CDSMove] = field(default_factory=list)
     converged: bool = True
     delta_evaluations: int = 0
+    scan_mode: str = "full"
 
     @property
     def iterations(self) -> int:
         return len(self.moves)
+
+    @property
+    def full_scan_equivalent(self) -> int:
+        """Δc evaluations a pure full-scan refinement would have paid.
+
+        One ``N·(K−1)`` scan per executed move plus the final scan that
+        proves convergence — the pre-incremental accounting, kept for
+        trend continuity in benches and traces.  For ``scan="full"``
+        this equals :attr:`delta_evaluations`.
+        """
+        scans = self.iterations + (1 if self.converged else 0)
+        return scans * len(self.allocation.database) * (
+            self.allocation.num_channels - 1
+        )
 
     @property
     def improvement(self) -> float:
@@ -111,6 +133,8 @@ def cds_refine(
     initial: "ChannelAllocation | Sequence[Sequence[str]] | None" = None,
     max_iterations: Optional[int] = None,
     backend: str = "auto",
+    scan: str = "auto",
+    scan_workers: Optional[int] = None,
 ) -> CDSResult:
     """Refine ``allocation`` to a local optimum with mechanism CDS.
 
@@ -142,6 +166,22 @@ def cds_refine(
         available.  Both backends execute the identical move sequence
         (same floats, same first-maximum tie-break); see
         :mod:`repro.core.kernels`.
+    scan:
+        ``"full"`` — re-scan every ``N·(K−1)`` (item, destination)
+        pair per iteration (the paper's loop); ``"incremental"`` —
+        maintain the dirty-pair :class:`~repro.core.kernels.CDSPairIndex`
+        so a move only re-evaluates the ~``O(N + K²)`` pairs it
+        dirtied (numpy backend only); ``"auto"`` (default) — switch to
+        incremental past
+        :data:`~repro.core.kernels.CDS_INCREMENTAL_SCAN_CROSSOVER`
+        full-scan evaluations.  Every mode executes the bitwise-
+        identical move sequence — same floats, same (origin, position,
+        destination) tie-break — gated by the ``oracle.cds-scan-modes``
+        triple-parity check in :mod:`repro.verify`.
+    scan_workers:
+        Thread count for the incremental index's chunked cold scan
+        (``None`` = one per core, capped).  Purely a throughput knob:
+        the merged scan is deterministic for any worker count.
 
     Returns
     -------
@@ -159,24 +199,45 @@ def cds_refine(
         allocation = ChannelAllocation.rebase(allocation.database, initial)
     resolved = kernels.resolve_backend(backend)
     num_items = len(allocation.database)
+    resolved_scan = kernels.resolve_scan(
+        scan, resolved, num_items, allocation.num_channels
+    )
     with obs.span(
         "cds.refine",
         items=num_items,
         channels=allocation.num_channels,
         backend=resolved,
+        scan=resolved_scan,
         warm_start=initial is not None,
     ) as span:
-        if resolved == "numpy":
+        if max_iterations is not None and max_iterations <= 0:
+            # Zero move budget: no best-move scan is ever consulted, so
+            # return the (rebased) input outright — no Δc evaluations,
+            # no group materialisation, O(K) aggregate cost only.
+            cost = allocation_cost(allocation)
+            result = CDSResult(
+                allocation=allocation,
+                cost=cost,
+                initial_cost=cost,
+                moves=[],
+                converged=False,
+                scan_mode=resolved_scan,
+            )
+        elif resolved == "numpy" and resolved_scan == "incremental":
+            result = _cds_refine_incremental(
+                allocation,
+                max_iterations=max_iterations,
+                scan_workers=scan_workers,
+            )
+        elif resolved == "numpy":
             result = _cds_refine_numpy(allocation, max_iterations=max_iterations)
         else:
             result = _cds_refine_python(allocation, max_iterations=max_iterations)
-        # One full scan of all N·(K−1) (item, destination) pairs per
-        # executed move, plus the final scan that found no improvement.
-        scans = result.iterations + (1 if result.converged else 0)
-        result.delta_evaluations = scans * num_items * (allocation.num_channels - 1)
+        result.scan_mode = resolved_scan
         span.update(
             moves=result.iterations,
             delta_evaluations=result.delta_evaluations,
+            full_scan_equivalent=result.full_scan_equivalent,
             converged=result.converged,
             cost_initial=result.initial_cost,
             cost_final=result.cost,
@@ -188,6 +249,9 @@ def cds_refine(
             registry.counter("cds.runs").inc()
             registry.counter("cds.moves").inc(result.iterations)
             registry.counter("cds.delta_evaluations").inc(result.delta_evaluations)
+            registry.counter("cds.full_scan_equivalent").inc(
+                result.full_scan_equivalent
+            )
             if result.converged:
                 registry.counter("cds.converged_runs").inc()
     return result
@@ -205,6 +269,8 @@ def _cds_refine_python(
     num_channels = len(groups)
     initial_cost = allocation_cost(allocation)
     current_cost = initial_cost
+    num_items = len(allocation.database)
+    evaluations = 0
     moves: List[CDSMove] = []
     converged = True
 
@@ -213,6 +279,8 @@ def _cds_refine_python(
             converged = False
             break
         best = _best_move(groups, agg_f, agg_z, num_channels)
+        # _best_move visits every (item, destination≠origin) pair once.
+        evaluations += num_items * (num_channels - 1)
         if best is None:
             break
         delta, origin, position, destination = best
@@ -242,6 +310,7 @@ def _cds_refine_python(
         initial_cost=initial_cost,
         moves=moves,
         converged=converged,
+        delta_evaluations=evaluations,
     )
 
 
@@ -318,6 +387,8 @@ def _cds_refine_numpy(
     offsets = [0] * len(groups)
     initial_cost = allocation_cost(allocation)
     current_cost = initial_cost
+    num_channels = len(groups)
+    evaluations = 0
     moves: List[CDSMove] = []
     converged = True
     order = np.empty(num_items, dtype=np.intp)
@@ -334,6 +405,9 @@ def _cds_refine_numpy(
         best = kernels.cds_best_move(
             freq, size, order, group_of, agg_f, agg_z, _IMPROVEMENT_EPSILON
         )
+        # One full matrix per scan; the masked own-channel column is
+        # not an Eq. (4) evaluation, matching the scalar count.
+        evaluations += num_items * (num_channels - 1)
         if best is None:
             break
         delta, rank, destination = best
@@ -368,4 +442,97 @@ def _cds_refine_numpy(
         initial_cost=initial_cost,
         moves=moves,
         converged=converged,
+        delta_evaluations=evaluations,
+    )
+
+
+def _cds_refine_incremental(
+    allocation: ChannelAllocation,
+    *,
+    max_iterations: Optional[int] = None,
+    scan_workers: Optional[int] = None,
+) -> CDSResult:
+    """The dirty-pair incremental scan of :func:`cds_refine`.
+
+    Identical working state to :func:`_cds_refine_numpy` — catalogue
+    feature arrays, per-channel index lists mutated pop-at-position /
+    append-at-end, incrementally maintained ``(F_i, Z_i)`` aggregate
+    arrays — but the per-iteration best-move search reads the
+    :class:`~repro.core.kernels.CDSPairIndex` instead of rescanning
+    all ``N·(K−1)`` pairs.  After a move ``o → d`` only cells with
+    origin or destination in ``{o, d}`` are recomputed (the move
+    changed no other cell's inputs), and the stale-cell refresh is
+    deferred to the next iteration's selection so a capped run never
+    pays for an update it will not read.
+
+    Bitwise parity with the full scans holds because (a) the aggregate
+    arrays receive the identical update sequence, (b) every cell
+    evaluation applies the identical elementwise Δc expression to
+    identical inputs, and (c) cached cells hold exactly the floats a
+    fresh scan would recompute.  See docs/verification.md.
+    """
+    np = kernels.np
+    database = allocation.database
+    freq = database.frequencies
+    size = database.sizes
+    groups: List[List[int]] = [
+        [int(i) for i in group] for group in allocation.channel_index_groups
+    ]
+    agg_f = np.array(
+        [stat.frequency for stat in allocation.channel_stats], dtype=np.float64
+    )
+    agg_z = np.array(
+        [stat.size for stat in allocation.channel_stats], dtype=np.float64
+    )
+    initial_cost = allocation_cost(allocation)
+    current_cost = initial_cost
+    moves: List[CDSMove] = []
+    converged = True
+    index = kernels.CDSPairIndex(
+        freq, size, groups, agg_f, agg_z, workers=scan_workers
+    )
+    dirty: Optional[Tuple[int, int]] = None
+
+    while True:
+        if max_iterations is not None and len(moves) >= max_iterations:
+            converged = False
+            break
+        if dirty is not None:
+            index.apply_move(*dirty)
+            dirty = None
+        best = index.best_move(_IMPROVEMENT_EPSILON)
+        if best is None:
+            break
+        delta, origin, position, destination = best
+        item_index = groups[origin].pop(position)
+        groups[destination].append(item_index)
+        item_frequency = float(freq[item_index])
+        item_size = float(size[item_index])
+        agg_f[origin] -= item_frequency
+        agg_z[origin] -= item_size
+        agg_f[destination] += item_frequency
+        agg_z[destination] += item_size
+        dirty = (origin, destination)
+        current_cost -= delta
+        moves.append(
+            CDSMove(
+                item_id=database.item_id_at(item_index),
+                origin=origin,
+                destination=destination,
+                delta=delta,
+                cost_after=current_cost,
+            )
+        )
+
+    refined = allocation.replace_index_groups(groups)
+    # Recompute from scratch to shed accumulated floating-point drift.
+    final_cost = allocation_cost(refined)
+    return CDSResult(
+        allocation=refined,
+        cost=final_cost,
+        initial_cost=initial_cost,
+        moves=moves,
+        converged=converged,
+        delta_evaluations=index.evaluations,
+        scan_mode="incremental",
     )

@@ -205,11 +205,25 @@ class IndexedChannel:
                 f"tune_in must be finite and >= 0, got {tune_in!r}"
             )
         phase = tune_in % self._cycle
+        # The modulo carries ~ulp(tune_in) of rounding error, so a
+        # tune-in sitting right at an index start can land on either
+        # side of it depending on how many whole cycles precede it —
+        # which would break periodicity (retrieve(t) must equal
+        # retrieve(t + cycle)).  Snap the phase onto a layout boundary
+        # when it is within a cycle-relative tolerance.
+        snap = 1e-9 * self._cycle
+        if phase >= self._cycle - snap:
+            phase = 0.0
+        else:
+            for boundary in self._index_starts:
+                if abs(phase - boundary) <= snap:
+                    phase = boundary
+                    break
         base = tune_in - phase
         # 1. Active probe to the next index start.
         index_start = None
         for start in self._index_starts:
-            if start >= phase - 1e-12:
+            if start >= phase:
                 index_start = base + start
                 break
         if index_start is None:

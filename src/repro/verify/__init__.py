@@ -40,6 +40,7 @@ from repro.verify.metamorphic import (
 )
 from repro.verify.oracles import (
     oracle_cds_backends,
+    oracle_cds_scan_modes,
     oracle_database_construction,
     oracle_dp_methods,
     oracle_drp_backends,
@@ -63,6 +64,7 @@ __all__ = [
     "relation_permutation",
     "relation_size_scaling",
     "oracle_cds_backends",
+    "oracle_cds_scan_modes",
     "oracle_database_construction",
     "oracle_dp_methods",
     "oracle_drp_backends",

@@ -59,6 +59,7 @@ from repro.verify.metamorphic import (
 )
 from repro.verify.oracles import (
     oracle_cds_backends,
+    oracle_cds_scan_modes,
     oracle_database_construction,
     oracle_dp_methods,
     oracle_drp_backends,
@@ -248,6 +249,13 @@ def _all_checks() -> List[CheckSpec]:
         CheckSpec(
             "oracle.cds-backends",
             lambda ctx: oracle_cds_backends(ctx.database, ctx.num_channels),
+            max_items=120,
+        ),
+        CheckSpec(
+            "oracle.cds-scan-modes",
+            lambda ctx: oracle_cds_scan_modes(
+                ctx.database, ctx.num_channels
+            ),
             max_items=120,
         ),
         CheckSpec(

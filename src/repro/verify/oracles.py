@@ -16,6 +16,10 @@ The four oracle pairs (named ``oracle.<slug>``):
 ``drp-backends`` / ``cds-backends`` / ``dp-methods``
     python vs numpy kernels, and the O(K·N²) quadratic DP vs the
     divide-and-conquer DP — all bitwise.
+``cds-scan-modes``
+    Triple parity of the CDS Δc scans: scalar full scan vs vectorized
+    full scan vs the dirty-pair incremental index — identical move
+    sequences (every float), costs and groupings, cold and seeded.
 ``simulators``
     Event-driven engine vs the batched fast path — measured statistics
     bitwise identical (``events_processed`` is exempt: the batched path
@@ -48,6 +52,7 @@ from repro.verify.invariants import REL_TOL, Violation, close
 __all__ = [
     "oracle_drp_backends",
     "oracle_cds_backends",
+    "oracle_cds_scan_modes",
     "oracle_dp_methods",
     "oracle_database_construction",
     "oracle_simulators",
@@ -156,6 +161,106 @@ def oracle_cds_backends(
     ):
         violations.append(
             _violation(name, "CDS final groupings diverge between backends")
+        )
+    return violations
+
+
+def oracle_cds_scan_modes(
+    database: BroadcastDatabase, num_channels: int
+) -> List[Violation]:
+    """Triple parity across CDS scan implementations — all bitwise.
+
+    The scalar full scan, the vectorized full scan and the dirty-pair
+    incremental scan must execute the identical move sequence (item,
+    origin, destination, delta, cost after — every float), land on the
+    identical cost and grouping, and the incremental scan must never
+    evaluate *more* Δc pairs than the full scan it replaces.  Warm
+    composition is covered too: a seeded (``initial=``) incremental
+    refinement must match the seeded full scan move for move.
+    """
+    name = "oracle.cds-scan-modes"
+    violations: List[Violation] = []
+    if num_channels > len(database.items):
+        return violations
+    seed = drp_allocate(database, num_channels, backend="python").allocation
+    runs = {
+        "python-full": cds_refine(seed, backend="python", scan="full"),
+        "numpy-full": cds_refine(seed, backend="numpy", scan="full"),
+        "numpy-incremental": cds_refine(
+            seed, backend="numpy", scan="incremental"
+        ),
+    }
+
+    def move_key(result):
+        return [
+            (m.item_id, m.origin, m.destination, m.delta, m.cost_after)
+            for m in result.moves
+        ]
+
+    reference_label = "python-full"
+    reference = runs[reference_label]
+    for label, result in runs.items():
+        if label == reference_label:
+            continue
+        if move_key(result) != move_key(reference):
+            violations.append(
+                _violation(
+                    name,
+                    f"CDS move sequences diverge: {reference_label} made "
+                    f"{len(reference.moves)} move(s), {label} "
+                    f"{len(result.moves)}",
+                    reference=len(reference.moves),
+                    candidate=len(result.moves),
+                    mode=label,
+                )
+            )
+        if result.cost != reference.cost:
+            violations.append(
+                _violation(
+                    name,
+                    f"CDS cost diverges: {reference_label} "
+                    f"{reference.cost!r} vs {label} {result.cost!r}",
+                    mode=label,
+                )
+            )
+        if (
+            result.allocation.as_id_lists()
+            != reference.allocation.as_id_lists()
+        ):
+            violations.append(
+                _violation(
+                    name,
+                    f"CDS final groupings diverge: {reference_label} vs "
+                    f"{label}",
+                    mode=label,
+                )
+            )
+    full = runs["numpy-full"]
+    incremental = runs["numpy-incremental"]
+    if incremental.delta_evaluations > full.delta_evaluations:
+        violations.append(
+            _violation(
+                name,
+                f"incremental scan evaluated more Δc pairs "
+                f"({incremental.delta_evaluations}) than the full scan "
+                f"({full.delta_evaluations})",
+            )
+        )
+    warm_full = cds_refine(
+        seed, initial=full.allocation, backend="numpy", scan="full"
+    )
+    warm_incremental = cds_refine(
+        seed, initial=full.allocation, backend="numpy", scan="incremental"
+    )
+    if move_key(warm_full) != move_key(warm_incremental) or (
+        warm_full.cost != warm_incremental.cost
+    ):
+        violations.append(
+            _violation(
+                name,
+                "seeded (warm-start) refinement diverges between the "
+                "full and incremental scans",
+            )
         )
     return violations
 

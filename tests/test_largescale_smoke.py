@@ -30,6 +30,12 @@ pytestmark = pytest.mark.skipif(
 NUM_ITEMS = 100_000
 NUM_CHANNELS = 64
 
+#: CI exercises the dirty-pair incremental scan on one matrix leg by
+#: exporting ``REPRO_SMOKE_SCAN=incremental``; everywhere else the
+#: default "auto" resolves per the crossover (incremental at this tier
+#: on the numpy backend).
+SMOKE_SCAN = os.environ.get("REPRO_SMOKE_SCAN", "auto")
+
 
 @pytest.fixture(scope="module")
 def large_database():
@@ -44,12 +50,37 @@ def test_drp_and_cds_zero_churn(large_database):
     before = items_created()
     allocation = drp_allocate(large_database, NUM_CHANNELS).allocation
     drp_cost = allocation_cost(allocation)
-    refined = cds_refine(allocation, max_iterations=3)
+    refined = cds_refine(allocation, max_iterations=3, scan=SMOKE_SCAN)
     assert items_created() == before
     assert refined.cost <= drp_cost
     assert sum(
         len(group) for group in refined.allocation.channel_index_groups
     ) == NUM_ITEMS
+
+
+def test_incremental_scan_parity_at_scale(large_database):
+    """First moves at N=10^5/K=64: incremental == full, far fewer Δc.
+
+    A capped budget keeps the full-scan reference seconds-scale while
+    still exercising the dirty-pair refresh path (cold build + two
+    apply_move rounds) at a tier where a stale cell would surface.
+    """
+    allocation = drp_allocate(large_database, NUM_CHANNELS).allocation
+    full = cds_refine(
+        allocation, max_iterations=3, backend="numpy", scan="full"
+    )
+    incr = cds_refine(
+        allocation, max_iterations=3, backend="numpy", scan="incremental"
+    )
+    assert [
+        (m.item_id, m.origin, m.destination, m.delta, m.cost_after)
+        for m in incr.moves
+    ] == [
+        (m.item_id, m.origin, m.destination, m.delta, m.cost_after)
+        for m in full.moves
+    ]
+    assert incr.cost == full.cost  # bitwise
+    assert incr.delta_evaluations < full.delta_evaluations
 
 
 def test_smawk_parity_at_scale(large_database):
