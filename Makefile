@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast verify-fuzz bench bench-kernels bench-incr bench-parallel bench-obs trace-smoke figures report examples clean
+.PHONY: install test test-fast verify-fuzz bench bench-kernels bench-incr bench-parallel bench-obs bench-check trace-smoke figures report examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -44,13 +44,23 @@ bench-parallel:
 bench-obs:
 	$(PYTHON) benchmarks/bench_obs_overhead.py
 
-# End-to-end observability smoke: run a tiny traced sweep with workers,
+# Gate the repo-root BENCH_*.json payloads against the rolling
+# benchmark history (benchmarks/results/history.jsonl): fails when a
+# tracked metric regresses >10% vs the median of the last 5 matching
+# runs, then records the new runs (docs/observability.md).
+bench-check:
+	$(PYTHON) -m repro bench-check --against history
+
+# End-to-end observability smoke: run a tiny traced sweep with workers
+# and live telemetry (OpenMetrics endpoint + sampling profiler),
 # convert the trace to Chrome format, then validate every artifact
 # against the documented schemas (docs/observability.md).
 trace-smoke:
 	$(PYTHON) -m repro sweep --figure 6 --replications 1 --workers 2 \
 		--quiet --trace /tmp/repro-smoke.jsonl \
-		--metrics /tmp/repro-smoke-metrics.json > /dev/null
+		--metrics /tmp/repro-smoke-metrics.json \
+		--metrics-port 0 --profile /tmp/repro-smoke-profile.txt \
+		> /dev/null
 	$(PYTHON) -m repro trace-convert /tmp/repro-smoke.jsonl \
 		/tmp/repro-smoke-chrome.json
 	$(PYTHON) tests/trace_schema.py \
@@ -58,6 +68,7 @@ trace-smoke:
 		--chrome /tmp/repro-smoke-chrome.json \
 		--metrics /tmp/repro-smoke-metrics.json \
 		--manifest /tmp/repro-smoke.manifest.json
+	test -s /tmp/repro-smoke-profile.txt
 
 figures:
 	for fig in figure2 figure3 figure4 figure5 figure6 figure7; do \

@@ -17,21 +17,31 @@ Subcommands
     discrete-event simulator.
 ``trace-convert``
     Convert a ``--trace`` JSONL file to Chrome ``trace_event`` JSON.
+``bench-check``
+    Gate ``BENCH_*.json`` runs against the rolling benchmark history
+    (``benchmarks/results/history.jsonl``), failing on regressions.
 
 Observability
 -------------
 Every run-producing subcommand accepts ``--trace PATH`` and
-``--metrics PATH`` (or the ``REPRO_TRACE`` / ``REPRO_METRICS``
+``--metrics [PATH]`` (or the ``REPRO_TRACE`` / ``REPRO_METRICS``
 environment variables).  When enabled, the run's spans and metric
 snapshot are exported on exit — traces as JSONL when ``PATH`` ends in
 ``.jsonl``, Chrome ``trace_event`` JSON otherwise — together with a
 ``*.manifest.json`` provenance record.  Progress lines go to stderr so
 stdout stays machine-parseable.
+
+Live telemetry rides on the same flags: ``--metrics-port`` serves an
+OpenMetrics ``/metrics`` endpoint for the duration of the run,
+``--metrics-stream`` appends windowed JSONL summaries, and
+``--profile`` attaches the statistical sampling profiler (folded
+stacks on exit).  See ``docs/observability.md``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 import time
@@ -73,14 +83,58 @@ def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
     )
     group.add_argument(
         "--metrics",
+        nargs="?",
+        const="",
         default=None,
         metavar="PATH",
-        help="record counters/gauges/histograms and write the JSON snapshot here",
+        help=(
+            "record counters/gauges/histograms and write the JSON "
+            "snapshot here; with no PATH, record in-process only (for "
+            "--metrics-port / --metrics-stream)"
+        ),
     )
     group.add_argument(
         "--trace-memory",
         action="store_true",
         help="also record tracemalloc peak memory per span (slower)",
+    )
+    group.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help=(
+            "serve live OpenMetrics text at http://127.0.0.1:PORT/metrics "
+            "(plus /health) for the duration of the run; 0 picks a free "
+            "port (also $REPRO_METRICS_PORT); implies metrics recording"
+        ),
+    )
+    group.add_argument(
+        "--metrics-stream",
+        default=None,
+        metavar="PATH",
+        help=(
+            "append a windowed JSONL metrics summary to PATH every "
+            "--metrics-interval seconds — the scrape-free live fallback "
+            "(also $REPRO_METRICS_STREAM); implies metrics recording"
+        ),
+    )
+    group.add_argument(
+        "--metrics-interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="tick period for --metrics-stream (default: 1.0)",
+    )
+    group.add_argument(
+        "--profile",
+        default=None,
+        metavar="PATH",
+        help=(
+            "attach the statistical sampling profiler and write "
+            "collapsed/folded stacks to PATH on exit (flamegraph.pl / "
+            "speedscope compatible; also $REPRO_PROFILE)"
+        ),
     )
 
 
@@ -394,10 +448,54 @@ def build_parser() -> argparse.ArgumentParser:
     )
     verify.add_argument("--quiet", action="store_true")
 
+    bench_check = subparsers.add_parser(
+        "bench-check",
+        help="append BENCH_*.json runs to the benchmark history and fail "
+        "when a tracked metric regresses past the threshold",
+    )
+    bench_check.add_argument(
+        "bench",
+        nargs="*",
+        default=None,
+        metavar="BENCH_FILE",
+        help="benchmark payloads to check (default: BENCH_*.json in cwd)",
+    )
+    bench_check.add_argument(
+        "--against",
+        choices=("history",),
+        default="history",
+        help="baseline source (only 'history' is implemented)",
+    )
+    bench_check.add_argument(
+        "--history",
+        default=None,
+        metavar="PATH",
+        help="history JSONL file (default: benchmarks/results/history.jsonl)",
+    )
+    bench_check.add_argument(
+        "--threshold",
+        type=float,
+        default=0.10,
+        help="relative regression tolerance (default: 0.10 = 10%%)",
+    )
+    bench_check.add_argument(
+        "--window",
+        type=int,
+        default=5,
+        help="rolling-baseline window: median of the last N matching "
+        "history records (default: 5)",
+    )
+    bench_check.add_argument(
+        "--no-append",
+        action="store_true",
+        help="check only; do not record these runs into the history",
+    )
+
     # Every run-producing subcommand takes the same observability flags;
-    # trace-convert only transforms existing files, so it stays bare.
+    # trace-convert and bench-check only transform existing files, so
+    # they stay bare.
     for name, subparser in subparsers.choices.items():
-        if name != "trace-convert":
+        if name not in ("trace-convert", "bench-check"):
             _add_obs_arguments(subparser)
 
     return parser
@@ -879,28 +977,76 @@ def _cmd_trace_convert(args: argparse.Namespace) -> int:
     return 0
 
 
+def _env_str(name: str) -> Optional[str]:
+    value = os.environ.get(name, "").strip()
+    return value or None
+
+
 def _configure_observability(
     args: argparse.Namespace,
-) -> Tuple[Optional[str], Optional[str]]:
-    """Install tracer/registry per CLI flags, falling back to the env."""
+) -> Tuple[Optional[str], Optional[str], Optional[str]]:
+    """Install tracer/registry and live facilities per CLI flags/env.
+
+    Returns ``(trace_path, metrics_path, profile_path)``.  A live
+    endpoint (``--metrics-port`` / ``--metrics-stream``) implies metric
+    recording even without ``--metrics``; ``--metrics`` with no PATH
+    records in-process only (``metrics_path`` comes back ``None``, so
+    nothing is exported at exit).
+    """
     trace_path = getattr(args, "trace", None)
     metrics_path = getattr(args, "metrics", None)
-    if trace_path or metrics_path:
+    if not trace_path and metrics_path is None:
+        trace_path = _env_str(obs.TRACE_ENV_VAR)
+        metrics_path = _env_str(obs.METRICS_ENV_VAR)
+    metrics_port = getattr(args, "metrics_port", None)
+    if metrics_port is None:
+        env_port = _env_str(obs.METRICS_PORT_ENV_VAR)
+        if env_port is not None:
+            try:
+                metrics_port = int(env_port)
+            except ValueError:
+                raise SystemExit(
+                    f"{obs.METRICS_PORT_ENV_VAR} must be an integer, "
+                    f"got {env_port!r}"
+                )
+    stream_path = getattr(args, "metrics_stream", None) or _env_str(
+        obs.METRICS_STREAM_ENV_VAR
+    )
+    profile_path = getattr(args, "profile", None) or _env_str(
+        obs.PROFILE_ENV_VAR
+    )
+    live_requested = metrics_port is not None or stream_path is not None
+    enable_metrics = metrics_path is not None or live_requested
+    enable_trace = bool(trace_path)
+    if enable_trace or enable_metrics:
         obs.configure(
-            trace=trace_path is not None,
-            metrics=metrics_path is not None,
+            trace=enable_trace,
+            metrics=enable_metrics,
             track_memory=getattr(args, "trace_memory", False),
         )
-        return trace_path, metrics_path
-    return obs.configure_from_env()
+    if metrics_port is not None:
+        server = obs.start_metrics_server(metrics_port)
+        obs.log.progress(
+            f"serving live metrics on "
+            f"http://{server.host}:{server.port}/metrics"
+        )
+    if stream_path is not None:
+        obs.start_metrics_stream(
+            stream_path, interval=getattr(args, "metrics_interval", 1.0)
+        )
+    if profile_path is not None:
+        obs.start_profiler()
+    return trace_path or None, metrics_path or None, profile_path
 
 
 def _export_observability(
     args: argparse.Namespace,
     trace_path: Optional[str],
     metrics_path: Optional[str],
+    profile_path: Optional[str] = None,
 ) -> None:
-    """Write trace/metrics files plus the run manifest, if enabled."""
+    """Write trace/metrics/profile files plus the run manifest."""
+    stopped = obs.stop_live()
     tracer = obs.get_tracer()
     registry = obs.get_metrics()
     outputs = {}
@@ -913,15 +1059,37 @@ def _export_observability(
     if metrics_path and registry.enabled:
         registry.export_json(metrics_path)
         outputs["metrics"] = metrics_path
+    profiler = stopped.get("profiler")
+    if profile_path and profiler is not None:
+        samples = profiler.export_folded(profile_path)
+        obs.log.progress(
+            f"profile: {samples} sample(s) over "
+            f"{profiler.duration:.2f}s"
+        )
+        outputs["profile"] = profile_path
     if not outputs:
         return
-    anchor = outputs.get("trace") or outputs["metrics"]
+    anchor = (
+        outputs.get("trace")
+        or outputs.get("metrics")
+        or outputs["profile"]
+    )
     base, _ = os.path.splitext(anchor)
     manifest_path = base + ".manifest.json"
     options = {
         key: value
         for key, value in sorted(vars(args).items())
-        if key not in ("command", "trace", "metrics", "trace_memory")
+        if key
+        not in (
+            "command",
+            "trace",
+            "metrics",
+            "trace_memory",
+            "metrics_port",
+            "metrics_stream",
+            "metrics_interval",
+            "profile",
+        )
     }
     manifest = obs.build_manifest(
         command=args.command,
@@ -1002,6 +1170,59 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_check(args: argparse.Namespace) -> int:
+    import glob
+
+    from repro.obs import bench as bench_history
+    from repro.obs.manifest import config_digest
+
+    paths = list(args.bench) if args.bench else sorted(
+        glob.glob("BENCH_*.json")
+    )
+    if not paths:
+        print("bench-check: no BENCH_*.json files found", file=sys.stderr)
+        return 2
+    history_path = args.history or bench_history.DEFAULT_HISTORY_PATH
+    history = bench_history.load_history(history_path)
+    regressions = []
+    for path in paths:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        name = os.path.splitext(os.path.basename(path))[0]
+        metrics = bench_history.extract_metrics(payload)
+        digest = config_digest(payload.get("config", {}))
+        found, summary = bench_history.check_regressions(
+            name,
+            metrics,
+            history,
+            config_sha256=digest,
+            threshold=args.threshold,
+            window=args.window,
+        )
+        print(
+            f"{name}: {summary['metrics_gated']}/"
+            f"{summary['metrics_compared']} metric(s) gated against "
+            f"{summary['history_records']} history record(s), "
+            f"threshold {summary['threshold_percent']:.1f}%"
+        )
+        for regression in found:
+            print(f"  REGRESSION {regression.describe()}")
+        regressions.extend(found)
+        if not args.no_append:
+            bench_history.append_history(path, history_path)
+    if not args.no_append:
+        print(f"recorded {len(paths)} run(s) into {history_path}")
+    if regressions:
+        print(
+            f"bench-check: {len(regressions)} regression(s) past "
+            f"{args.threshold:.0%} threshold",
+            file=sys.stderr,
+        )
+        return 1
+    print("bench-check: no regressions")
+    return 0
+
+
 _DISPATCH = {
     "allocate": _cmd_allocate,
     "figure": _cmd_figure,
@@ -1013,6 +1234,7 @@ _DISPATCH = {
     "index": _cmd_index,
     "trace-convert": _cmd_trace_convert,
     "verify": _cmd_verify,
+    "bench-check": _cmd_bench_check,
 }
 
 
@@ -1021,7 +1243,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(list(argv) if argv is not None else None)
     if args.command == "trace-convert":
         return _cmd_trace_convert(args)
-    trace_path, metrics_path = _configure_observability(args)
+    if args.command == "bench-check":
+        return _cmd_bench_check(args)
+    trace_path, metrics_path, profile_path = _configure_observability(args)
     try:
         if args.command == "list":
             return _cmd_list()
@@ -1047,7 +1271,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return 2
         return handler(args)
     finally:
-        _export_observability(args, trace_path, metrics_path)
+        _export_observability(args, trace_path, metrics_path, profile_path)
         obs.reset()
 
 

@@ -273,6 +273,7 @@ def _cds_refine_python(
     evaluations = 0
     moves: List[CDSMove] = []
     converged = True
+    hb = obs.heartbeat("cds", rates=("delta_evaluations",))
 
     while True:
         if max_iterations is not None and len(moves) >= max_iterations:
@@ -281,6 +282,12 @@ def _cds_refine_python(
         best = _best_move(groups, agg_f, agg_z, num_channels)
         # _best_move visits every (item, destination≠origin) pair once.
         evaluations += num_items * (num_channels - 1)
+        if hb is not None:
+            hb.beat(
+                moves=len(moves),
+                cost=current_cost,
+                delta_evaluations=evaluations,
+            )
         if best is None:
             break
         delta, origin, position, destination = best
@@ -301,6 +308,10 @@ def _cds_refine_python(
             )
         )
 
+    if hb is not None:
+        hb.flush(
+            moves=len(moves), cost=current_cost, delta_evaluations=evaluations
+        )
     refined = allocation.replace_channels(groups, validate=False)
     # Recompute from scratch to shed accumulated floating-point drift.
     final_cost = allocation_cost(refined)
@@ -392,6 +403,7 @@ def _cds_refine_numpy(
     moves: List[CDSMove] = []
     converged = True
     order = np.empty(num_items, dtype=np.intp)
+    hb = obs.heartbeat("cds", rates=("delta_evaluations",))
 
     while True:
         if max_iterations is not None and len(moves) >= max_iterations:
@@ -408,6 +420,12 @@ def _cds_refine_numpy(
         # One full matrix per scan; the masked own-channel column is
         # not an Eq. (4) evaluation, matching the scalar count.
         evaluations += num_items * (num_channels - 1)
+        if hb is not None:
+            hb.beat(
+                moves=len(moves),
+                cost=current_cost,
+                delta_evaluations=evaluations,
+            )
         if best is None:
             break
         delta, rank, destination = best
@@ -433,6 +451,10 @@ def _cds_refine_numpy(
             )
         )
 
+    if hb is not None:
+        hb.flush(
+            moves=len(moves), cost=current_cost, delta_evaluations=evaluations
+        )
     refined = allocation.replace_index_groups(groups)
     # Recompute from scratch to shed accumulated floating-point drift.
     final_cost = allocation_cost(refined)
@@ -492,6 +514,7 @@ def _cds_refine_incremental(
         freq, size, groups, agg_f, agg_z, workers=scan_workers
     )
     dirty: Optional[Tuple[int, int]] = None
+    hb = obs.heartbeat("cds", rates=("delta_evaluations",))
 
     while True:
         if max_iterations is not None and len(moves) >= max_iterations:
@@ -501,6 +524,12 @@ def _cds_refine_incremental(
             index.apply_move(*dirty)
             dirty = None
         best = index.best_move(_IMPROVEMENT_EPSILON)
+        if hb is not None:
+            hb.beat(
+                moves=len(moves),
+                cost=current_cost,
+                delta_evaluations=index.evaluations,
+            )
         if best is None:
             break
         delta, origin, position, destination = best
@@ -524,6 +553,12 @@ def _cds_refine_incremental(
             )
         )
 
+    if hb is not None:
+        hb.flush(
+            moves=len(moves),
+            cost=current_cost,
+            delta_evaluations=index.evaluations,
+        )
     refined = allocation.replace_index_groups(groups)
     # Recompute from scratch to shed accumulated floating-point drift.
     final_cost = allocation_cost(refined)

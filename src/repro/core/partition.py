@@ -300,14 +300,23 @@ def contiguous_optimal(
     ) as span:
         if sums is None:
             sums = PrefixSums(items)
+        hb = obs.heartbeat("dp", rates=("rows_solved",))
         if resolved == "quadratic":
-            choice, total, cells, evaluations = _dp_quadratic(sums, n, num_groups)
+            choice, total, cells, evaluations = _dp_quadratic(
+                sums, n, num_groups, heartbeat=hb
+            )
         elif resolved == "divide-conquer":
             choice, total, cells, evaluations = _dp_divide_conquer(
-                sums, n, num_groups
+                sums, n, num_groups, heartbeat=hb
             )
         else:
-            choice, total, cells, evaluations = _dp_smawk(sums, n, num_groups)
+            choice, total, cells, evaluations = _dp_smawk(
+                sums, n, num_groups, heartbeat=hb
+            )
+        if hb is not None:
+            hb.flush(
+                layers=num_groups, rows_solved=cells, evaluations=evaluations
+            )
         boundaries: List[Tuple[int, int]] = []
         stop = n
         for g in range(num_groups, 0, -1):
@@ -325,7 +334,7 @@ def contiguous_optimal(
 
 
 def _dp_quadratic(
-    sums: PrefixSums, n: int, num_groups: int
+    sums: PrefixSums, n: int, num_groups: int, *, heartbeat=None
 ) -> Tuple[List[List[int]], float, int, int]:
     """The O(K·N²) reference DP (the oracle the fast variant is checked
     against).  ``dp[g][i]`` is the minimal cost of splitting ``items[:i]``
@@ -356,11 +365,13 @@ def _dp_quadratic(
             choice[g][i] = best_j
             cells += 1
             evaluations += i - (g - 1)
+        if heartbeat is not None:
+            heartbeat.beat(layers=g, rows_solved=cells, evaluations=evaluations)
     return choice, dp[num_groups][n], cells, evaluations
 
 
 def _dp_divide_conquer(
-    sums: PrefixSums, n: int, num_groups: int
+    sums: PrefixSums, n: int, num_groups: int, *, heartbeat=None
 ) -> Tuple[List[List[int]], float, int, int]:
     """O(K·N log N) DP via divide-and-conquer optimisation.
 
@@ -424,11 +435,13 @@ def _dp_divide_conquer(
             stack.append((lo, mid - 1, j_lo, best_j))
             stack.append((mid + 1, hi, best_j, j_hi))
         dp_prev = dp_cur
+        if heartbeat is not None:
+            heartbeat.beat(layers=g, rows_solved=cells, evaluations=evaluations)
     return choice, float(dp_prev[n]), cells, evaluations
 
 
 def _dp_smawk(
-    sums: PrefixSums, n: int, num_groups: int
+    sums: PrefixSums, n: int, num_groups: int, *, heartbeat=None
 ) -> Tuple[List[List[int]], float, int, int]:
     """O(K·N) DP via SMAWK row-minima per layer.
 
@@ -505,6 +518,8 @@ def _dp_smawk(
             cells += len(rows)
             evaluations += len(rows)
         dp_prev = dp_cur
+        if heartbeat is not None:
+            heartbeat.beat(layers=g, rows_solved=cells, evaluations=evaluations)
     return choice, dp_prev[n], cells, evaluations
 
 

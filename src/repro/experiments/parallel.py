@@ -37,6 +37,8 @@ the ``REPRO_WORKERS`` environment variable) asks for the fan-out layer.
 from __future__ import annotations
 
 import os
+import queue as queue_module
+import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as _FutureTimeout
@@ -310,9 +312,36 @@ def run_cell(
 _WORKER_CONFIG: Optional[ExperimentConfig] = None
 _WORKER_MEMO: Optional[WorkloadMemo] = None
 
+#: How often a live worker ships its in-progress metrics snapshot.
+LIVE_SHIP_INTERVAL = 0.25
+
+
+def _live_shipper(channel: Any, interval: float) -> None:
+    """Worker-side daemon: periodically ship the in-progress snapshot.
+
+    The shipped snapshot is *cumulative since the worker's last cell
+    drain* — a plain ``snapshot()``, never a drain — so the
+    authoritative per-cell payloads are untouched and the parent can
+    overlay it on the merged registry for the live view.  Any channel
+    failure (the parent went away) silently ends shipping; live
+    telemetry must never take a worker down.
+    """
+    pid = os.getpid()
+    while True:
+        time.sleep(interval)
+        try:
+            registry = obs.get_metrics()
+            if registry.enabled:
+                channel.put((pid, registry.snapshot()))
+        except Exception:  # noqa: BLE001 — parent gone / manager shut down
+            return
+
 
 def _initialize_worker(
-    config: ExperimentConfig, obs_options: Optional[Dict[str, bool]] = None
+    config: ExperimentConfig,
+    obs_options: Optional[Dict[str, bool]] = None,
+    live_channel: Any = None,
+    live_interval: float = LIVE_SHIP_INTERVAL,
 ) -> None:
     global _WORKER_CONFIG, _WORKER_MEMO
     import repro.baselines  # noqa: F401  (register allocators in the child)
@@ -323,6 +352,13 @@ def _initialize_worker(
     # switches.  Crucial under fork: a child must not inherit (and later
     # re-ship) spans the parent already recorded.
     obs.configure(**(obs_options or {}))
+    if live_channel is not None and obs.get_metrics().enabled:
+        threading.Thread(
+            target=_live_shipper,
+            args=(live_channel, live_interval),
+            name="repro-live-shipper",
+            daemon=True,
+        ).start()
 
 
 def _run_cell_in_worker(
@@ -350,6 +386,62 @@ def _run_cell_in_worker(
             metrics=registry.drain_snapshot() if registry.enabled else None,
         )
     return outcome
+
+
+class _LiveCollector:
+    """Parent-side drain of worker live snapshots into obs overlays.
+
+    Active only when a live consumer (``/metrics`` server or JSONL
+    stream) is running *and* metrics are enabled; otherwise ``queue``
+    stays ``None`` and the pool runs exactly as before — zero extra
+    processes, threads or pickling.  When active, a
+    ``multiprocessing.Manager`` queue (picklable through the pool
+    initializer, unlike a raw ``mp.Queue``) carries ``(pid, snapshot)``
+    pairs from the worker shippers to a parent daemon thread that folds
+    them into :func:`repro.obs.update_live_overlay`.  Overlays feed
+    only the live view; the authoritative grid-order merge is
+    untouched, so final metrics stay bitwise-identical to serial.
+    """
+
+    def __init__(self) -> None:
+        self.queue: Any = None
+        self._manager: Any = None
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+
+    def __enter__(self) -> "_LiveCollector":
+        if not (obs.live_telemetry_active() and obs.get_metrics().enabled):
+            return self
+        import multiprocessing
+
+        self._manager = multiprocessing.Manager()
+        self.queue = self._manager.Queue()
+        self._thread = threading.Thread(
+            target=self._drain, name="repro-live-drain", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def _drain(self) -> None:
+        while not self._stop.is_set():
+            try:
+                pid, snapshot = self.queue.get(timeout=0.2)
+            except queue_module.Empty:
+                continue
+            except Exception:  # noqa: BLE001 — manager torn down mid-get
+                return
+            obs.update_live_overlay(pid, snapshot)
+
+    def __exit__(self, *exc_info: Any) -> bool:
+        if self._thread is not None:
+            self._stop.set()
+            self._thread.join(timeout=2.0)
+        if self._manager is not None:
+            self._manager.shutdown()
+        # The grid-order merge already holds everything the workers
+        # produced; lingering overlays would double-count it.
+        obs.clear_live_overlays()
+        return False
 
 
 def _collect_outcome(
@@ -422,6 +514,11 @@ def _collect_outcome(
             tracer.adopt(outcome.spans, root_attributes=root_attributes)
         if outcome.metrics and registry.enabled:
             registry.merge(outcome.metrics)
+            if outcome.worker_pid is not None:
+                # The authoritative drain superseded whatever live
+                # overlay this worker last shipped; the next periodic
+                # ship (covering its next cell) restores the overlay.
+                obs.clear_live_overlay(outcome.worker_pid)
         if outcome.spans is not None or outcome.metrics is not None:
             outcome = replace(outcome, spans=None, metrics=None)
     return outcome
@@ -463,10 +560,10 @@ def execute_cells(
     tracer = obs.get_tracer()
     registry = obs.get_metrics()
     outcomes: List[Optional[CellOutcome]] = [None] * len(cells)
-    with ProcessPoolExecutor(
+    with _LiveCollector() as live, ProcessPoolExecutor(
         max_workers=min(workers, len(cells)),
         initializer=_initialize_worker,
-        initargs=(config, obs.worker_options()),
+        initargs=(config, obs.worker_options(), live.queue),
     ) as pool:
         submitted_unix = time.time()
         futures = [pool.submit(_run_cell_in_worker, spec) for spec in cells]
@@ -557,10 +654,10 @@ def _execute_cells_warm(
     by_value: Dict[int, List[Tuple[int, CellSpec]]] = {}
     for index, spec in indexed:
         by_value.setdefault(spec.value_index, []).append((index, spec))
-    with ProcessPoolExecutor(
+    with _LiveCollector() as live, ProcessPoolExecutor(
         max_workers=min(workers, len(cells)),
         initializer=_initialize_worker,
-        initargs=(config, obs.worker_options()),
+        initargs=(config, obs.worker_options(), live.queue),
     ) as pool:
         for value_index in sorted(by_value):
             members = by_value[value_index]

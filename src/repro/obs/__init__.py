@@ -1,4 +1,4 @@
-"""Observability: tracing spans, metrics and run manifests.
+"""Observability: tracing spans, metrics, manifests and live telemetry.
 
 The package is dependency-free and **off by default**: the module-level
 tracer and metrics registry start as no-op singletons, so instrumented
@@ -22,18 +22,39 @@ Enabling
       registry.export_json("m.json")
       obs.reset()
 
+Live telemetry (all opt-in, see ``docs/observability.md``):
+
+* :func:`start_metrics_server` — background ``/metrics`` endpoint
+  (``--metrics-port`` / ``REPRO_METRICS_PORT``) serving the OpenMetrics
+  rendering of :func:`live_snapshot`;
+* :func:`start_metrics_stream` — scrape-free periodic JSONL summaries
+  (``--metrics-stream`` / ``REPRO_METRICS_STREAM``);
+* :func:`start_profiler` — statistical sampling profiler with
+  folded-stack export (``--profile`` / ``REPRO_PROFILE``);
+* :func:`heartbeat` — throttled progress gauges for solver hot loops
+  (returns ``None`` when metrics are disabled, so a dormant call site
+  costs one ``is not None`` test per iteration).
+
 Instrumented code talks to the active instances through
 :func:`span` / :func:`get_metrics`; worker processes install their own via
 :func:`configure` and ship finished spans / counter snapshots back over
 the experiment result pipe (see :mod:`repro.experiments.parallel`).
+The module-level singletons are guarded by a lock so the background
+exposition/stream threads can never observe a half-swapped pair.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Any, Optional, Tuple, Union
+import threading
+from typing import Any, Dict, Optional, Tuple, Union
 
 from repro.obs import log  # noqa: F401  (re-exported submodule)
+from repro.obs.exposition import (
+    MetricsServer,
+    MetricsStream,
+    render_openmetrics,
+)
 from repro.obs.manifest import build_manifest, config_digest, write_manifest
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
@@ -41,6 +62,14 @@ from repro.obs.metrics import (
     MetricsRegistry,
     NULL_METRICS,
     NullMetricsRegistry,
+)
+from repro.obs.profiler import SamplingProfiler
+from repro.obs.timeseries import (
+    EwmaRate,
+    Heartbeat,
+    MetricWindows,
+    P2Quantile,
+    SlidingWindow,
 )
 from repro.obs.tracing import (
     JSONL_SCHEMA_VERSION,
@@ -55,6 +84,9 @@ from repro.obs.tracing import (
 __all__ = [
     "TRACE_ENV_VAR",
     "METRICS_ENV_VAR",
+    "METRICS_PORT_ENV_VAR",
+    "METRICS_STREAM_ENV_VAR",
+    "PROFILE_ENV_VAR",
     "Tracer",
     "NullTracer",
     "SpanRecord",
@@ -63,6 +95,15 @@ __all__ = [
     "DEFAULT_BUCKETS",
     "JSONL_SCHEMA_VERSION",
     "METRICS_SCHEMA_VERSION",
+    "MetricsServer",
+    "MetricsStream",
+    "SamplingProfiler",
+    "SlidingWindow",
+    "EwmaRate",
+    "P2Quantile",
+    "Heartbeat",
+    "MetricWindows",
+    "render_openmetrics",
     "chrome_trace_events",
     "jsonl_to_chrome",
     "build_manifest",
@@ -77,6 +118,18 @@ __all__ = [
     "configure_from_env",
     "reset",
     "worker_options",
+    "heartbeat",
+    "live_snapshot",
+    "update_live_overlay",
+    "clear_live_overlay",
+    "clear_live_overlays",
+    "live_telemetry_active",
+    "start_metrics_server",
+    "start_metrics_stream",
+    "start_profiler",
+    "get_metrics_server",
+    "get_profiler",
+    "stop_live",
     "log",
 ]
 
@@ -86,8 +139,35 @@ TRACE_ENV_VAR = "REPRO_TRACE"
 #: ``REPRO_METRICS=<path.json>`` enables the metrics registry.
 METRICS_ENV_VAR = "REPRO_METRICS"
 
+#: ``REPRO_METRICS_PORT=<port>`` serves live ``/metrics`` during a run.
+METRICS_PORT_ENV_VAR = "REPRO_METRICS_PORT"
+
+#: ``REPRO_METRICS_STREAM=<path.jsonl>`` appends periodic summaries.
+METRICS_STREAM_ENV_VAR = "REPRO_METRICS_STREAM"
+
+#: ``REPRO_PROFILE=<path.folded>`` attaches the sampling profiler.
+PROFILE_ENV_VAR = "REPRO_PROFILE"
+
+#: Guards every read-modify-write of the module-level singletons below,
+#: so a configure/reset racing a background exposition thread can never
+#: expose a half-swapped tracer/registry pair.
+_state_lock = threading.RLock()
+
 _tracer: Union[Tracer, NullTracer] = NULL_TRACER
 _metrics: Union[MetricsRegistry, NullMetricsRegistry] = NULL_METRICS
+
+# Live facilities (all None unless explicitly started).
+_metrics_server: Optional[MetricsServer] = None
+_metrics_stream: Optional[MetricsStream] = None
+_profiler: Optional[SamplingProfiler] = None
+
+#: Latest *cumulative* metrics snapshot shipped by each live worker,
+#: keyed by worker pid.  Overlays feed only :func:`live_snapshot` —
+#: the authoritative end-of-run registry is still built exclusively
+#: from per-cell drain snapshots merged in grid order, which is what
+#: keeps serial and parallel final metrics bitwise identical.
+_live_overlays: Dict[int, Dict[str, Any]] = {}
+_overlay_lock = threading.Lock()
 
 
 # ----------------------------------------------------------------------
@@ -118,6 +198,31 @@ def tracing_enabled() -> bool:
     return _tracer.enabled
 
 
+def heartbeat(
+    name: str,
+    *,
+    interval: float = 0.25,
+    rates: Tuple[str, ...] = (),
+) -> Optional[Heartbeat]:
+    """A throttled live-progress emitter, or ``None`` when disabled.
+
+    Long-running loops create one before entering the hot path::
+
+        hb = obs.heartbeat("cds", rates=("delta_evaluations",))
+        while improving:
+            ...
+            if hb is not None:
+                hb.beat(moves=moves, cost=cost, delta_evaluations=evals)
+
+    The ``None`` return in disabled mode keeps the per-iteration cost
+    to a single identity test — no throttle check, no clock read.
+    """
+    registry = _metrics
+    if not registry.enabled:
+        return None
+    return Heartbeat(name, registry, interval=interval, rates=rates)
+
+
 # ----------------------------------------------------------------------
 # Configuration
 # ----------------------------------------------------------------------
@@ -134,9 +239,10 @@ def configure(
     re-ships) spans already recorded by its parent.
     """
     global _tracer, _metrics
-    _tracer = Tracer(track_memory=track_memory) if trace else NULL_TRACER
-    _metrics = MetricsRegistry() if metrics else NULL_METRICS
-    return _tracer, _metrics
+    with _state_lock:
+        _tracer = Tracer(track_memory=track_memory) if trace else NULL_TRACER
+        _metrics = MetricsRegistry() if metrics else NULL_METRICS
+        return _tracer, _metrics
 
 
 def configure_from_env() -> Tuple[Optional[str], Optional[str]]:
@@ -154,16 +260,150 @@ def configure_from_env() -> Tuple[Optional[str], Optional[str]]:
 
 
 def reset() -> None:
-    """Restore the disabled (no-op) tracer and registry."""
+    """Restore the disabled (no-op) tracer and registry.
+
+    Also tears down any live facilities (server, stream, profiler) and
+    drops worker overlays, so tests and sequential CLI invocations
+    always start from a clean slate.
+    """
     global _tracer, _metrics
-    _tracer = NULL_TRACER
-    _metrics = NULL_METRICS
+    stop_live()
+    with _state_lock:
+        _tracer = NULL_TRACER
+        _metrics = NULL_METRICS
+    with _overlay_lock:
+        _live_overlays.clear()
 
 
 def worker_options() -> dict:
-    """The observability switches to replicate in a worker process."""
+    """The observability switches to replicate in a worker process.
+
+    Reads the tracer/registry pair under the state lock so a
+    concurrent :func:`configure` can never yield a mixed view (e.g.
+    the old tracer with the new registry).
+    """
+    with _state_lock:
+        tracer, metrics = _tracer, _metrics
     return {
-        "trace": _tracer.enabled,
-        "metrics": _metrics.enabled,
-        "track_memory": getattr(_tracer, "track_memory", False),
+        "trace": tracer.enabled,
+        "metrics": metrics.enabled,
+        "track_memory": getattr(tracer, "track_memory", False),
     }
+
+
+# ----------------------------------------------------------------------
+# Live telemetry
+# ----------------------------------------------------------------------
+def live_snapshot() -> Dict[str, Any]:
+    """The live metrics view: local registry plus worker overlays.
+
+    In a serial run this is exactly ``get_metrics().snapshot()``.  In a
+    parallel run the latest cumulative snapshot each worker shipped is
+    merged on top (counters/histograms add, gauges last-write in pid
+    order) into a throwaway registry — the authoritative registry is
+    never written by the live path, so enabling live telemetry cannot
+    perturb final results or their serial/parallel parity.
+    """
+    base = _metrics.snapshot()
+    with _overlay_lock:
+        if not _live_overlays:
+            return base
+        overlays = [snapshot for _, snapshot in sorted(_live_overlays.items())]
+    view = MetricsRegistry()
+    view.merge(base)
+    for overlay in overlays:
+        view.merge(overlay)
+    return view.snapshot()
+
+
+def update_live_overlay(pid: int, snapshot: Dict[str, Any]) -> None:
+    """Record a worker's latest cumulative snapshot (live view only)."""
+    with _overlay_lock:
+        _live_overlays[pid] = snapshot
+
+
+def clear_live_overlay(pid: int) -> None:
+    """Drop a worker's overlay — its authoritative drain arrived."""
+    with _overlay_lock:
+        _live_overlays.pop(pid, None)
+
+
+def clear_live_overlays() -> None:
+    """Drop every worker overlay (the pool finished or was torn down)."""
+    with _overlay_lock:
+        _live_overlays.clear()
+
+
+def live_telemetry_active() -> bool:
+    """True when a live consumer (server or stream) is running."""
+    return _metrics_server is not None or _metrics_stream is not None
+
+
+def start_metrics_server(
+    port: int, *, host: str = "127.0.0.1"
+) -> MetricsServer:
+    """Start (or return) the background ``/metrics`` endpoint."""
+    global _metrics_server
+    with _state_lock:
+        if _metrics_server is None:
+            _metrics_server = MetricsServer(
+                live_snapshot, host=host, port=port
+            ).start()
+        return _metrics_server
+
+
+def start_metrics_stream(
+    path: str, *, interval: float = 1.0
+) -> MetricsStream:
+    """Start (or return) the periodic JSONL metrics stream."""
+    global _metrics_stream
+    with _state_lock:
+        if _metrics_stream is None:
+            _metrics_stream = MetricsStream(
+                live_snapshot, path, interval=interval
+            ).start()
+        return _metrics_stream
+
+
+def start_profiler(*, interval: float = 0.005) -> SamplingProfiler:
+    """Attach (or return) the sampling profiler for the calling thread."""
+    global _profiler
+    with _state_lock:
+        if _profiler is None:
+            _profiler = SamplingProfiler(
+                interval=interval, tracer=_tracer
+            ).start()
+        return _profiler
+
+
+def get_metrics_server() -> Optional[MetricsServer]:
+    return _metrics_server
+
+
+def get_profiler() -> Optional[SamplingProfiler]:
+    return _profiler
+
+
+def stop_live() -> Dict[str, Any]:
+    """Stop all live facilities; returns what ran (for final export).
+
+    The profiler instance is returned still holding its samples so the
+    caller can ``export_folded`` after stopping.
+    """
+    global _metrics_server, _metrics_stream, _profiler
+    with _state_lock:
+        server, stream, profiler = _metrics_server, _metrics_stream, _profiler
+        _metrics_server = None
+        _metrics_stream = None
+        _profiler = None
+    stopped: Dict[str, Any] = {}
+    if server is not None:
+        server.stop()
+        stopped["server"] = server
+    if stream is not None:
+        stream.stop()
+        stopped["stream"] = stream
+    if profiler is not None:
+        profiler.stop()
+        stopped["profiler"] = profiler
+    return stopped

@@ -1,0 +1,293 @@
+"""Benchmark history tracking and the regression gate.
+
+The repo's benches each write a ``BENCH_*.json`` at the repo root —
+but until now nothing compared one run to the last, so a perf
+regression in a hot path (the CDS dirty-pair scan, the SMAWK DP, the
+batched simulator) would ship silently.  This module closes the loop:
+
+* :func:`extract_metrics` flattens a BENCH payload into dotted
+  ``metric → value`` pairs (``results`` rows keyed by their identity
+  fields: kernel/n/k/scan_mode, drift_rate, ...);
+* :func:`append_history` appends one JSONL record per bench run to
+  ``benchmarks/results/history.jsonl``, keyed by the bench name, the
+  config's SHA-256 digest and the git revision — the same provenance
+  scheme run manifests use;
+* :func:`check_regressions` compares the current metrics against the
+  rolling median of the last ``window`` history entries *with the same
+  config digest* and flags every tracked metric that moved past the
+  threshold in its bad direction (``seconds``/``bytes``/``overhead``
+  up, ``speedup``/``per_second`` down).
+
+``repro bench-check`` is the CLI face; ``make bench-check`` and CI
+wire it to the bench smoke runs (informational on PRs).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.obs.manifest import config_digest, git_revision
+
+__all__ = [
+    "BENCH_HISTORY_SCHEMA_VERSION",
+    "DEFAULT_HISTORY_PATH",
+    "Regression",
+    "extract_metrics",
+    "metric_direction",
+    "append_history",
+    "load_history",
+    "check_regressions",
+]
+
+#: Version stamp on every history.jsonl record.
+BENCH_HISTORY_SCHEMA_VERSION = 1
+
+#: Where bench history accumulates, relative to the repo root.
+DEFAULT_HISTORY_PATH = "benchmarks/results/history.jsonl"
+
+#: Fields that identify a results row rather than measure it.
+_IDENTITY_FIELDS = (
+    "kernel",
+    "n",
+    "k",
+    "scan_mode",
+    "drift_rate",
+    "iterations",
+    "epochs",
+)
+
+#: Top-level / per-row fields that are provenance, not measurements.
+_SKIP_FIELDS = frozenset(
+    {
+        "schema",
+        "schema_version",
+        "generated_by",
+        "benchmark",
+        "timestamp",
+        "python",
+        "platform",
+        "machine",
+        "note",
+        "config",
+    }
+)
+
+#: Substrings marking a metric where *smaller* is better.
+_LOWER_IS_BETTER = ("seconds", "bytes", "rss", "overhead", "gap", "percent")
+
+#: Substrings marking a metric where *larger* is better (checked first:
+#: ``warm_epochs_per_second`` must not match the ``seconds`` rule).
+_HIGHER_IS_BETTER = ("per_second", "speedup", "reduction")
+
+
+def metric_direction(name: str) -> Optional[str]:
+    """``"higher"`` / ``"lower"`` for gated metrics, ``None`` otherwise.
+
+    Metrics with no recognised direction (event counts, cost values,
+    trajectory lengths) are recorded in history for trend inspection
+    but never gate — their "right" value is workload-defined.
+    """
+    lowered = name.lower()
+    if any(token in lowered for token in _HIGHER_IS_BETTER):
+        return "higher"
+    if any(token in lowered for token in _LOWER_IS_BETTER):
+        return "lower"
+    return None
+
+
+def _is_metric_value(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _row_key(row: Dict[str, Any]) -> str:
+    parts = [
+        f"{field}={row[field]}"
+        for field in _IDENTITY_FIELDS
+        if field in row and row[field] is not None
+    ]
+    return "[" + ",".join(parts) + "]" if parts else ""
+
+
+def _flatten(payload: Any, prefix: str, out: Dict[str, float]) -> None:
+    if isinstance(payload, dict):
+        for key in sorted(payload):
+            if key in _SKIP_FIELDS or key in _IDENTITY_FIELDS:
+                continue
+            child_prefix = f"{prefix}.{key}" if prefix else key
+            _flatten(payload[key], child_prefix, out)
+    elif isinstance(payload, list):
+        for index, item in enumerate(payload):
+            if isinstance(item, dict):
+                key = _row_key(item) or f"[{index}]"
+                _flatten(item, f"{prefix}{key}", out)
+    elif _is_metric_value(payload):
+        out[prefix] = float(payload)
+
+
+def extract_metrics(payload: Dict[str, Any]) -> Dict[str, float]:
+    """Flatten a BENCH_*.json payload into dotted metric/value pairs.
+
+    ``results`` rows are keyed by their identity fields, e.g.
+    ``results[kernel=cds_refine,n=100,k=8,scan_mode=full].numpy_seconds``;
+    config and provenance fields are excluded; null measurements (a
+    skipped backend) are dropped.
+    """
+    out: Dict[str, float] = {}
+    _flatten(payload, "", out)
+    return out
+
+
+@dataclass
+class Regression:
+    """One tracked metric that moved past the threshold."""
+
+    bench: str
+    metric: str
+    direction: str
+    baseline: float
+    current: float
+    change_percent: float
+
+    def describe(self) -> str:
+        arrow = "rose" if self.current > self.baseline else "fell"
+        return (
+            f"{self.bench}:{self.metric} {arrow} "
+            f"{abs(self.change_percent):.1f}% "
+            f"({self.baseline:.6g} -> {self.current:.6g}, "
+            f"{self.direction}-is-better)"
+        )
+
+
+def _bench_name(path: Union[str, Path]) -> str:
+    return Path(path).stem
+
+
+def append_history(
+    bench_path: Union[str, Path],
+    history_path: Union[str, Path] = DEFAULT_HISTORY_PATH,
+    *,
+    repo_root: Optional[Union[str, Path]] = None,
+) -> Dict[str, Any]:
+    """Append one history record for a BENCH file; returns the record."""
+    bench_path = Path(bench_path)
+    payload = json.loads(bench_path.read_text())
+    record = {
+        "schema": BENCH_HISTORY_SCHEMA_VERSION,
+        "ts": time.time(),
+        "bench": _bench_name(bench_path),
+        "git_revision": git_revision(repo_root),
+        "config_sha256": config_digest(payload.get("config", {})),
+        "metrics": extract_metrics(payload),
+    }
+    history_path = Path(history_path)
+    history_path.parent.mkdir(parents=True, exist_ok=True)
+    with history_path.open("a") as handle:
+        handle.write(json.dumps(record, sort_keys=True) + "\n")
+    return record
+
+
+def load_history(
+    history_path: Union[str, Path] = DEFAULT_HISTORY_PATH,
+) -> List[Dict[str, Any]]:
+    """All history records, oldest first (missing file → empty)."""
+    history_path = Path(history_path)
+    if not history_path.exists():
+        return []
+    records: List[Dict[str, Any]] = []
+    with history_path.open() as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(record, dict) and "metrics" in record:
+                records.append(record)
+    return records
+
+
+def _median(values: Sequence[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def check_regressions(
+    bench: str,
+    current_metrics: Dict[str, float],
+    history: Iterable[Dict[str, Any]],
+    *,
+    config_sha256: Optional[str] = None,
+    threshold: float = 0.10,
+    window: int = 5,
+) -> Tuple[List[Regression], Dict[str, Any]]:
+    """Compare current metrics to the rolling baseline from history.
+
+    The baseline for each metric is the median over the last ``window``
+    history records for the same bench — and, when ``config_sha256``
+    is given, the same config digest, so a bench re-parameterised
+    between runs never compares apples to oranges.  Only metrics with
+    a recognised direction gate; a move past ``threshold`` in the bad
+    direction is a :class:`Regression`.  Returns the regressions plus
+    a summary dict (baseline counts, compared/gated/skipped metrics).
+    """
+    relevant = [
+        record
+        for record in history
+        if record.get("bench") == bench
+        and (
+            config_sha256 is None
+            or record.get("config_sha256") == config_sha256
+        )
+    ]
+    recent = relevant[-window:]
+    regressions: List[Regression] = []
+    compared = 0
+    gated = 0
+    for metric, current in sorted(current_metrics.items()):
+        baselines = [
+            record["metrics"][metric]
+            for record in recent
+            if _is_metric_value(record.get("metrics", {}).get(metric))
+        ]
+        if not baselines:
+            continue
+        compared += 1
+        direction = metric_direction(metric)
+        if direction is None:
+            continue
+        baseline = _median(baselines)
+        if baseline == 0:
+            continue
+        gated += 1
+        change = (current - baseline) / abs(baseline)
+        bad = change > threshold if direction == "lower" else change < -threshold
+        if bad:
+            regressions.append(
+                Regression(
+                    bench=bench,
+                    metric=metric,
+                    direction=direction,
+                    baseline=baseline,
+                    current=current,
+                    change_percent=change * 100.0,
+                )
+            )
+    summary = {
+        "bench": bench,
+        "history_records": len(relevant),
+        "baseline_window": len(recent),
+        "metrics_compared": compared,
+        "metrics_gated": gated,
+        "regressions": len(regressions),
+        "threshold_percent": threshold * 100.0,
+    }
+    return regressions, summary

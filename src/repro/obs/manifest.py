@@ -58,8 +58,31 @@ def config_digest(config: Any) -> str:
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
+#: Per-process ``git_revision`` cache, keyed by the resolved cwd.  The
+#: revision cannot change under a running process in any supported
+#: workflow, and shelling out to git once per sweep cell (every
+#: ``build_manifest`` under ``--trace``) is measurable at small cells.
+_GIT_REVISION_CACHE: Dict[Optional[str], Optional[str]] = {}
+
+
 def git_revision(cwd: Optional[Union[str, Path]] = None) -> Optional[str]:
-    """The current ``git rev-parse HEAD``, or ``None`` when unavailable."""
+    """The current ``git rev-parse HEAD``, or ``None`` when unavailable.
+
+    Cached per-process (per ``cwd``): repeated manifest builds — one
+    per sweep cell under ``--trace`` — reuse the first lookup instead
+    of forking a git subprocess each time.
+    """
+    cache_key = str(Path(cwd).resolve()) if cwd is not None else None
+    if cache_key in _GIT_REVISION_CACHE:
+        return _GIT_REVISION_CACHE[cache_key]
+    revision = _git_revision_uncached(cwd)
+    _GIT_REVISION_CACHE[cache_key] = revision
+    return revision
+
+
+def _git_revision_uncached(
+    cwd: Optional[Union[str, Path]] = None,
+) -> Optional[str]:
     try:
         completed = subprocess.run(
             ["git", "rev-parse", "HEAD"],

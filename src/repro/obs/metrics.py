@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import json
 import math
+import threading
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
 
@@ -32,8 +33,11 @@ __all__ = [
     "METRICS_SCHEMA_VERSION",
 ]
 
-#: Version stamp written into every metrics snapshot.
-METRICS_SCHEMA_VERSION = 1
+#: Version stamp written into every metrics snapshot.  Version 2 added
+#: ``min``/``max`` to histogram payloads; :meth:`MetricsRegistry.merge`
+#: still accepts version-1 snapshots (their min/max is unknown and
+#: merges as "no observations beyond the counts").
+METRICS_SCHEMA_VERSION = 2
 
 #: Default histogram buckets: log-ish spread from sub-millisecond to
 #: minutes, suitable for the timing distributions this repo records.
@@ -82,14 +86,17 @@ class Gauge:
 
 
 class Histogram:
-    """Fixed-bucket histogram with exact count/sum.
+    """Fixed-bucket histogram with exact count/sum/min/max.
 
     ``buckets`` are upper bounds; an implicit ``+inf`` bucket catches
     the tail.  Bucket counts are cumulative-free (one count per bucket),
-    which keeps merging a plain element-wise add.
+    which keeps merging a plain element-wise add.  ``low``/``high``
+    track the observed extremes so a snapshot can report mean/min/max
+    without a parallel counter (and so the OpenMetrics exposition can
+    emit ``_sum``/``_count`` plus min/max gauges).
     """
 
-    __slots__ = ("buckets", "counts", "count", "total")
+    __slots__ = ("buckets", "counts", "count", "total", "low", "high")
 
     def __init__(self, buckets: Iterable[float] = DEFAULT_BUCKETS) -> None:
         self.buckets = tuple(sorted(float(b) for b in buckets))
@@ -98,11 +105,17 @@ class Histogram:
         self.counts = [0] * (len(self.buckets) + 1)
         self.count = 0
         self.total = 0.0
+        self.low: Optional[float] = None
+        self.high: Optional[float] = None
 
     def observe(self, value: float) -> None:
         value = float(value)
         self.count += 1
         self.total += value
+        if self.low is None or value < self.low:
+            self.low = value
+        if self.high is None or value > self.high:
+            self.high = value
         for index, bound in enumerate(self.buckets):
             if value <= bound:
                 self.counts[index] += 1
@@ -169,7 +182,17 @@ NULL_METRICS = NullMetricsRegistry()
 
 
 class MetricsRegistry:
-    """Collecting registry of named counters, gauges and histograms."""
+    """Collecting registry of named counters, gauges and histograms.
+
+    A small structure lock protects the instrument dictionaries so a
+    background reader (the ``/metrics`` exposition thread, a worker's
+    periodic live-snapshot shipper) can iterate them while the owning
+    thread keeps creating instruments.  Instrument *updates* stay
+    lock-free: the recording thread is the only writer, and readers
+    tolerate the transiently torn histogram a concurrent ``observe``
+    can produce — the authoritative end-of-run snapshot is taken by the
+    recording thread itself.
+    """
 
     enabled = True
 
@@ -177,6 +200,7 @@ class MetricsRegistry:
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Instruments
@@ -185,14 +209,16 @@ class MetricsRegistry:
         key = _render_key(name, tuple(sorted(labels.items())))
         instrument = self._counters.get(key)
         if instrument is None:
-            instrument = self._counters[key] = Counter()
+            with self._lock:
+                instrument = self._counters.setdefault(key, Counter())
         return instrument
 
     def gauge(self, name: str, **labels: Any) -> Gauge:
         key = _render_key(name, tuple(sorted(labels.items())))
         instrument = self._gauges.get(key)
         if instrument is None:
-            instrument = self._gauges[key] = Gauge()
+            with self._lock:
+                instrument = self._gauges.setdefault(key, Gauge())
         return instrument
 
     def histogram(
@@ -204,14 +230,16 @@ class MetricsRegistry:
         key = _render_key(name, tuple(sorted(labels.items())))
         instrument = self._histograms.get(key)
         if instrument is None:
-            instrument = self._histograms[key] = Histogram(buckets)
+            with self._lock:
+                instrument = self._histograms.setdefault(
+                    key, Histogram(buckets)
+                )
         return instrument
 
     # ------------------------------------------------------------------
     # Snapshots / merging
     # ------------------------------------------------------------------
-    def snapshot(self) -> Dict[str, Any]:
-        """The current state as a JSON-ready dict (schema 1)."""
+    def _snapshot_locked(self) -> Dict[str, Any]:
         return {
             "schema": METRICS_SCHEMA_VERSION,
             "counters": {
@@ -226,25 +254,35 @@ class MetricsRegistry:
                     "counts": list(histogram.counts),
                     "count": histogram.count,
                     "sum": histogram.total,
+                    "min": histogram.low,
+                    "max": histogram.high,
                 }
                 for key, histogram in sorted(self._histograms.items())
             },
         }
 
+    def snapshot(self) -> Dict[str, Any]:
+        """The current state as a JSON-ready dict (schema 2)."""
+        with self._lock:
+            return self._snapshot_locked()
+
     def drain_snapshot(self) -> Dict[str, Any]:
         """Snapshot and reset — the worker-side half of merging."""
-        snapshot = self.snapshot()
-        self._counters.clear()
-        self._gauges.clear()
-        self._histograms.clear()
+        with self._lock:
+            snapshot = self._snapshot_locked()
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
         return snapshot
 
     def merge(self, snapshot: Dict[str, Any]) -> None:
         """Fold another registry's snapshot into this one.
 
-        Counters and histogram counts/sums add; gauges take the
-        snapshot's value (callers merge in deterministic order, so
-        "last write wins" is reproducible).
+        Counters and histogram counts/sums/extremes add; gauges take
+        the snapshot's value (callers merge in deterministic order, so
+        "last write wins" is reproducible).  Accepts both schema-2 and
+        the pre-min/max schema-1 payloads — a v1 histogram merges its
+        counts and sum, leaving the extremes untouched.
         """
         for key, value in snapshot.get("counters", {}).items():
             self._counter_by_key(key).inc(value)
@@ -261,25 +299,38 @@ class MetricsRegistry:
                 histogram.counts[index] += count
             histogram.count += payload["count"]
             histogram.total += payload["sum"]
+            low = payload.get("min")
+            if low is not None and (histogram.low is None or low < histogram.low):
+                histogram.low = low
+            high = payload.get("max")
+            if high is not None and (
+                histogram.high is None or high > histogram.high
+            ):
+                histogram.high = high
 
     # Keyed lookups used by merge(): the rendered key already includes
     # labels, so it is used verbatim.
     def _counter_by_key(self, key: str) -> Counter:
         instrument = self._counters.get(key)
         if instrument is None:
-            instrument = self._counters[key] = Counter()
+            with self._lock:
+                instrument = self._counters.setdefault(key, Counter())
         return instrument
 
     def _gauge_by_key(self, key: str) -> Gauge:
         instrument = self._gauges.get(key)
         if instrument is None:
-            instrument = self._gauges[key] = Gauge()
+            with self._lock:
+                instrument = self._gauges.setdefault(key, Gauge())
         return instrument
 
     def _histogram_by_key(self, key: str, buckets: List[float]) -> Histogram:
         instrument = self._histograms.get(key)
         if instrument is None:
-            instrument = self._histograms[key] = Histogram(buckets)
+            with self._lock:
+                instrument = self._histograms.setdefault(
+                    key, Histogram(buckets)
+                )
         return instrument
 
     # ------------------------------------------------------------------

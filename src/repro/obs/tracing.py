@@ -156,6 +156,10 @@ class NullTracer:
     def records(self) -> List[SpanRecord]:
         return []
 
+    @property
+    def active_span_names(self) -> List[str]:
+        return []
+
     def adopt(
         self,
         payload: Sequence[Dict[str, Any]],
@@ -195,6 +199,7 @@ class _Span:
         self.span_id = next(tracer._ids)
         self.parent_id = tracer._stack[-1] if tracer._stack else None
         tracer._stack.append(self.span_id)
+        tracer._name_stack.append(self.name)
         if tracer.track_memory:
             tracer._memory_enter()
         self._start_unix = time.time()
@@ -213,6 +218,7 @@ class _Span:
         duration = time.perf_counter() - self._t0
         tracer = self._tracer
         tracer._stack.pop()
+        tracer._name_stack.pop()
         peak = tracer._memory_exit() if tracer.track_memory else None
         if exc_type is not None:
             self.attributes["error"] = f"{exc_type.__name__}: {exc}"
@@ -248,6 +254,7 @@ class Tracer:
     def __init__(self, *, track_memory: bool = False) -> None:
         self._records: List[SpanRecord] = []
         self._stack: List[int] = []
+        self._name_stack: List[str] = []
         self._ids = itertools.count(1)
         self.pid = os.getpid()
         self.track_memory = track_memory
@@ -293,6 +300,16 @@ class Tracer:
     def records(self) -> List[SpanRecord]:
         """The finished spans, in completion order (children first)."""
         return list(self._records)
+
+    @property
+    def active_span_names(self) -> List[str]:
+        """Names of the currently open spans, outermost first.
+
+        Read by the sampling profiler (from its own thread) to
+        attribute each sample to the innermost open span; a torn read
+        during a push/pop merely shifts that sample by one span.
+        """
+        return self._name_stack
 
     def find(self, name: str) -> List[SpanRecord]:
         """All finished spans with the given name."""

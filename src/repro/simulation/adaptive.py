@@ -258,6 +258,21 @@ def run_adaptive_simulation(
                 allocation_mode=mode,
             )
         )
+        registry = obs.get_metrics()
+        if registry.enabled:
+            report = reports[-1]
+            registry.counter("adaptive.epochs").inc()
+            registry.counter("adaptive.mode", mode=mode).inc()
+            if reallocated:
+                registry.counter("adaptive.reallocations").inc()
+            registry.gauge("adaptive.epoch").set(epoch)
+            registry.gauge("adaptive.cost_under_truth").set(
+                report.cost_under_truth
+            )
+            registry.gauge("adaptive.profile_error").set(report.profile_error)
+            registry.gauge("adaptive.measured_wait_mean").set(
+                report.measured.mean
+            )
         reallocated = False
         cache_hit = False
         warm_moves = 0

@@ -1,0 +1,253 @@
+"""Benchmark-history regression gate: flattening, baselines, the gate.
+
+The acceptance scenario from the issue is tested end to end: seed a
+history from the committed ``BENCH_core.json``, inject a >=10%
+synthetic regression into one tracked metric, and assert the CLI exits
+nonzero naming it.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.obs import bench as bench_history
+from repro.obs.bench import (
+    Regression,
+    append_history,
+    check_regressions,
+    extract_metrics,
+    load_history,
+    metric_direction,
+)
+from repro.obs.manifest import config_digest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def core_payload() -> dict:
+    return json.loads((REPO_ROOT / "BENCH_core.json").read_text())
+
+
+class TestDirections:
+    def test_higher_is_better(self):
+        assert metric_direction("delta_evaluations_per_second") == "higher"
+        assert metric_direction("warm.speedup") == "higher"
+        assert metric_direction("moves_reduction") == "higher"
+
+    def test_lower_is_better(self):
+        assert metric_direction("wall_seconds") == "lower"
+        assert metric_direction("peak_rss_bytes") == "lower"
+        assert metric_direction("disabled_overhead_percent") == "lower"
+
+    def test_higher_wins_over_lower_substring(self):
+        # "evaluations_per_second" contains neither lower token, but a
+        # name with both must resolve to higher-is-better.
+        assert metric_direction("seconds_per_second") == "higher"
+
+    def test_unknown_is_ungated(self):
+        assert metric_direction("spans_recorded") is None
+
+
+class TestExtractMetrics:
+    def test_flattens_committed_core_bench(self):
+        metrics = extract_metrics(core_payload())
+        assert metrics, "no metrics extracted from BENCH_core.json"
+        # Result rows are keyed by their identity fields, not position.
+        assert any("kernel=" in key for key in metrics)
+        assert all(isinstance(value, (int, float)) for value in metrics.values())
+
+    def test_skips_metadata_fields(self):
+        metrics = extract_metrics(
+            {
+                "schema": 3,
+                "timestamp": "2026-01-01T00:00:00",
+                "config": {"sizes": [100]},
+                "wall_seconds": 1.5,
+            }
+        )
+        assert metrics == {"wall_seconds": 1.5}
+
+
+class TestHistory:
+    def test_append_and_load_round_trip(self, tmp_path):
+        bench_path = tmp_path / "BENCH_core.json"
+        bench_path.write_text(json.dumps(core_payload()))
+        history_path = tmp_path / "history.jsonl"
+        record = append_history(str(bench_path), str(history_path))
+        assert record["bench"] == "BENCH_core"
+        loaded = load_history(str(history_path))
+        assert len(loaded) == 1
+        assert loaded[0]["metrics"] == record["metrics"]
+
+    def test_load_skips_corrupt_lines(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        path.write_text(
+            'not json\n{"bench": "x"}\n'
+            '{"bench": "y", "metrics": {"wall_seconds": 1.0}}\n'
+        )
+        assert len(load_history(str(path))) == 1
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load_history(str(tmp_path / "absent.jsonl")) == []
+
+
+def _history_of(metrics: dict, copies: int, bench: str = "B", digest: str = "d") -> list:
+    return [
+        {
+            "schema": 1,
+            "bench": bench,
+            "config_sha256": digest,
+            "metrics": dict(metrics),
+        }
+        for _ in range(copies)
+    ]
+
+
+class TestCheckRegressions:
+    def test_clean_run_passes(self):
+        history = _history_of({"wall_seconds": 1.0}, 5)
+        regressions, summary = check_regressions(
+            "B", {"wall_seconds": 1.02}, history, config_sha256="d"
+        )
+        assert regressions == []
+        assert summary["metrics_gated"] == 1
+
+    def test_lower_is_better_regression(self):
+        history = _history_of({"wall_seconds": 1.0}, 5)
+        regressions, _ = check_regressions(
+            "B", {"wall_seconds": 1.2}, history, config_sha256="d"
+        )
+        assert len(regressions) == 1
+        regression = regressions[0]
+        assert isinstance(regression, Regression)
+        assert regression.metric == "wall_seconds"
+        assert regression.change_percent == pytest.approx(20.0)
+
+    def test_higher_is_better_regression(self):
+        history = _history_of({"ops_per_second": 100.0}, 5)
+        regressions, _ = check_regressions(
+            "B", {"ops_per_second": 80.0}, history, config_sha256="d"
+        )
+        assert len(regressions) == 1
+
+    def test_threshold_boundary(self):
+        history = _history_of({"wall_seconds": 1.0}, 5)
+        within, _ = check_regressions(
+            "B", {"wall_seconds": 1.09}, history, config_sha256="d"
+        )
+        past, _ = check_regressions(
+            "B", {"wall_seconds": 1.11}, history, config_sha256="d"
+        )
+        assert within == [] and len(past) == 1
+
+    def test_custom_threshold(self):
+        history = _history_of({"wall_seconds": 1.0}, 5)
+        regressions, _ = check_regressions(
+            "B", {"wall_seconds": 1.06}, history, config_sha256="d", threshold=0.05
+        )
+        assert len(regressions) == 1
+
+    def test_baseline_is_median_of_window(self):
+        history = _history_of({"wall_seconds": 1.0}, 3) + _history_of(
+            {"wall_seconds": 100.0}, 2
+        )
+        # Median of [1, 1, 1, 100, 100] is 1.0: one noisy pair of runs
+        # must not mask a regression against the typical baseline.
+        regressions, _ = check_regressions(
+            "B", {"wall_seconds": 2.0}, history, config_sha256="d"
+        )
+        assert len(regressions) == 1
+
+    def test_config_digest_isolates_baselines(self):
+        history = _history_of({"wall_seconds": 1.0}, 5, digest="other")
+        regressions, summary = check_regressions(
+            "B", {"wall_seconds": 9.9}, history, config_sha256="d"
+        )
+        assert regressions == [] and summary["history_records"] == 0
+
+    def test_other_bench_records_ignored(self):
+        history = _history_of({"wall_seconds": 1.0}, 5, bench="OTHER")
+        regressions, summary = check_regressions(
+            "B", {"wall_seconds": 9.9}, history, config_sha256="d"
+        )
+        assert regressions == [] and summary["history_records"] == 0
+
+
+class TestCliGate:
+    """The issue's acceptance scenario, driven through `repro bench-check`."""
+
+    def _seed(self, tmp_path, payload) -> Path:
+        bench_path = tmp_path / "BENCH_core.json"
+        bench_path.write_text(json.dumps(payload))
+        history_path = tmp_path / "history.jsonl"
+        for _ in range(3):
+            append_history(str(bench_path), str(history_path))
+        return history_path
+
+    def test_clean_bench_exits_zero(self, tmp_path, capsys):
+        payload = core_payload()
+        history_path = self._seed(tmp_path, payload)
+        bench_path = tmp_path / "BENCH_core.json"
+        code = cli_main(
+            [
+                "bench-check",
+                str(bench_path),
+                "--history",
+                str(history_path),
+                "--no-append",
+            ]
+        )
+        assert code == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_injected_regression_exits_nonzero(self, tmp_path, capsys):
+        payload = core_payload()
+        history_path = self._seed(tmp_path, payload)
+        regressed = copy.deepcopy(payload)
+        row = regressed["results"][0]
+        victim = next(
+            key
+            for key, value in row.items()
+            if bench_history.metric_direction(key) == "lower"
+            and isinstance(value, (int, float))
+            and value
+        )
+        row[victim] = row[victim] * 1.15  # inject a 15% slowdown
+        bench_path = tmp_path / "BENCH_core.json"
+        bench_path.write_text(json.dumps(regressed))
+        assert config_digest(regressed.get("config", {})) == config_digest(
+            payload.get("config", {})
+        )
+        code = cli_main(
+            [
+                "bench-check",
+                str(bench_path),
+                "--history",
+                str(history_path),
+                "--no-append",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "REGRESSION" in captured.out
+        assert victim in captured.out
+
+    def test_append_grows_history(self, tmp_path):
+        payload = core_payload()
+        history_path = self._seed(tmp_path, payload)
+        before = len(load_history(str(history_path)))
+        bench_path = tmp_path / "BENCH_core.json"
+        code = cli_main(
+            ["bench-check", str(bench_path), "--history", str(history_path)]
+        )
+        assert code == 0
+        assert len(load_history(str(history_path))) == before + 1
+
+    def test_no_bench_files_exits_two(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        assert cli_main(["bench-check"]) == 2

@@ -1,0 +1,93 @@
+"""Sampling profiler smoke tests on a synthetic workload.
+
+The profiler is statistical, so assertions are structural: a busy loop
+run under the profiler must yield samples whose folded stacks contain
+the busy function, the export format must parse, and span attribution
+must follow the tracer's active span.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import obs
+from repro.obs.profiler import SamplingProfiler, _frame_label
+from repro.obs.tracing import Tracer
+
+
+@pytest.fixture(autouse=True)
+def _reset_obs():
+    obs.reset()
+    yield
+    obs.reset()
+
+
+def _busy_loop_for_profiler(seconds: float) -> int:
+    total = 0
+    deadline = time.perf_counter() + seconds
+    while time.perf_counter() < deadline:
+        total += sum(range(200))
+    return total
+
+
+class TestSamplingProfiler:
+    def test_collects_samples_from_busy_loop(self):
+        profiler = SamplingProfiler(interval=0.001)
+        with profiler:
+            _busy_loop_for_profiler(0.2)
+        assert profiler.samples > 10
+        folded = profiler.render_folded()
+        assert "_busy_loop_for_profiler" in folded
+        # Every folded line is "stack count" with count summing to the
+        # sample total.
+        counts = [int(line.rsplit(" ", 1)[1]) for line in folded.splitlines()]
+        assert sum(counts) == profiler.samples
+
+    def test_export_folded_header_and_body(self, tmp_path):
+        profiler = SamplingProfiler(interval=0.001)
+        with profiler:
+            _busy_loop_for_profiler(0.1)
+        path = tmp_path / "profile.txt"
+        written = profiler.export_folded(str(path))
+        assert written == profiler.samples
+        lines = path.read_text().splitlines()
+        assert lines[0].startswith("# repro sampling profile:")
+        body = [line for line in lines if not line.startswith("#")]
+        assert body and all(" " in line for line in body)
+
+    def test_span_attribution(self):
+        tracer = Tracer()
+        profiler = SamplingProfiler(interval=0.001, tracer=tracer)
+        with profiler:
+            with tracer.span("cds.refine"):
+                _busy_loop_for_profiler(0.15)
+        assert profiler.span_samples.get("cds.refine", 0) > 0
+
+    def test_no_span_bucket_without_tracer(self):
+        profiler = SamplingProfiler(interval=0.001)
+        with profiler:
+            _busy_loop_for_profiler(0.05)
+        assert set(profiler.span_samples) <= {"<no-span>"}
+
+    def test_obs_lifecycle(self, tmp_path):
+        obs.configure(metrics=True)
+        profiler = obs.start_profiler(interval=0.001)
+        assert obs.get_profiler() is profiler
+        assert obs.start_profiler() is profiler  # idempotent
+        _busy_loop_for_profiler(0.05)
+        stopped = obs.stop_live()
+        assert stopped["profiler"] is profiler
+        assert obs.get_profiler() is None
+        path = tmp_path / "p.txt"
+        profiler.export_folded(str(path))  # samples survive stop_live
+        assert path.read_text()
+
+
+class TestFrameLabel:
+    def test_label_format(self):
+        frame = next(iter(__import__("sys")._current_frames().values()))
+        label = _frame_label(frame)
+        assert " (" in label and label.endswith(")")
+        assert ":" in label.rsplit("(", 1)[1]

@@ -147,7 +147,7 @@ def validate_metrics_snapshot(path: Path) -> int:
     except json.JSONDecodeError as exc:
         raise SchemaError(f"{path}: not JSON ({exc})")
     _require(isinstance(snapshot, dict), f"{path}: top level must be an object")
-    _require(snapshot.get("schema") == 1, f"{path}: unknown schema")
+    _require(snapshot.get("schema") in (1, 2), f"{path}: unknown schema")
     for section in ("counters", "gauges", "histograms"):
         _require(section in snapshot, f"{path}: missing {section!r}")
         _require(
@@ -177,6 +177,16 @@ def validate_metrics_snapshot(path: Path) -> int:
             sum(hist["counts"]) == hist["count"],
             f"{where}: bucket counts do not sum to count",
         )
+        if snapshot["schema"] >= 2:
+            # v2 adds observed extremes; null only when the histogram
+            # is empty (or merged from a v1 snapshot).
+            for field in ("min", "max"):
+                _require(field in hist, f"{where}: missing {field!r}")
+                _require(
+                    hist[field] is None
+                    or isinstance(hist[field], (int, float)),
+                    f"{where}: {field} must be a number or null",
+                )
     return (
         len(snapshot["counters"])
         + len(snapshot["gauges"])
