@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast verify-fuzz bench bench-kernels bench-incr bench-parallel bench-obs bench-check trace-smoke figures report examples clean
+.PHONY: install test test-fast verify-fuzz bench bench-kernels bench-incr bench-parallel bench-shards bench-obs bench-check trace-smoke shard-smoke figures report examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -39,6 +39,12 @@ bench-incr:
 bench-parallel:
 	$(PYTHON) benchmarks/bench_parallel.py
 
+# Sharded-fabric timings: store append throughput, cells/sec per shard
+# layout, and 90%-complete resume overhead; writes BENCH_shards.json at
+# the repo root (schema in docs/sharding.md).
+bench-shards:
+	$(PYTHON) benchmarks/bench_shards.py
+
 # Observability overhead (no-op span cost, traced-run cost); writes
 # BENCH_obs.json at the repo root and fails over the 5% budget.
 bench-obs:
@@ -69,6 +75,28 @@ trace-smoke:
 		--metrics /tmp/repro-smoke-metrics.json \
 		--manifest /tmp/repro-smoke.manifest.json
 	test -s /tmp/repro-smoke-profile.txt
+
+# End-to-end shard fabric smoke: compile a small figure-2 manifest
+# into 3 shards, run one, SIGKILL another mid-run (torn trailing
+# record), resume it, finish the rest, and diff the merged rows against
+# a serial run (docs/sharding.md).
+shard-smoke:
+	rm -rf /tmp/repro-shard-smoke && mkdir -p /tmp/repro-shard-smoke
+	$(PYTHON) -m repro shard compile --figure 2 --replications 1 \
+		--shards 3 --output /tmp/repro-shard-smoke/manifest.json
+	$(PYTHON) -m repro shard run /tmp/repro-shard-smoke/manifest.json \
+		--shard 0 --results-dir /tmp/repro-shard-smoke/results --quiet
+	REPRO_SHARD_KILL_AFTER=2 $(PYTHON) -m repro shard run \
+		/tmp/repro-shard-smoke/manifest.json --shard 1 \
+		--results-dir /tmp/repro-shard-smoke/results --quiet; \
+		test $$? -eq 137
+	$(PYTHON) -m repro shard run /tmp/repro-shard-smoke/manifest.json \
+		--shard 1 --results-dir /tmp/repro-shard-smoke/results --quiet
+	$(PYTHON) -m repro shard run /tmp/repro-shard-smoke/manifest.json \
+		--shard 2 --workers 2 \
+		--results-dir /tmp/repro-shard-smoke/results --quiet
+	$(PYTHON) -m repro shard merge /tmp/repro-shard-smoke/manifest.json \
+		--results-dir /tmp/repro-shard-smoke/results --diff-serial --quiet
 
 figures:
 	for fig in figure2 figure3 figure4 figure5 figure6 figure7; do \

@@ -1,0 +1,374 @@
+"""Reproducible perf harness for the sharded experiment fabric.
+
+Times three things and writes ``BENCH_shards.json`` at the repository
+root:
+
+1. **Store append throughput** — records per second through
+   :meth:`repro.experiments.store.ShardStore.append_cell` (the
+   per-cell streaming cost a shard pays on top of the computation).
+2. **Shard scaling** — one sweep executed through ``M`` concurrent
+   ``repro shard run`` subprocesses for M in ``--shard-counts``,
+   reporting cells/sec per layout and asserting every layout's merged
+   rows are identical to the serial rows.  On a single usable CPU the
+   layouts cannot beat M=1 — the section carries the
+   ``limited_by_cpu_count`` flag so ``repro bench-check`` records the
+   scaling in history without gating on it.
+3. **Resume overhead** — a shard run to 90% completion, then resumed:
+   the resume (skip-scan + the last 10% of cells) as a fraction of the
+   cold run.  The fabric's idempotence claim, as a number.
+
+Run standalone (CI smoke uses ``--replications 1``)::
+
+    python benchmarks/bench_shards.py [--replications 2]
+                                      [--shard-counts 1 2 4]
+                                      [--output BENCH_shards.json]
+
+or via ``make bench-shards``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import os
+import platform
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # running from a checkout without `pip install -e .`
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.parallel import auto_workers
+from repro.experiments.runner import run_experiment
+from repro.experiments.shards import (
+    compile_manifest,
+    merge_shards,
+    run_shard,
+    save_manifest,
+)
+from repro.experiments.store import ShardStore
+
+SCHEMA_VERSION = 1
+DEFAULT_REPLICATIONS = 2
+DEFAULT_SHARD_COUNTS = (1, 2, 4)
+DEFAULT_STORE_RECORDS = 5_000
+
+#: The timed sweep: figure-2-shaped, paper line-up minus GOPT (cells
+#: must be small enough that shard orchestration overhead is visible).
+BENCH_SWEEP_VALUES = (4.0, 6.0, 8.0, 10.0)
+BENCH_ALGORITHMS = ("vfk", "drp", "drp-cds")
+
+
+def _bench_config(replications: int) -> ExperimentConfig:
+    return ExperimentConfig(
+        name="bench-shards",
+        description="shard fabric benchmark sweep",
+        sweep_parameter="num_channels",
+        sweep_values=BENCH_SWEEP_VALUES,
+        algorithms=BENCH_ALGORITHMS,
+        num_items=120,
+        replications=replications,
+    )
+
+
+def _comparable(result):
+    return [
+        (
+            row.sweep_value,
+            row.algorithm,
+            row.mean_cost,
+            row.std_cost,
+            row.mean_waiting_time,
+            row.std_waiting_time,
+            row.replications,
+        )
+        for row in result.rows
+    ]
+
+
+def bench_store(num_records: int) -> dict:
+    """Append throughput of the chunked JSONL store, including resume."""
+    payload = {
+        "value_index": 3,
+        "replication": 1,
+        "algorithm": "drp-cds",
+        "cost": 12.3456789,
+        "waiting_time": 9.87654321,
+        "elapsed_seconds": 0.00123,
+        "error": None,
+        "worker_pid": os.getpid(),
+        "started_unix": 1.0,
+        "finished_unix": 2.0,
+    }
+    with tempfile.TemporaryDirectory(prefix="repro-bench-store-") as tmp:
+        store = ShardStore.open(tmp, 0, config_sha256="bench")
+        start = time.perf_counter()
+        for index in range(num_records):
+            store.append_cell(f"[cell={index}]", payload)
+        append_seconds = time.perf_counter() - start
+        store.close()
+
+        start = time.perf_counter()
+        reopened = ShardStore.open(tmp, 0, config_sha256="bench")
+        reopen_seconds = time.perf_counter() - start
+        recovered = len(reopened.cells)
+        reopened.close()
+    assert recovered == num_records, "store lost records — bug"
+    return {
+        "records": num_records,
+        "append_seconds": append_seconds,
+        "appends_per_second": num_records / append_seconds,
+        "reopen_seconds": reopen_seconds,
+        "replay_per_second": num_records / reopen_seconds,
+    }
+
+
+def _run_shard_processes(
+    manifest_path: Path, num_shards: int, results_dir: Path
+) -> float:
+    """Launch every shard as its own OS process; return the wall clock."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    start = time.perf_counter()
+    procs = [
+        subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "shard",
+                "run",
+                str(manifest_path),
+                "--shard",
+                str(shard),
+                "--results-dir",
+                str(results_dir),
+                "--quiet",
+            ],
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        for shard in range(num_shards)
+    ]
+    for proc in procs:
+        proc.wait()
+    elapsed = time.perf_counter() - start
+    assert all(proc.returncode == 0 for proc in procs), (
+        "a shard subprocess failed — bug"
+    )
+    return elapsed
+
+
+def bench_scaling(replications: int, shard_counts) -> dict:
+    """Cells/sec for each shard layout, all merged against serial rows."""
+    config = _bench_config(replications)
+    cells = (
+        len(config.sweep_values)
+        * config.replications
+        * len(config.algorithms)
+    )
+    start = time.perf_counter()
+    serial = run_experiment(config)
+    serial_seconds = time.perf_counter() - start
+    reference = _comparable(serial)
+
+    layouts = []
+    with tempfile.TemporaryDirectory(prefix="repro-bench-shards-") as tmp:
+        tmp_path = Path(tmp)
+        for num_shards in shard_counts:
+            manifest = compile_manifest(config, num_shards=num_shards)
+            manifest_path = tmp_path / f"manifest-{num_shards}.json"
+            save_manifest(manifest, manifest_path)
+            results_dir = tmp_path / f"results-{num_shards}"
+            elapsed = _run_shard_processes(
+                manifest_path, num_shards, results_dir
+            )
+            merged = merge_shards(manifest, results_dir=results_dir)
+            identical = _comparable(merged) == reference
+            assert identical, f"M={num_shards} rows diverged — bug"
+            layouts.append(
+                {
+                    "shards": num_shards,
+                    "wall_seconds": elapsed,
+                    "cells_per_second": cells / elapsed,
+                    "rows_identical": identical,
+                }
+            )
+    return {
+        "sweep_values": list(BENCH_SWEEP_VALUES),
+        "algorithms": list(BENCH_ALGORITHMS),
+        "replications": replications,
+        "cells": cells,
+        "serial_seconds": serial_seconds,
+        "serial_cells_per_second": cells / serial_seconds,
+        "layouts": layouts,
+        # One usable CPU bounds every layout at ~serial throughput; the
+        # flag keeps bench-check from gating on machine shape.
+        "limited_by_cpu_count": auto_workers() < 2,
+    }
+
+
+def bench_resume(replications: int) -> dict:
+    """Resuming a 90%-complete shard vs recomputing it cold.
+
+    Cells here are heavier (N=400) than the scaling sweep's: resume
+    cost is the fixed store open/scan plus the missing 10% of cells,
+    so the overhead fraction is only meaningful once per-cell work
+    dominates the fixed cost — as it does in any sweep worth sharding.
+    """
+    config = dataclasses.replace(_bench_config(replications), num_items=400)
+    manifest = compile_manifest(config, num_shards=1)
+    total = manifest.num_cells
+    # At-least-90%-complete: ceiling, so coarse grids (24 cells) don't
+    # silently test an 87.5%-complete shard instead.
+    warm_cells = min(total - 1, max(1, -((total * 9) // -10)))
+    with tempfile.TemporaryDirectory(prefix="repro-bench-resume-") as tmp:
+        tmp_path = Path(tmp)
+        start = time.perf_counter()
+        run_shard(manifest, 0, results_dir=tmp_path / "cold")
+        cold_seconds = time.perf_counter() - start
+
+        partial = run_shard(
+            manifest, 0, results_dir=tmp_path / "resume", max_cells=warm_cells
+        )
+        start = time.perf_counter()
+        resumed = run_shard(manifest, 0, results_dir=tmp_path / "resume")
+        resume_seconds = time.perf_counter() - start
+    assert partial.computed == warm_cells
+    assert resumed.already_complete == warm_cells
+    assert resumed.remaining == 0
+    return {
+        "cells": total,
+        "cells_precomputed": warm_cells,
+        "cold_seconds": cold_seconds,
+        "resume_seconds": resume_seconds,
+        "resume_overhead_fraction": resume_seconds / cold_seconds,
+    }
+
+
+def run_benchmarks(
+    replications: int = DEFAULT_REPLICATIONS,
+    shard_counts=DEFAULT_SHARD_COUNTS,
+    store_records: int = DEFAULT_STORE_RECORDS,
+) -> dict:
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "generated_by": "benchmarks/bench_shards.py",
+        "config": {
+            "replications": replications,
+            "shard_counts": list(shard_counts),
+            "store_records": store_records,
+            "cpu_count": os.cpu_count(),
+            "usable_cpus": auto_workers(),
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "store": bench_store(store_records),
+        "scaling": bench_scaling(replications, shard_counts),
+        "resume": bench_resume(replications),
+    }
+
+
+def _format_report(document: dict) -> str:
+    store = document["store"]
+    scaling = document["scaling"]
+    resume = document["resume"]
+    lines = [
+        f"store append        ({store['records']} records)",
+        f"  append    {store['appends_per_second']:>10.0f} rec/s",
+        f"  replay    {store['replay_per_second']:>10.0f} rec/s",
+        f"shard scaling       ({scaling['cells']} cells, "
+        f"{document['config']['usable_cpus']} usable CPU(s))"
+        + (
+            "   [limited by cpu count — environment note, not a "
+            "regression]"
+            if scaling.get("limited_by_cpu_count")
+            else ""
+        ),
+        f"  serial    {scaling['serial_cells_per_second']:>10.1f} cells/s",
+    ]
+    for layout in scaling["layouts"]:
+        lines.append(
+            f"  M={layout['shards']}       "
+            f"{layout['cells_per_second']:>10.1f} cells/s   "
+            f"(rows identical: {layout['rows_identical']})"
+        )
+    lines.append(
+        f"resume              ({resume['cells_precomputed']}/"
+        f"{resume['cells']} cells precomputed)"
+    )
+    lines.append(
+        f"  cold      {resume['cold_seconds']:>10.3f} s"
+    )
+    lines.append(
+        f"  resume    {resume['resume_seconds']:>10.3f} s   "
+        f"({resume['resume_overhead_fraction'] * 100:.1f}% of cold)"
+    )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--replications", type=int, default=DEFAULT_REPLICATIONS,
+        help="replications per sweep value (default: 2)",
+    )
+    parser.add_argument(
+        "--shard-counts", type=int, nargs="+",
+        default=list(DEFAULT_SHARD_COUNTS),
+        help="shard layouts to time (default: 1 2 4)",
+    )
+    parser.add_argument(
+        "--store-records", type=int, default=DEFAULT_STORE_RECORDS,
+        help="records for the store throughput section (default: 5000)",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=REPO_ROOT / "BENCH_shards.json",
+        help="where to write the JSON document (default: repo root)",
+    )
+    options = parser.parse_args(argv)
+
+    document = run_benchmarks(
+        replications=options.replications,
+        shard_counts=options.shard_counts,
+        store_records=options.store_records,
+    )
+    options.output.write_text(json.dumps(document, indent=2) + "\n")
+    print(_format_report(document))
+    print(f"\nwrote {options.output}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark smoke wrapper (keeps `make bench` coverage)
+# ----------------------------------------------------------------------
+def test_shard_fabric_smoke(benchmark):
+    from benchmarks.conftest import save_report
+
+    document = benchmark.pedantic(
+        lambda: run_benchmarks(
+            replications=1, shard_counts=(1, 2), store_records=500
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert all(
+        layout["rows_identical"]
+        for layout in document["scaling"]["layouts"]
+    )
+    assert document["resume"]["resume_overhead_fraction"] < 0.5
+    save_report("shards", _format_report(document))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -15,6 +15,11 @@ Subcommands
 ``simulate``
     Validate an allocation against the analytical model with the
     discrete-event simulator.
+``shard``
+    Sharded, resumable sweep execution: ``compile`` a shard manifest,
+    ``run`` each shard as an independent (killable, resumable) OS
+    process against a shared results directory, ``status`` the stores,
+    ``merge`` them into rows identical to a serial run.
 ``trace-convert``
     Convert a ``--trace`` JSONL file to Chrome ``trace_event`` JSON.
 ``bench-check``
@@ -448,6 +453,108 @@ def build_parser() -> argparse.ArgumentParser:
     )
     verify.add_argument("--quiet", action="store_true")
 
+    shard = subparsers.add_parser(
+        "shard",
+        help="sharded, resumable sweep execution: compile a manifest, "
+        "run shards as independent processes, merge their stores",
+    )
+    shard_sub = shard.add_subparsers(dest="shard_command", required=True)
+
+    shard_compile = shard_sub.add_parser(
+        "compile",
+        help="partition a figure sweep into shards and write manifest.json",
+    )
+    shard_compile.add_argument(
+        "--figure",
+        dest="figure_id",
+        type=_normalize_figure_id,
+        required=True,
+        metavar="N",
+        help="paper figure to shard (2, fig2 and figure2 all work)",
+    )
+    shard_compile.add_argument(
+        "--shards", type=int, default=2, help="number of shards (default: 2)"
+    )
+    shard_compile.add_argument(
+        "--replications", type=int, default=None, help="override replications"
+    )
+    shard_compile.add_argument(
+        "--warm-start",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="record the warm-start seed DAG in the manifest; shards "
+        "consume each other's replication-0 seeds across boundaries",
+    )
+    shard_compile.add_argument(
+        "--output",
+        default="manifest.json",
+        metavar="PATH",
+        help="manifest destination (default: manifest.json)",
+    )
+
+    shard_run = shard_sub.add_parser(
+        "run", help="execute one shard of a compiled manifest, resumably"
+    )
+    shard_run.add_argument("manifest", help="manifest.json from `shard compile`")
+    shard_run.add_argument(
+        "--shard", type=int, required=True, metavar="I", help="shard index"
+    )
+    shard_run.add_argument(
+        "--results-dir",
+        default="results",
+        metavar="DIR",
+        help="shared store directory (default: results/)",
+    )
+    shard_run.add_argument(
+        "--workers",
+        default=None,
+        help="worker processes within this shard (see `figure --workers`)",
+    )
+    shard_run.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        help="with --workers >= 2: per-cell timeout in seconds",
+    )
+    shard_run.add_argument(
+        "--max-cells",
+        type=int,
+        default=None,
+        help="stop after computing this many cells (partial run; resume "
+        "later with the same command)",
+    )
+    shard_run.add_argument(
+        "--quiet", action="store_true", help="suppress per-cell progress"
+    )
+
+    shard_merge = shard_sub.add_parser(
+        "merge", help="assemble all shard stores into one result"
+    )
+    shard_merge.add_argument("manifest")
+    shard_merge.add_argument("--results-dir", default="results", metavar="DIR")
+    shard_merge.add_argument("--csv", default=None, help="write rows to CSV")
+    shard_merge.add_argument(
+        "--json", default=None, help="write result to JSON"
+    )
+    shard_merge.add_argument(
+        "--diff-serial",
+        action="store_true",
+        help="also run the sweep serially in-process and fail unless the "
+        "merged rows are identical (elapsed-time aggregates excepted)",
+    )
+    shard_merge.add_argument("--quiet", action="store_true")
+
+    shard_status_p = shard_sub.add_parser(
+        "status", help="per-shard completion summary (read-only)"
+    )
+    shard_status_p.add_argument("manifest")
+    shard_status_p.add_argument(
+        "--results-dir", default="results", metavar="DIR"
+    )
+
+    for shard_parser in (shard_compile, shard_run, shard_merge):
+        _add_obs_arguments(shard_parser)
+
     bench_check = subparsers.add_parser(
         "bench-check",
         help="append BENCH_*.json runs to the benchmark history and fail "
@@ -493,9 +600,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     # Every run-producing subcommand takes the same observability flags;
     # trace-convert and bench-check only transform existing files, so
-    # they stay bare.
+    # they stay bare.  `shard` is a command group — its run-producing
+    # sub-subcommands got the flags individually above.
     for name, subparser in subparsers.choices.items():
-        if name not in ("trace-convert", "bench-check"):
+        if name not in ("trace-convert", "bench-check", "shard"):
             _add_obs_arguments(subparser)
 
     return parser
@@ -1170,6 +1278,111 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 0
 
 
+def _rows_without_elapsed(result) -> list:
+    """Row tuples minus the wall-clock aggregates (machine-dependent)."""
+    return [
+        (
+            row.sweep_value,
+            row.algorithm,
+            row.mean_cost,
+            row.std_cost,
+            row.mean_waiting_time,
+            row.std_waiting_time,
+            row.replications,
+        )
+        for row in result.rows
+    ]
+
+
+def _cmd_shard(args: argparse.Namespace) -> int:
+    from repro.experiments import shards as shard_fabric
+    from repro.experiments.runner import run_experiment
+
+    if args.shard_command == "compile":
+        config = figure_config(args.figure_id)
+        if args.replications is not None:
+            config = config.scaled_down(replications=args.replications)
+        manifest = shard_fabric.compile_manifest(
+            config, num_shards=args.shards, warm_start=args.warm_start
+        )
+        shard_fabric.save_manifest(manifest, args.output)
+        print(
+            f"wrote {args.output}: {manifest.num_cells} cell(s) of "
+            f"{config.name} in {manifest.num_shards} shard(s)"
+            + (
+                f", {len(manifest.seed_edges)} seed edge(s)"
+                if manifest.warm_start
+                else ""
+            )
+        )
+        return 0
+
+    manifest = shard_fabric.load_manifest(args.manifest)
+
+    if args.shard_command == "run":
+        report = shard_fabric.run_shard(
+            manifest,
+            args.shard,
+            results_dir=args.results_dir,
+            workers=args.workers,
+            cell_timeout=args.cell_timeout,
+            max_cells=args.max_cells,
+            progress=None if args.quiet else obs.log.progress,
+        )
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        return 0
+
+    if args.shard_command == "status":
+        complete = True
+        for entry in shard_fabric.shard_status(
+            manifest, results_dir=args.results_dir
+        ):
+            complete = complete and entry["missing"] == 0
+            flags = []
+            if entry["errors"]:
+                flags.append(f"{entry['errors']} error cell(s)")
+            if entry["torn_trailing_record"]:
+                flags.append("torn trailing record")
+            print(
+                f"shard {entry['shard']}: {entry['done']}/{entry['cells']} "
+                f"cell(s), {entry['seeds']} seed(s)"
+                + (f"  [{', '.join(flags)}]" if flags else "")
+            )
+        print("sweep complete" if complete else "sweep incomplete")
+        return 0 if complete else 1
+
+    # merge
+    progress = None if args.quiet else obs.log.progress
+    result = shard_fabric.merge_shards(
+        manifest, results_dir=args.results_dir, progress=progress
+    )
+    print()
+    print(result.to_text("mean_waiting_time"))
+    if args.csv:
+        result.to_csv(args.csv)
+        print(f"\nwrote {args.csv}")
+    if args.json:
+        result.to_json(args.json)
+        print(f"wrote {args.json}")
+    if args.diff_serial:
+        serial = run_experiment(
+            manifest.config, warm_start=manifest.warm_start
+        )
+        if _rows_without_elapsed(result) == _rows_without_elapsed(serial):
+            print(
+                "diff-serial: merged rows identical to the serial run "
+                "(elapsed aggregates excepted)"
+            )
+        else:
+            print(
+                "diff-serial: MISMATCH — merged rows differ from the "
+                "serial run",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
 def _cmd_bench_check(args: argparse.Namespace) -> int:
     import glob
 
@@ -1234,6 +1447,7 @@ _DISPATCH = {
     "index": _cmd_index,
     "trace-convert": _cmd_trace_convert,
     "verify": _cmd_verify,
+    "shard": _cmd_shard,
     "bench-check": _cmd_bench_check,
 }
 

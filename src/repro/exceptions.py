@@ -56,6 +56,17 @@ class SimulationError(ReproError):
     """The discrete-event simulation was configured or driven incorrectly."""
 
 
+class ShardError(ReproError):
+    """The shard fabric was driven incorrectly or hit corrupt state.
+
+    Raised for malformed/incompatible shard manifests (schema or config
+    digest mismatches, out-of-range shard indices) and for mid-file
+    store corruption that cannot be explained as a torn trailing write.
+    A *torn trailing record* — the expected artifact of a killed shard —
+    is not an error: the store drops it and the cell reruns on resume.
+    """
+
+
 class VerificationError(ReproError):
     """The verification layer itself was driven incorrectly.
 

@@ -70,6 +70,7 @@ __all__ = [
     "CellOutcome",
     "WorkloadMemo",
     "WORKERS_ENV_VAR",
+    "auto_workers",
     "resolve_workers",
     "build_cell_grid",
     "run_cell",
@@ -169,6 +170,23 @@ class WorkloadMemo:
         return len(self._cache)
 
 
+def auto_workers() -> int:
+    """The worker count ``"auto"`` resolves to: one per *usable* CPU.
+
+    Clamped to ``os.cpu_count()`` and, where the platform reports it,
+    the process's CPU affinity mask — inside a container pinned to one
+    core, ``os.cpu_count()`` reports the host's cores, and fanning a
+    sweep out that wide just pays pickling overhead for a 0.9×
+    "speedup".  Never below 1.
+    """
+    count = os.cpu_count() or 1
+    try:
+        affinity = len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # platform without affinity masks
+        affinity = count
+    return max(1, min(count, affinity))
+
+
 def resolve_workers(
     workers: Union[int, str, None] = None,
 ) -> Optional[int]:
@@ -177,7 +195,9 @@ def resolve_workers(
     ``None`` defers to the ``REPRO_WORKERS`` environment variable; when
     that is unset too, the answer is ``None`` — the caller should take
     the plain serial path.  ``"auto"`` (or any count < 1) means "one
-    worker per CPU".
+    worker per usable CPU" — see :func:`auto_workers` for the clamp.
+    An explicit integer is honoured as given (oversubscription stays
+    possible when deliberately requested).
     """
     if workers is None:
         raw = os.environ.get(WORKERS_ENV_VAR, "").strip()
@@ -186,7 +206,7 @@ def resolve_workers(
         workers = raw
     if isinstance(workers, str):
         if workers.lower() == "auto":
-            return os.cpu_count() or 1
+            return auto_workers()
         try:
             workers = int(workers)
         except ValueError:
@@ -194,7 +214,7 @@ def resolve_workers(
                 f"worker count must be an integer or 'auto', got {workers!r}"
             ) from None
     if workers < 1:
-        return os.cpu_count() or 1
+        return auto_workers()
     return int(workers)
 
 

@@ -6,11 +6,64 @@ import csv
 import json
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
-from typing import List, Optional, Tuple, Union
+from typing import Iterable, List, Optional, Tuple, Union
 
 from repro.analysis.tables import format_table
 
-__all__ = ["MeasurementRow", "CellError", "ExperimentResult"]
+__all__ = [
+    "CELL_IDENTITY_FIELDS",
+    "identity_key",
+    "cell_key",
+    "MeasurementRow",
+    "CellError",
+    "ExperimentResult",
+]
+
+#: The fields that identify one sweep cell, in canonical key order.
+CELL_IDENTITY_FIELDS: Tuple[str, ...] = (
+    "algorithm",
+    "value",
+    "replication",
+    "seed",
+)
+
+
+def identity_key(pairs: Iterable[Tuple[str, object]]) -> str:
+    """Render ``(field, value)`` pairs as a stable ``[f=v,...]`` key.
+
+    The one identity-rendering used across the repo: the shard store's
+    done-set and record keys (:func:`cell_key`) and the bench-history
+    row keys (:mod:`repro.obs.bench`) all produce their identities
+    through this function, so the two subsystems can never drift into
+    incompatible keying schemes.  ``None`` values are omitted; an empty
+    pair list renders as the empty string.
+    """
+    parts = [
+        f"{field}={value}" for field, value in pairs if value is not None
+    ]
+    return "[" + ",".join(parts) + "]" if parts else ""
+
+
+def cell_key(
+    *, algorithm: str, value: float, replication: int, seed: int
+) -> str:
+    """The stable identity key of one (algorithm, sweep value,
+    replication) cell, seed included.
+
+    Used as the record key and done-set entry of the shard store
+    (:mod:`repro.experiments.store`): two runs of the same
+    :class:`~repro.experiments.config.ExperimentConfig` produce the
+    same keys regardless of shard layout, worker count or resume
+    history, which is what makes shard resume idempotent.  The sweep
+    value is rendered via ``repr(float(...))`` so the key round-trips
+    the exact float.
+    """
+    return identity_key(
+        zip(
+            CELL_IDENTITY_FIELDS,
+            (algorithm, repr(float(value)), int(replication), int(seed)),
+        )
+    )
 
 
 @dataclass(frozen=True)

@@ -43,7 +43,7 @@ from repro.experiments.parallel import (
 from repro.experiments.records import CellError, ExperimentResult, MeasurementRow
 from repro.workloads.generator import WorkloadSpec, generate_database
 
-__all__ = ["run_experiment"]
+__all__ = ["run_experiment", "merge_outcomes"]
 
 ProgressCallback = Callable[[str], None]
 
@@ -100,17 +100,18 @@ def _serial_outcomes(config: ExperimentConfig) -> List[CellOutcome]:
     return outcomes
 
 
-def _merge_outcomes(
+def merge_outcomes(
     config: ExperimentConfig,
     outcomes: List[CellOutcome],
-    progress: Optional[ProgressCallback],
+    progress: Optional[ProgressCallback] = None,
 ) -> ExperimentResult:
     """Aggregate per-cell outcomes into rows, in canonical grid order.
 
-    Shared by the serial and parallel engines — aggregation order (and
-    therefore floating-point rounding) depends only on the grid, never
-    on completion order, which is what makes ``workers=N`` reproduce
-    the serial rows exactly.
+    Shared by the serial and parallel engines *and* the shard merge
+    (:func:`repro.experiments.shards.merge_shards`) — aggregation order
+    (and therefore floating-point rounding) depends only on the grid,
+    never on completion order, which is what makes ``workers=N`` and
+    any shard layout reproduce the serial rows exactly.
     """
     result = ExperimentResult(
         name=config.name,
@@ -238,7 +239,7 @@ def run_experiment(
                 cell_timeout=cell_timeout,
                 warm_start=warm_start,
             )
-        result = _merge_outcomes(config, outcomes, progress)
+        result = merge_outcomes(config, outcomes, progress)
         span.update(rows=len(result.rows), errors=len(result.errors))
         registry = obs.get_metrics()
         if registry.enabled:

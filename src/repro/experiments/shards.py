@@ -1,0 +1,1000 @@
+"""Sharded, resumable experiment fabric.
+
+A sweep's cell grid is embarrassingly parallel, and
+:mod:`repro.experiments.parallel` already fans it out over a process
+pool — but one pool lives inside one OS process, so one machine crash
+loses the whole sweep and one machine bounds the whole sweep.  This
+module splits a sweep into **shards** that run as fully independent OS
+processes (different terminals, different machines sharing a results
+directory, a job array) and merge back into rows *identical* to a
+serial run:
+
+* :func:`compile_manifest` deterministically partitions the canonical
+  cell grid of an :class:`~repro.experiments.config.ExperimentConfig`
+  into ``num_shards`` contiguous slices and records the plan — config,
+  config digest, shard → cell assignments, and the warm-start seed DAG
+  edges — in a versioned ``manifest.json``.
+* :func:`run_shard` executes one shard, streaming every completed cell
+  into that shard's append-only store
+  (:class:`~repro.experiments.store.ShardStore`) the moment it
+  finishes.  Re-running a shard is **idempotent**: completed cells are
+  skipped, a torn trailing record from a SIGKILL is dropped, and only
+  the missing cells recompute.
+* :func:`merge_shards` assembles the stores into one
+  :class:`~repro.experiments.records.ExperimentResult` whose rows are
+  identical to a serial :func:`~repro.experiments.runner.run_experiment`
+  for **any** (shard layout × worker count × resume history) — the
+  wall-clock ``elapsed`` aggregates excepted, matching the existing
+  serial/parallel convention.
+
+Warm starts across shard boundaries
+-----------------------------------
+The two-subwave seed DAG of
+:func:`~repro.experiments.parallel._execute_cells_warm` gives every
+cell a seed that depends only on the grid, never on scheduling.  The
+fabric extends that across shard boundaries: a replication-0 cell
+persists its compact assignment vector as a ``seed`` record, and a
+shard that needs a seed produced elsewhere either **consumes** it from
+the producing shard's store (a read-only scan — safe while the producer
+is live) or **recomputes it cold**, replaying the producer's seed chain
+deterministically in-process.  Both paths hand the consumer the exact
+allocation the single-process scheduler would have, so merged rows do
+not depend on which path ran.
+
+Determinism requires one discipline: every shard must be compiled into
+the same manifest (the config digest is checked at every step), and
+resolution of seeds mirrors ``_execute_cells_warm.seed_for`` exactly —
+replication > 0 consumes its own value's replication-0 result; a
+replication-0 cell consumes the nearest smaller sweep value whose
+problem shape matches.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import time
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro import obs
+from repro.core.incremental import CompactAllocation
+from repro.exceptions import ShardError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.parallel import (
+    CellOutcome,
+    CellSpec,
+    WorkloadMemo,
+    _collect_outcome,
+    _initialize_worker,
+    _run_cell_in_worker,
+    build_cell_grid,
+    resolve_workers,
+    run_cell,
+)
+from repro.experiments.records import ExperimentResult, cell_key, identity_key
+from repro.experiments.store import ShardStore, store_chunk_path
+from repro.obs.manifest import config_digest
+
+__all__ = [
+    "MANIFEST_SCHEMA",
+    "KILL_AFTER_ENV_VAR",
+    "ShardManifest",
+    "ShardRunReport",
+    "compile_manifest",
+    "save_manifest",
+    "load_manifest",
+    "shard_cells",
+    "spec_key",
+    "run_shard",
+    "merge_shards",
+    "shard_status",
+]
+
+#: Schema tag of the manifest file; bumped on incompatible change.
+MANIFEST_SCHEMA = "repro.shards.manifest/v1"
+
+#: When set to an integer N, :func:`run_shard` SIGKILLs its own process
+#: after streaming N cells — leaving a deliberately torn trailing record
+#: so CI and tests can exercise the crash/resume path for real.
+KILL_AFTER_ENV_VAR = "REPRO_SHARD_KILL_AFTER"
+
+ProgressCallback = Callable[[str], None]
+
+
+# ----------------------------------------------------------------------
+# Manifest
+# ----------------------------------------------------------------------
+def _config_to_jsonable(config: ExperimentConfig) -> Dict[str, Any]:
+    return {
+        "name": config.name,
+        "description": config.description,
+        "sweep_parameter": config.sweep_parameter,
+        "sweep_values": list(config.sweep_values),
+        "algorithms": list(config.algorithms),
+        "num_items": config.num_items,
+        "num_channels": config.num_channels,
+        "diversity": config.diversity,
+        "skewness": config.skewness,
+        "bandwidth": config.bandwidth,
+        "replications": config.replications,
+        "base_seed": config.base_seed,
+    }
+
+
+def _config_from_jsonable(payload: Dict[str, Any]) -> ExperimentConfig:
+    try:
+        return ExperimentConfig(
+            name=payload["name"],
+            description=payload["description"],
+            sweep_parameter=payload["sweep_parameter"],
+            sweep_values=tuple(payload["sweep_values"]),
+            algorithms=tuple(payload["algorithms"]),
+            num_items=int(payload["num_items"]),
+            num_channels=int(payload["num_channels"]),
+            diversity=float(payload["diversity"]),
+            skewness=float(payload["skewness"]),
+            bandwidth=float(payload["bandwidth"]),
+            replications=int(payload["replications"]),
+            base_seed=int(payload["base_seed"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ShardError(f"manifest config is malformed: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class ShardManifest:
+    """The compiled execution plan of one sharded sweep.
+
+    ``assignments[s]`` lists the canonical grid indices shard ``s``
+    owns; ``seed_edges`` lists the warm-start DAG as
+    ``(consumer_grid_index, producer_grid_index)`` pairs (empty for
+    cold sweeps) — the static, error-free projection of the runtime
+    resolution, recorded so layouts can be audited without re-deriving
+    the DAG.
+    """
+
+    config: ExperimentConfig
+    config_sha256: str
+    num_shards: int
+    warm_start: bool
+    assignments: Tuple[Tuple[int, ...], ...]
+    seed_edges: Tuple[Tuple[int, int], ...] = ()
+
+    @property
+    def num_cells(self) -> int:
+        return sum(len(indices) for indices in self.assignments)
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        return {
+            "schema": MANIFEST_SCHEMA,
+            "config": _config_to_jsonable(self.config),
+            "config_sha256": self.config_sha256,
+            "num_shards": self.num_shards,
+            "num_cells": self.num_cells,
+            "warm_start": self.warm_start,
+            "assignments": [list(indices) for indices in self.assignments],
+            "seed_edges": [list(edge) for edge in self.seed_edges],
+        }
+
+
+def _shape_compatible(
+    config: ExperimentConfig, producer_index: int, consumer_index: int
+) -> bool:
+    """Whether the producer value's allocation can seed the consumer.
+
+    Mirrors ``_execute_cells_warm.shape_ok``: a replication-0 result of
+    sweep value ``p`` has exactly ``point(p)``'s (K, N) shape, so shape
+    compatibility is a pure function of the two sweep points.
+    """
+    producer = config.point_parameters(config.sweep_values[producer_index])
+    consumer = config.point_parameters(config.sweep_values[consumer_index])
+    return (
+        producer.num_channels == consumer.num_channels
+        and producer.num_items == consumer.num_items
+    )
+
+
+def _static_seed_edges(
+    config: ExperimentConfig, grid: Sequence[CellSpec]
+) -> Tuple[Tuple[int, int], ...]:
+    """The seed DAG assuming every replication-0 cell succeeds.
+
+    Runtime resolution (:func:`run_shard`) re-derives edges on the fly
+    so it can skip over producers that errored; these static edges are
+    the intended plan, written into the manifest for audit and for the
+    shard-layouts oracle.
+    """
+    index_of = {
+        (spec.value_index, spec.replication, spec.algorithm): index
+        for index, spec in enumerate(grid)
+    }
+    edges: List[Tuple[int, int]] = []
+    for index, spec in enumerate(grid):
+        if spec.replication > 0:
+            producer = index_of.get((spec.value_index, 0, spec.algorithm))
+            if producer is not None:
+                edges.append((index, producer))
+            continue
+        for value_index in range(spec.value_index - 1, -1, -1):
+            if not _shape_compatible(config, value_index, spec.value_index):
+                continue
+            producer = index_of.get((value_index, 0, spec.algorithm))
+            if producer is not None:
+                edges.append((index, producer))
+                break
+    return tuple(edges)
+
+
+def compile_manifest(
+    config: ExperimentConfig,
+    *,
+    num_shards: int,
+    warm_start: bool = False,
+) -> ShardManifest:
+    """Partition ``config``'s cell grid into ``num_shards`` shards.
+
+    The partition is deterministic — contiguous slices of the canonical
+    (value, replication, algorithm) grid order, shard ``s`` owning
+    ``[s·N/M, (s+1)·N/M)`` — so compiling the same config twice yields
+    byte-identical manifests, and contiguous slices keep each shard's
+    workload-memo locality (the cells of one (value, replication) pair
+    stay together).
+    """
+    grid = build_cell_grid(config)
+    if num_shards < 1:
+        raise ShardError(f"num_shards must be >= 1, got {num_shards}")
+    if num_shards > len(grid):
+        raise ShardError(
+            f"num_shards={num_shards} exceeds the grid's {len(grid)} cells"
+        )
+    with obs.span(
+        "shard.compile", cells=len(grid), shards=num_shards, warm=warm_start
+    ):
+        total = len(grid)
+        assignments = tuple(
+            tuple(
+                range(
+                    shard * total // num_shards,
+                    (shard + 1) * total // num_shards,
+                )
+            )
+            for shard in range(num_shards)
+        )
+        edges = _static_seed_edges(config, grid) if warm_start else ()
+    return ShardManifest(
+        config=config,
+        config_sha256=config_digest(config),
+        num_shards=num_shards,
+        warm_start=warm_start,
+        assignments=assignments,
+        seed_edges=edges,
+    )
+
+
+def save_manifest(
+    manifest: ShardManifest, path: Union[str, Path]
+) -> None:
+    """Write the manifest as indented, key-sorted JSON."""
+    Path(path).write_text(
+        json.dumps(manifest.to_jsonable(), indent=2, sort_keys=True) + "\n"
+    )
+
+
+def load_manifest(path: Union[str, Path]) -> ShardManifest:
+    """Load and validate a manifest written by :func:`save_manifest`.
+
+    Validation is strict — schema tag, config digest (recomputed from
+    the embedded config and compared to the stored one, so a
+    hand-edited config cannot silently drift from the digest the stores
+    were stamped with), and the assignment partition (every grid index
+    exactly once).
+    """
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ShardError(f"cannot read manifest {path}: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("schema") != MANIFEST_SCHEMA:
+        raise ShardError(
+            f"{path}: expected manifest schema {MANIFEST_SCHEMA!r}, "
+            f"got {payload.get('schema')!r}"
+        )
+    config = _config_from_jsonable(payload.get("config", {}))
+    digest = config_digest(config)
+    if digest != payload.get("config_sha256"):
+        raise ShardError(
+            f"{path}: config digest mismatch — manifest says "
+            f"{payload.get('config_sha256')!r}, embedded config hashes to "
+            f"{digest!r}"
+        )
+    assignments = tuple(
+        tuple(int(index) for index in indices)
+        for indices in payload.get("assignments", [])
+    )
+    grid_size = len(build_cell_grid(config))
+    covered = sorted(index for indices in assignments for index in indices)
+    if covered != list(range(grid_size)):
+        raise ShardError(
+            f"{path}: assignments do not partition the {grid_size}-cell "
+            f"grid exactly"
+        )
+    num_shards = int(payload.get("num_shards", len(assignments)))
+    if num_shards != len(assignments):
+        raise ShardError(
+            f"{path}: num_shards={num_shards} but "
+            f"{len(assignments)} assignment lists"
+        )
+    return ShardManifest(
+        config=config,
+        config_sha256=digest,
+        num_shards=num_shards,
+        warm_start=bool(payload.get("warm_start", False)),
+        assignments=assignments,
+        seed_edges=tuple(
+            (int(edge[0]), int(edge[1]))
+            for edge in payload.get("seed_edges", [])
+        ),
+    )
+
+
+def shard_cells(
+    manifest: ShardManifest, shard_index: int
+) -> List[CellSpec]:
+    """The cell descriptors shard ``shard_index`` owns, in grid order."""
+    if not 0 <= shard_index < manifest.num_shards:
+        raise ShardError(
+            f"shard index {shard_index} out of range for "
+            f"{manifest.num_shards} shard(s)"
+        )
+    grid = build_cell_grid(manifest.config)
+    return [grid[index] for index in manifest.assignments[shard_index]]
+
+
+# ----------------------------------------------------------------------
+# Cell / seed record (de)serialization
+# ----------------------------------------------------------------------
+def spec_key(config: ExperimentConfig, spec: CellSpec) -> str:
+    """The stable identity key of one cell — the store's done-set key.
+
+    Shared with the bench-history identity scheme via
+    :func:`repro.experiments.records.cell_key`; includes the derived
+    workload seed so a key ties the cell to the exact database it ran
+    against.
+    """
+    return cell_key(
+        algorithm=spec.algorithm,
+        value=float(config.sweep_values[spec.value_index]),
+        replication=spec.replication,
+        seed=config.seed_for(spec.value_index, spec.replication),
+    )
+
+
+def _seed_key(value_index: int, algorithm: str) -> str:
+    return "seed" + identity_key(
+        (("value_index", value_index), ("algorithm", algorithm))
+    )
+
+
+def _outcome_to_payload(outcome: CellOutcome) -> Dict[str, Any]:
+    # Only the scientific result and light provenance are persisted;
+    # span/metric payloads were already adopted by the running process.
+    return {
+        "value_index": outcome.value_index,
+        "replication": outcome.replication,
+        "algorithm": outcome.algorithm,
+        "cost": outcome.cost,
+        "waiting_time": outcome.waiting_time,
+        "elapsed_seconds": outcome.elapsed_seconds,
+        "error": outcome.error,
+        "worker_pid": outcome.worker_pid,
+        "started_unix": outcome.started_unix,
+        "finished_unix": outcome.finished_unix,
+    }
+
+
+def _outcome_from_payload(payload: Dict[str, Any]) -> CellOutcome:
+    try:
+        return CellOutcome(
+            value_index=int(payload["value_index"]),
+            replication=int(payload["replication"]),
+            algorithm=payload["algorithm"],
+            cost=payload.get("cost"),
+            waiting_time=payload.get("waiting_time"),
+            elapsed_seconds=payload.get("elapsed_seconds"),
+            error=payload.get("error"),
+            worker_pid=payload.get("worker_pid"),
+            started_unix=payload.get("started_unix"),
+            finished_unix=payload.get("finished_unix"),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ShardError(f"malformed cell record payload: {exc}") from exc
+
+
+def _seed_to_payload(seed: CompactAllocation) -> Dict[str, Any]:
+    return {
+        "item_ids": list(seed.item_ids),
+        "assignment": list(seed.assignment),
+        "num_channels": seed.num_channels,
+        "cost": seed.cost,
+    }
+
+
+def _seed_from_payload(payload: Dict[str, Any]) -> CompactAllocation:
+    try:
+        return CompactAllocation(
+            item_ids=tuple(payload["item_ids"]),
+            assignment=tuple(int(c) for c in payload["assignment"]),
+            num_channels=int(payload["num_channels"]),
+            cost=float(payload["cost"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ShardError(f"malformed seed record payload: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# Running one shard
+# ----------------------------------------------------------------------
+@dataclass
+class ShardRunReport:
+    """What one :func:`run_shard` invocation did."""
+
+    shard_index: int
+    total_cells: int
+    already_complete: int
+    computed: int
+    cell_errors: int
+    remaining: int
+    seeds_imported: int = 0
+    seed_recomputes: int = 0
+    torn_records_dropped: int = 0
+    stale_done_dropped: int = 0
+    elapsed_seconds: float = 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dict(self.__dict__)
+
+
+class _SeedResolver:
+    """Runtime seed resolution mirroring ``_execute_cells_warm``.
+
+    Resolution order for the replication-0 result of (value, algorithm):
+
+    1. results harvested by this shard run,
+    2. ``seed`` records in this shard's own store (a previous run),
+    3. ``seed`` records in any other shard's store (read-only scan,
+       cached — consuming across the shard boundary),
+    4. deterministic cold recomputation, replaying the producer's own
+       seed chain in-process.  Never written back as a *cell* (the cell
+       belongs to its owning shard) but persisted as a ``seed`` record
+       so the next resume skips the replay.
+
+    All four paths yield the identical allocation — everything below a
+    seed is a deterministic function of the config — so merged rows
+    cannot depend on which path ran.
+    """
+
+    def __init__(
+        self,
+        config: ExperimentConfig,
+        manifest: ShardManifest,
+        store: ShardStore,
+        results_dir: Path,
+        memo: WorkloadMemo,
+    ) -> None:
+        self.config = config
+        self.manifest = manifest
+        self.store = store
+        self.results_dir = results_dir
+        self.memo = memo
+        self.imported = 0
+        self.recomputed = 0
+        self._cache: Dict[Tuple[int, str], Optional[CompactAllocation]] = {}
+        self._foreign_seeds: Optional[Dict[str, Dict[str, Any]]] = None
+
+    def harvest(self, spec: CellSpec, outcome: CellOutcome) -> CellOutcome:
+        """Bank a just-finished replication-0 result, persisting it."""
+        if outcome.seed_result is not None:
+            self._cache[(spec.value_index, spec.algorithm)] = (
+                outcome.seed_result
+            )
+            self.store.append_seed(
+                _seed_key(spec.value_index, spec.algorithm),
+                _seed_to_payload(outcome.seed_result),
+            )
+            outcome = replace(outcome, seed_result=None)
+        elif spec.replication == 0 and outcome.error is not None:
+            # An errored producer yields no seed; record that so the
+            # downward scan skips it exactly like the in-process DAG.
+            self._cache.setdefault((spec.value_index, spec.algorithm), None)
+        return outcome
+
+    def _foreign(self) -> Dict[str, Dict[str, Any]]:
+        if self._foreign_seeds is None:
+            merged: Dict[str, Dict[str, Any]] = {}
+            for shard in range(self.manifest.num_shards):
+                if shard == self.store.shard_index:
+                    continue
+                merged.update(ShardStore.scan(self.results_dir, shard).seeds)
+            self._foreign_seeds = merged
+        return self._foreign_seeds
+
+    def _shape_ok(self, seed: CompactAllocation, value_index: int) -> bool:
+        point = self.config.point_parameters(
+            self.config.sweep_values[value_index]
+        )
+        return (
+            seed.num_channels == point.num_channels
+            and len(seed.item_ids) == point.num_items
+        )
+
+    def resolve_rep0(
+        self, value_index: int, algorithm: str
+    ) -> Optional[CompactAllocation]:
+        """The replication-0 allocation of (value, algorithm), or None
+        when that cell deterministically errors."""
+        key = (value_index, algorithm)
+        if key in self._cache:
+            return self._cache[key]
+        seed_key = _seed_key(value_index, algorithm)
+        payload = self.store.seeds.get(seed_key)
+        if payload is None:
+            payload = self._foreign().get(seed_key)
+        if payload is not None:
+            seed = _seed_from_payload(payload)
+            self._cache[key] = seed
+            self.imported += 1
+            return seed
+        # Cold recomputation: replay the producer cell (and, through
+        # seed_for, its own chain) exactly as the single-process
+        # scheduler would have run it.
+        warm = self.seed_for(CellSpec(value_index, 0, algorithm))
+        outcome = run_cell(
+            self.config,
+            CellSpec(value_index, 0, algorithm),
+            self.memo,
+            warm_seed=warm,
+            collect_seed=True,
+        )
+        self.recomputed += 1
+        registry = obs.get_metrics()
+        if registry.enabled:
+            registry.counter("shard.seed_recomputes").inc()
+        seed = outcome.seed_result
+        self._cache[key] = seed
+        if seed is not None:
+            self.store.append_seed(seed_key, _seed_to_payload(seed))
+        return seed
+
+    def seed_for(self, spec: CellSpec) -> Optional[CompactAllocation]:
+        """The warm seed for ``spec`` — ``_execute_cells_warm.seed_for``
+        with cross-shard resolution behind each lookup."""
+        if spec.replication > 0:
+            seed = self.resolve_rep0(spec.value_index, spec.algorithm)
+            if seed is not None and self._shape_ok(seed, spec.value_index):
+                return seed
+        for value_index in range(spec.value_index - 1, -1, -1):
+            if not _shape_compatible(
+                self.config, value_index, spec.value_index
+            ):
+                continue
+            seed = self.resolve_rep0(value_index, spec.algorithm)
+            if seed is not None and self._shape_ok(seed, spec.value_index):
+                return seed
+        return None
+
+
+class _ShardRecorder:
+    """Streams finished cells into the store and drives the kill switch."""
+
+    def __init__(
+        self,
+        config: ExperimentConfig,
+        store: ShardStore,
+        total: int,
+        progress: Optional[ProgressCallback],
+    ) -> None:
+        self.config = config
+        self.store = store
+        self.total = total
+        self.progress = progress
+        self.computed = 0
+        self.cell_errors = 0
+        raw = os.environ.get(KILL_AFTER_ENV_VAR, "").strip()
+        self.kill_after = int(raw) if raw else None
+
+    def record(self, spec: CellSpec, outcome: CellOutcome) -> None:
+        self.store.append_cell(
+            spec_key(self.config, spec), _outcome_to_payload(outcome)
+        )
+        self.computed += 1
+        if outcome.error is not None:
+            self.cell_errors += 1
+        registry = obs.get_metrics()
+        if registry.enabled:
+            registry.counter("shard.cells").inc()
+            if outcome.error is not None:
+                registry.counter("shard.cell_errors").inc()
+            shard = str(self.store.shard_index)
+            registry.gauge("shard.heartbeat_unix", shard=shard).set(
+                time.time()
+            )
+            registry.gauge("shard.progress", shard=shard).set(
+                len(self.store.cells) / max(1, self.total)
+            )
+        if self.progress is not None:
+            value = self.config.sweep_values[spec.value_index]
+            status = (
+                f"error: {outcome.error}"
+                if outcome.error is not None
+                else f"wait={outcome.waiting_time:.4f}"
+            )
+            self.progress(
+                f"[shard {self.store.shard_index}] "
+                f"{self.config.sweep_parameter}={value:g} "
+                f"{spec.algorithm} rep {spec.replication}: {status} "
+                f"({len(self.store.cells)}/{self.total})"
+            )
+        if self.kill_after is not None and self.computed >= self.kill_after:
+            self._die()
+
+    def _die(self) -> None:  # pragma: no cover — the process dies here
+        # Leave a half-written record behind, exactly as a kill landing
+        # mid-append would, so resume exercises the torn-record path.
+        chunk = store_chunk_path(self.store.directory, self.store.shard_index)
+        with chunk.open("ab") as handle:
+            handle.write(b'{"crc": 0, "key": "[torn')
+            handle.flush()
+        os.kill(os.getpid(), signal.SIGKILL)
+
+
+def run_shard(
+    manifest: ShardManifest,
+    shard_index: int,
+    *,
+    results_dir: Union[str, Path],
+    workers: Union[int, str, None] = None,
+    cell_timeout: Optional[float] = None,
+    max_cells: Optional[int] = None,
+    progress: Optional[ProgressCallback] = None,
+) -> ShardRunReport:
+    """Execute one shard of the manifest, resumably.
+
+    Opens (or resumes) the shard's store under ``results_dir``, skips
+    every cell already recorded, and streams each newly finished cell
+    as an append-only record the moment it completes — so a SIGKILL at
+    any point costs at most the in-flight cell.  ``workers`` follows
+    :func:`~repro.experiments.parallel.resolve_workers` (``None`` =
+    in-process, ``"auto"`` = one per usable CPU); ``max_cells`` bounds
+    how many cells this invocation computes, which is how tests and the
+    shard-layouts oracle produce partial shards without killing a
+    process.
+    """
+    config = manifest.config
+    specs = shard_cells(manifest, shard_index)
+    resolved = resolve_workers(workers)
+    pool_workers = resolved if resolved is not None else 1
+    started = time.time()
+    store = ShardStore.open(
+        results_dir, shard_index, config_sha256=manifest.config_sha256
+    )
+    try:
+        registry = obs.get_metrics()
+        if registry.enabled:
+            if store.torn_dropped:
+                registry.counter("shard.torn_records_dropped").inc(
+                    store.torn_dropped
+                )
+            if store.stale_done_dropped:
+                registry.counter("shard.stale_done_dropped").inc(
+                    store.stale_done_dropped
+                )
+        pending = [
+            spec for spec in specs if not store.is_done(spec_key(config, spec))
+        ]
+        already_complete = len(specs) - len(pending)
+        if registry.enabled and already_complete:
+            registry.counter("shard.cells_skipped").inc(already_complete)
+        if max_cells is not None:
+            pending = pending[:max_cells]
+        with obs.span(
+            "shard.run",
+            shard=shard_index,
+            cells=len(specs),
+            pending=len(pending),
+            resumed=already_complete > 0,
+            workers=pool_workers,
+            warm_start=manifest.warm_start,
+        ):
+            recorder = _ShardRecorder(config, store, len(specs), progress)
+            if pending:
+                if manifest.warm_start:
+                    _run_shard_warm(
+                        manifest,
+                        store,
+                        Path(results_dir),
+                        pending,
+                        recorder,
+                        workers=pool_workers,
+                        cell_timeout=cell_timeout,
+                    )
+                else:
+                    _run_shard_cold(
+                        config,
+                        pending,
+                        recorder,
+                        workers=pool_workers,
+                        cell_timeout=cell_timeout,
+                    )
+        resolver_imported = getattr(recorder, "seeds_imported", 0)
+        resolver_recomputed = getattr(recorder, "seed_recomputes", 0)
+        return ShardRunReport(
+            shard_index=shard_index,
+            total_cells=len(specs),
+            already_complete=already_complete,
+            computed=recorder.computed,
+            cell_errors=recorder.cell_errors,
+            remaining=len(specs) - len(store.cells.keys() & {
+                spec_key(config, spec) for spec in specs
+            }),
+            seeds_imported=resolver_imported,
+            seed_recomputes=resolver_recomputed,
+            torn_records_dropped=store.torn_dropped,
+            stale_done_dropped=store.stale_done_dropped,
+            elapsed_seconds=time.time() - started,
+        )
+    finally:
+        store.close()
+
+
+def _run_shard_cold(
+    config: ExperimentConfig,
+    pending: List[CellSpec],
+    recorder: _ShardRecorder,
+    *,
+    workers: int,
+    cell_timeout: Optional[float],
+) -> None:
+    """Cold cells: independent, so stream in grid order as they land."""
+    if workers <= 1 or len(pending) <= 1:
+        memo = WorkloadMemo()
+        for spec in pending:
+            recorder.record(spec, run_cell(config, spec, memo))
+        return
+    from concurrent.futures import ProcessPoolExecutor
+
+    tracer = obs.get_tracer()
+    registry = obs.get_metrics()
+    with ProcessPoolExecutor(
+        max_workers=min(workers, len(pending)),
+        initializer=_initialize_worker,
+        initargs=(config, obs.worker_options()),
+    ) as pool:
+        submitted_unix = time.time()
+        futures = [
+            pool.submit(_run_cell_in_worker, spec) for spec in pending
+        ]
+        for spec, future in zip(pending, futures):
+            recorder.record(
+                spec,
+                _collect_outcome(
+                    spec,
+                    future,
+                    cell_timeout=cell_timeout,
+                    tracer=tracer,
+                    registry=registry,
+                    submitted_unix=submitted_unix,
+                ),
+            )
+
+
+def _run_shard_warm(
+    manifest: ShardManifest,
+    store: ShardStore,
+    results_dir: Path,
+    pending: List[CellSpec],
+    recorder: _ShardRecorder,
+    *,
+    workers: int,
+    cell_timeout: Optional[float],
+) -> None:
+    """Warm cells: the two-subwave scheduler restricted to this shard.
+
+    Values execute in ascending order, replication 0 before the rest —
+    the same wave structure as the single-process scheduler — with
+    every seed lookup routed through :class:`_SeedResolver`, so
+    off-shard producers are consumed from their stores or replayed
+    cold.
+    """
+    config = manifest.config
+    memo = WorkloadMemo()
+    resolver = _SeedResolver(manifest.config, manifest, store, results_dir, memo)
+
+    def harvest_and_record(spec: CellSpec, outcome: CellOutcome) -> None:
+        recorder.record(spec, resolver.harvest(spec, outcome))
+
+    by_value: Dict[int, List[CellSpec]] = {}
+    for spec in pending:
+        by_value.setdefault(spec.value_index, []).append(spec)
+
+    if workers <= 1 or len(pending) <= 1:
+        for value_index in sorted(by_value):
+            members = by_value[value_index]
+            for wave in (
+                [s for s in members if s.replication == 0],
+                [s for s in members if s.replication > 0],
+            ):
+                for spec in wave:
+                    harvest_and_record(
+                        spec,
+                        run_cell(
+                            config,
+                            spec,
+                            memo,
+                            warm_seed=resolver.seed_for(spec),
+                            collect_seed=spec.replication == 0,
+                        ),
+                    )
+    else:
+        from concurrent.futures import ProcessPoolExecutor
+
+        tracer = obs.get_tracer()
+        registry = obs.get_metrics()
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(pending)),
+            initializer=_initialize_worker,
+            initargs=(config, obs.worker_options()),
+        ) as pool:
+            for value_index in sorted(by_value):
+                members = by_value[value_index]
+                for wave in (
+                    [s for s in members if s.replication == 0],
+                    [s for s in members if s.replication > 0],
+                ):
+                    if not wave:
+                        continue
+                    submitted_unix = time.time()
+                    futures = [
+                        pool.submit(
+                            _run_cell_in_worker,
+                            spec,
+                            resolver.seed_for(spec),
+                            spec.replication == 0,
+                        )
+                        for spec in wave
+                    ]
+                    for spec, future in zip(wave, futures):
+                        harvest_and_record(
+                            spec,
+                            _collect_outcome(
+                                spec,
+                                future,
+                                cell_timeout=cell_timeout,
+                                tracer=tracer,
+                                registry=registry,
+                                submitted_unix=submitted_unix,
+                            ),
+                        )
+    recorder.seeds_imported = resolver.imported
+    recorder.seed_recomputes = resolver.recomputed
+
+
+# ----------------------------------------------------------------------
+# Merging and status
+# ----------------------------------------------------------------------
+def merge_shards(
+    manifest: ShardManifest,
+    *,
+    results_dir: Union[str, Path],
+    progress: Optional[ProgressCallback] = None,
+) -> ExperimentResult:
+    """Assemble every shard's store into one :class:`ExperimentResult`.
+
+    Outcomes are re-ordered by the canonical grid before aggregation
+    and fed through the same
+    :func:`~repro.experiments.runner.merge_outcomes` the serial and
+    parallel engines use, so merged rows are identical to a serial run
+    for any layout, worker count or resume history.  Missing cells
+    raise :class:`~repro.exceptions.ShardError` listing which shards
+    are incomplete — merge never silently aggregates a partial sweep.
+    """
+    config = manifest.config
+    grid = build_cell_grid(config)
+    with obs.span(
+        "shard.merge", shards=manifest.num_shards, cells=len(grid)
+    ) as span:
+        collected: Dict[str, Dict[str, Any]] = {}
+        for shard in range(manifest.num_shards):
+            scan = ShardStore.scan(results_dir, shard)
+            if scan.header is not None:
+                stored = scan.header.get("config_sha256")
+                if stored != manifest.config_sha256:
+                    raise ShardError(
+                        f"shard {shard} store was written for config "
+                        f"digest {stored!r}, manifest expects "
+                        f"{manifest.config_sha256!r}"
+                    )
+            collected.update(scan.cells)
+        outcomes: List[CellOutcome] = []
+        missing: Dict[int, int] = {}
+        for shard, indices in enumerate(manifest.assignments):
+            for index in indices:
+                payload = collected.get(spec_key(config, grid[index]))
+                if payload is None:
+                    missing[shard] = missing.get(shard, 0) + 1
+                else:
+                    outcomes.append(_outcome_from_payload(payload))
+        if missing:
+            detail = ", ".join(
+                f"shard {shard}: {count} cell(s)"
+                for shard, count in sorted(missing.items())
+            )
+            raise ShardError(
+                f"cannot merge an incomplete sweep — missing {detail}; "
+                f"re-run `repro shard run` for the listed shard(s)"
+            )
+        outcomes.sort(
+            key=lambda o: (
+                o.value_index,
+                o.replication,
+                config.algorithms.index(o.algorithm),
+            )
+        )
+        result = merge_outcomes_ordered(config, outcomes, progress)
+        span.update(rows=len(result.rows), errors=len(result.errors))
+        registry = obs.get_metrics()
+        if registry.enabled:
+            registry.counter("shard.merges").inc()
+    return result
+
+
+def merge_outcomes_ordered(
+    config: ExperimentConfig,
+    outcomes: List[CellOutcome],
+    progress: Optional[ProgressCallback] = None,
+) -> ExperimentResult:
+    """Grid-ordered outcomes → rows, via the engines' shared merge."""
+    from repro.experiments.runner import merge_outcomes
+
+    return merge_outcomes(config, outcomes, progress)
+
+
+def shard_status(
+    manifest: ShardManifest, *, results_dir: Union[str, Path]
+) -> List[Dict[str, Any]]:
+    """Per-shard completion summary (read-only; safe on live stores)."""
+    config = manifest.config
+    grid = build_cell_grid(config)
+    status: List[Dict[str, Any]] = []
+    for shard, indices in enumerate(manifest.assignments):
+        scan = ShardStore.scan(results_dir, shard)
+        keys = {spec_key(config, grid[index]) for index in indices}
+        done = len(keys & scan.cells.keys())
+        errors = sum(
+            1
+            for key in keys
+            if key in scan.cells and scan.cells[key].get("error") is not None
+        )
+        status.append(
+            {
+                "shard": shard,
+                "cells": len(indices),
+                "done": done,
+                "missing": len(indices) - done,
+                "errors": errors,
+                "seeds": len(scan.seeds),
+                "torn_trailing_record": bool(scan.torn_dropped),
+            }
+        )
+    return status

@@ -35,6 +35,7 @@ from repro.obs.manifest import config_digest, git_revision
 __all__ = [
     "BENCH_HISTORY_SCHEMA_VERSION",
     "DEFAULT_HISTORY_PATH",
+    "ENV_LIMITED_FLAG",
     "Regression",
     "extract_metrics",
     "metric_direction",
@@ -83,15 +84,29 @@ _LOWER_IS_BETTER = ("seconds", "bytes", "rss", "overhead", "gap", "percent")
 #: ``warm_epochs_per_second`` must not match the ``seconds`` rule).
 _HIGHER_IS_BETTER = ("per_second", "speedup", "reduction")
 
+#: Flag a bench section can set (``"limited_by_cpu_count": true``) when
+#: its parallel speedups are bounded by the machine, not the code —
+#: e.g. a fan-out bench on a 1-CPU CI container.  Metrics in a flagged
+#: section are still recorded in history (the trend stays inspectable)
+#: but carry this marker in their name, which turns gating off: a 0.94×
+#: speedup on one core is an environment note, not a regression.
+ENV_LIMITED_FLAG = "limited_by_cpu_count"
+
+_ENV_LIMITED_MARKER = f"[{ENV_LIMITED_FLAG}]"
+
 
 def metric_direction(name: str) -> Optional[str]:
     """``"higher"`` / ``"lower"`` for gated metrics, ``None`` otherwise.
 
     Metrics with no recognised direction (event counts, cost values,
     trajectory lengths) are recorded in history for trend inspection
-    but never gate — their "right" value is workload-defined.
+    but never gate — their "right" value is workload-defined.  Metrics
+    carrying the :data:`ENV_LIMITED_FLAG` marker never gate either:
+    they measure the environment (CPU count), not the code.
     """
     lowered = name.lower()
+    if _ENV_LIMITED_MARKER in lowered:
+        return None
     if any(token in lowered for token in _HIGHER_IS_BETTER):
         return "higher"
     if any(token in lowered for token in _LOWER_IS_BETTER):
@@ -104,20 +119,31 @@ def _is_metric_value(value: Any) -> bool:
 
 
 def _row_key(row: Dict[str, Any]) -> str:
-    parts = [
-        f"{field}={row[field]}"
+    # Shares the one identity rendering with the shard store's cell
+    # keys (imported lazily: repro.experiments pulls in obs at package
+    # import, so a module-level import here would be circular).
+    from repro.experiments.records import identity_key
+
+    return identity_key(
+        (field, row[field])
         for field in _IDENTITY_FIELDS
         if field in row and row[field] is not None
-    ]
-    return "[" + ",".join(parts) + "]" if parts else ""
+    )
 
 
 def _flatten(payload: Any, prefix: str, out: Dict[str, float]) -> None:
     if isinstance(payload, dict):
+        env_limited = bool(payload.get(ENV_LIMITED_FLAG))
         for key in sorted(payload):
             if key in _SKIP_FIELDS or key in _IDENTITY_FIELDS:
                 continue
+            if key == ENV_LIMITED_FLAG:
+                continue
             child_prefix = f"{prefix}.{key}" if prefix else key
+            if env_limited and metric_direction(key) == "higher":
+                # Keep the measurement in history, marked as
+                # environment-limited so it never gates.
+                child_prefix += _ENV_LIMITED_MARKER
             _flatten(payload[key], child_prefix, out)
     elif isinstance(payload, list):
         for index, item in enumerate(payload):

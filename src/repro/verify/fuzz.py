@@ -64,6 +64,7 @@ from repro.verify.oracles import (
     oracle_dp_methods,
     oracle_drp_backends,
     oracle_serial_parallel,
+    oracle_shard_layouts,
     oracle_simulators,
     oracle_warm_cold,
 )
@@ -279,6 +280,11 @@ def _all_checks() -> List[CheckSpec]:
         CheckSpec(
             "oracle.serial-parallel",
             lambda ctx: oracle_serial_parallel(),
+            once=True,
+        ),
+        CheckSpec(
+            "oracle.shard-layouts",
+            lambda ctx: oracle_shard_layouts(),
             once=True,
         ),
         CheckSpec(

@@ -27,6 +27,12 @@ The four oracle pairs (named ``oracle.<slug>``):
 ``serial-parallel``
     ``run_experiment`` with ``workers=None`` vs ``workers=2`` — rows
     bitwise identical except wall-clock ``elapsed`` aggregates.
+``shard-layouts``
+    The sharded fabric (:mod:`repro.experiments.shards`) vs the serial
+    runner — identical rows for any shard count, worker count and
+    resume history, including a mid-shard interruption with a torn
+    trailing record and a stale done-set entry, and warm-start seeds
+    crossing shard boundaries.
 ``warm-cold``
     Warm-started refinement on a drifted profile must respect the
     documented regression guard against a fresh DRP estimate, and must
@@ -57,6 +63,7 @@ __all__ = [
     "oracle_database_construction",
     "oracle_simulators",
     "oracle_serial_parallel",
+    "oracle_shard_layouts",
     "oracle_warm_cold",
 ]
 
@@ -519,6 +526,166 @@ def oracle_serial_parallel(
                         field=field_name,
                     )
                 )
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# Shard layouts
+# ---------------------------------------------------------------------------
+
+def oracle_shard_layouts(
+    *,
+    seed: int = 20050608,
+    workers: int = 2,
+) -> List[Violation]:
+    """Every shard layout × resume history merges to the serial rows.
+
+    Runs one deliberately small sweep serially, then through the shard
+    fabric under increasingly hostile conditions, and diffs every row
+    field except the wall-clock ``elapsed`` aggregates:
+
+    * ``M=1`` — the degenerate single-shard layout;
+    * ``M=3`` cold, with one shard interrupted mid-run (``max_cells``),
+      its store damaged with a torn trailing record *and* a stale
+      done-set entry, then resumed, and another shard fanned out over
+      ``workers`` processes;
+    * ``M=3`` warm-started, shards executed out of order so seeds are
+      both recomputed cold and consumed across shard boundaries —
+      diffed against the serial *warm* sweep.
+
+    Expensive (runs the sweep five ways and spawns a pool), so the
+    fuzzer runs it once per session.
+    """
+    import tempfile
+    from pathlib import Path
+
+    from repro.experiments.shards import (
+        compile_manifest,
+        merge_shards,
+        run_shard,
+    )
+    from repro.experiments.store import store_chunk_path, store_done_path
+
+    name = "oracle.shard-layouts"
+    violations: List[Violation] = []
+    config = ExperimentConfig(
+        name="verify-shard-layouts",
+        description="differential oracle sweep",
+        sweep_parameter="num_channels",
+        sweep_values=(3, 5),
+        algorithms=("drp", "drp-cds"),
+        num_items=40,
+        replications=2,
+        base_seed=seed,
+    )
+
+    def comparable(result):
+        return [
+            (
+                row.sweep_value,
+                row.algorithm,
+                row.mean_cost,
+                row.std_cost,
+                row.mean_waiting_time,
+                row.std_waiting_time,
+                row.replications,
+            )
+            for row in result.rows
+        ]
+
+    def diff(label: str, merged, reference) -> None:
+        if merged.errors or reference.errors:
+            violations.append(
+                _violation(
+                    name,
+                    f"{label}: sweep reported cell errors "
+                    f"(merged={len(merged.errors)}, "
+                    f"serial={len(reference.errors)})",
+                    layout=label,
+                )
+            )
+        if comparable(merged) != comparable(reference):
+            violations.append(
+                _violation(
+                    name,
+                    f"{label}: merged rows diverge from the serial run",
+                    layout=label,
+                )
+            )
+
+    serial = run_experiment(config)
+    with tempfile.TemporaryDirectory(prefix="repro-shard-oracle-") as tmp:
+        tmp_path = Path(tmp)
+
+        single = compile_manifest(config, num_shards=1)
+        run_shard(single, 0, results_dir=tmp_path / "m1")
+        diff("M=1", merge_shards(single, results_dir=tmp_path / "m1"), serial)
+
+        cold = compile_manifest(config, num_shards=3)
+        cold_dir = tmp_path / "m3"
+        # Shard 0: interrupted after one cell, store damaged the way a
+        # SIGKILL damages it, then resumed.
+        report = run_shard(cold, 0, results_dir=cold_dir, max_cells=1)
+        if report.computed != 1:
+            violations.append(
+                _violation(
+                    name,
+                    f"max_cells=1 computed {report.computed} cell(s)",
+                    layout="M=3",
+                )
+            )
+        with store_chunk_path(cold_dir, 0).open("ab") as handle:
+            handle.write(b'{"kind": "cell", "key": "[torn')
+        with store_done_path(cold_dir, 0).open("a") as handle:
+            handle.write("[stale-done-entry]\n")
+        resumed = run_shard(cold, 0, results_dir=cold_dir)
+        if resumed.torn_records_dropped != 1:
+            violations.append(
+                _violation(
+                    name,
+                    f"resume dropped {resumed.torn_records_dropped} torn "
+                    f"record(s), expected 1",
+                    layout="M=3",
+                )
+            )
+        if resumed.stale_done_dropped != 1:
+            violations.append(
+                _violation(
+                    name,
+                    f"resume dropped {resumed.stale_done_dropped} stale "
+                    f"done entr(ies), expected 1",
+                    layout="M=3",
+                )
+            )
+        if resumed.already_complete != 1:
+            violations.append(
+                _violation(
+                    name,
+                    f"resume skipped {resumed.already_complete} cell(s), "
+                    f"expected exactly the 1 completed before the kill",
+                    layout="M=3",
+                )
+            )
+        run_shard(cold, 1, results_dir=cold_dir, workers=workers)
+        run_shard(cold, 2, results_dir=cold_dir)
+        diff(
+            "M=3 kill/resume",
+            merge_shards(cold, results_dir=cold_dir),
+            serial,
+        )
+
+        warm_serial = run_experiment(config, warm_start=True)
+        warm = compile_manifest(config, num_shards=3, warm_start=True)
+        warm_dir = tmp_path / "warm"
+        # Last shard first: its seeds must recompute cold; the earlier
+        # shards then consume stored seeds across the boundary.
+        for shard in (2, 0, 1):
+            run_shard(warm, shard, results_dir=warm_dir)
+        diff(
+            "M=3 warm",
+            merge_shards(warm, results_dir=warm_dir),
+            warm_serial,
+        )
     return violations
 
 

@@ -72,6 +72,32 @@ class TestExtractMetrics:
         )
         assert metrics == {"wall_seconds": 1.5}
 
+    def test_limited_by_cpu_count_marks_higher_metrics(self):
+        metrics = extract_metrics(
+            {
+                "runner": {
+                    "limited_by_cpu_count": True,
+                    "speedup": 0.8,
+                    "serial_seconds": 2.0,
+                }
+            }
+        )
+        # "higher"-direction children of a flagged section carry the
+        # marker: recorded in history, never gated on a 1-CPU runner.
+        marked = "runner.speedup[limited_by_cpu_count]"
+        assert marked in metrics
+        assert metrics[marked] == 0.8
+        assert metric_direction(marked) is None
+        # The flag itself is metadata, not a metric.
+        assert not any("limited_by_cpu_count" == k.split(".")[-1] for k in metrics)
+        # "lower"-direction metrics still gate normally.
+        assert metric_direction("runner.serial_seconds") == "lower"
+
+    def test_unflagged_section_keeps_speedup_gated(self):
+        metrics = extract_metrics({"runner": {"speedup": 1.9}})
+        assert metrics == {"runner.speedup": 1.9}
+        assert metric_direction("runner.speedup") == "higher"
+
 
 class TestHistory:
     def test_append_and_load_round_trip(self, tmp_path):

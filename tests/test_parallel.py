@@ -253,10 +253,18 @@ class TestResolveWorkers:
         monkeypatch.setenv("REPRO_WORKERS", "3")
         assert resolve_workers(2) == 2
 
-    def test_auto_uses_cpu_count(self):
+    def test_auto_uses_usable_cpus(self):
         import os
 
-        assert resolve_workers("auto") == (os.cpu_count() or 1)
+        from repro.experiments.parallel import auto_workers
+
+        resolved = resolve_workers("auto")
+        assert resolved == auto_workers()
+        # Clamped to the CPUs this process may actually run on — on a
+        # restricted-affinity host that is fewer than os.cpu_count().
+        assert 1 <= resolved <= (os.cpu_count() or 1)
+        if hasattr(os, "sched_getaffinity"):
+            assert resolved <= len(os.sched_getaffinity(0))
 
     def test_strings_parsed(self):
         assert resolve_workers("2") == 2
