@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast verify-fuzz bench bench-kernels bench-incr bench-parallel bench-shards bench-obs bench-check trace-smoke shard-smoke figures report examples clean
+.PHONY: install test test-fast verify-fuzz bench bench-kernels bench-incr bench-parallel bench-shards bench-obs bench-serve bench-check trace-smoke shard-smoke serve-smoke figures report examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -50,6 +50,12 @@ bench-shards:
 bench-obs:
 	$(PYTHON) benchmarks/bench_obs_overhead.py
 
+# Live-service ingestion throughput (epochs/s, requests/s) with the
+# count-min sketch vs the exact-counter oracle baseline; writes
+# BENCH_serve.json at the repo root (schema in docs/serving.md).
+bench-serve:
+	$(PYTHON) benchmarks/bench_serve.py
+
 # Gate the repo-root BENCH_*.json payloads against the rolling
 # benchmark history (benchmarks/results/history.jsonl): fails when a
 # tracked metric regresses >10% vs the median of the last 5 matching
@@ -75,6 +81,22 @@ trace-smoke:
 		--metrics /tmp/repro-smoke-metrics.json \
 		--manifest /tmp/repro-smoke.manifest.json
 	test -s /tmp/repro-smoke-profile.txt
+
+# End-to-end live-service smoke: record a drifting request stream,
+# replay it through `repro serve` with metrics enabled, and validate
+# the emitted metrics snapshot + manifest against the documented
+# schemas (docs/serving.md).
+serve-smoke:
+	$(PYTHON) -m repro serve --items 40 --channels 4 --epoch-seconds 5 \
+		--max-epochs 3 --requests-per-epoch 200 \
+		--record /tmp/repro-serve-smoke.jsonl > /dev/null
+	$(PYTHON) -m repro serve --items 40 --channels 4 --epoch-seconds 5 \
+		--max-epochs 3 --replay /tmp/repro-serve-smoke.jsonl \
+		--metrics /tmp/repro-serve-metrics.json --metrics-port 0 \
+		> /dev/null
+	$(PYTHON) tests/trace_schema.py \
+		--metrics /tmp/repro-serve-metrics.json \
+		--manifest /tmp/repro-serve-metrics.manifest.json
 
 # End-to-end shard fabric smoke: compile a small figure-2 manifest
 # into 3 shards, run one, SIGKILL another mid-run (torn trailing

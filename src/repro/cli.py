@@ -349,6 +349,82 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
 
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the live broadcast service: sketch-based streaming "
+        "estimation, epoch warm re-allocation, cycle-aligned handover",
+    )
+    serve.add_argument("--items", type=int, default=60)
+    serve.add_argument("--channels", type=int, default=6)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--epoch-seconds", type=float, default=60.0,
+        help="epoch length in stream time (default: 60)",
+    )
+    serve.add_argument(
+        "--sketch-width", type=int, default=1024,
+        help="count-min sketch counters per row (default: 1024)",
+    )
+    serve.add_argument(
+        "--sketch-depth", type=int, default=4,
+        help="count-min sketch hash rows (default: 4)",
+    )
+    serve.add_argument(
+        "--half-life", type=float, default=None,
+        help="sketch decay half-life in stream seconds "
+        "(default: 2 x epoch length)",
+    )
+    serve.add_argument(
+        "--conservative",
+        action="store_true",
+        help="use the conservative-update sketch rule (tighter estimates)",
+    )
+    serve.add_argument(
+        "--exact",
+        action="store_true",
+        help="exact-counter oracle mode: estimate from true decayed "
+        "counts (O(items) state; the baseline the sketch is judged "
+        "against)",
+    )
+    serve.add_argument(
+        "--smoothing", type=float, default=1.0,
+        help="Laplace pseudo-count per catalogue item (default: 1.0)",
+    )
+    serve.add_argument(
+        "--replay", default=None, metavar="PATH",
+        help="ingest a JSONL request trace ({\"t\": ..., \"id\": ...} "
+        "rows) instead of generating a drifting stream",
+    )
+    serve.add_argument(
+        "--record", default=None, metavar="PATH",
+        help="tee the ingested stream to a JSONL file (e.g. generate a "
+        "replay input for a later run)",
+    )
+    serve.add_argument(
+        "--max-epochs", type=int, default=None,
+        help="stop after this many epochs (default: run the stream dry; "
+        "generated streams default to 20 epochs)",
+    )
+    serve.add_argument(
+        "--requests-per-epoch", type=int, default=2000,
+        help="generated-stream request volume per epoch (default: 2000)",
+    )
+    serve.add_argument(
+        "--shift", type=int, default=10,
+        help="generated-stream popularity rank rotation per epoch",
+    )
+    serve.add_argument(
+        "--pace",
+        action="store_true",
+        help="replay in real time (sleep to each record's stream time) "
+        "instead of ingesting as fast as possible",
+    )
+    serve.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the epoch reports as a JSON document on stdout",
+    )
+
     hetero = subparsers.add_parser(
         "hetero",
         help="allocate onto channels with unequal bandwidths",
@@ -980,6 +1056,138 @@ def _cmd_adaptive(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from repro.service import BroadcastService, drifting_stream, replay_source
+    from repro.simulation.adaptive import RotatingDrift
+    from repro.workloads.sketch import CountMinSketch
+    from repro.workloads.trace import save_trace_jsonl
+
+    database = generate_database(
+        WorkloadSpec(num_items=args.items, skewness=1.2, seed=args.seed)
+    )
+    sizes = {item.item_id: item.size for item in database.items}
+    half_life = (
+        args.half_life
+        if args.half_life is not None
+        else 2.0 * args.epoch_seconds
+    )
+    sketch = CountMinSketch(
+        args.sketch_width,
+        args.sketch_depth,
+        half_life=half_life,
+        conservative=args.conservative,
+        exact=args.exact,
+    )
+    service = BroadcastService(
+        sizes,
+        args.channels,
+        epoch_seconds=args.epoch_seconds,
+        sketch=sketch,
+        smoothing=args.smoothing,
+        initial_database=database,
+        pace=args.pace,
+    )
+    if args.replay is not None:
+        source = replay_source(args.replay)
+        origin = f"replay of {args.replay}"
+    else:
+        epochs = args.max_epochs if args.max_epochs is not None else 20
+        drift = RotatingDrift(
+            [item.frequency for item in database.items],
+            shift_per_epoch=args.shift,
+        )
+        source = drifting_stream(
+            database,
+            epochs=epochs,
+            requests_per_epoch=args.requests_per_epoch,
+            epoch_seconds=args.epoch_seconds,
+            drift=drift,
+            seed=args.seed,
+        )
+        origin = (
+            f"generated drifting stream ({args.shift} ranks/epoch, "
+            f"{args.requests_per_epoch} req/epoch)"
+        )
+    if args.record is not None:
+        from repro.workloads.trace import RequestTrace
+
+        recorded = RequestTrace()
+
+        def _tee(records):
+            for record in records:
+                recorded.append(record)
+                yield record
+
+        source = _tee(source)
+    reports = service.run(source, max_epochs=args.max_epochs)
+    if args.record is not None:
+        save_trace_jsonl(recorded, args.record)
+    if args.json:
+        print(
+            json_module.dumps(
+                {
+                    "source": origin,
+                    "epochs": [report.to_dict() for report in reports],
+                    "handovers": len(service.live.handovers),
+                    "total_requests": service.total_requests,
+                    "sketch": {
+                        "width": sketch.width,
+                        "depth": sketch.depth,
+                        "half_life": sketch.half_life,
+                        "exact": sketch.exact,
+                        "state_size": sketch.state_size,
+                        "epsilon": sketch.epsilon,
+                        "rescales": sketch.rescales,
+                    },
+                },
+                indent=2,
+            )
+        )
+        return 0
+    rows = [
+        (
+            report.epoch,
+            report.requests,
+            report.measured.mean,
+            report.allocation_cost,
+            report.allocation_mode,
+            report.warm_moves,
+            report.generation,
+        )
+        for report in reports
+    ]
+    print(
+        format_table(
+            [
+                "epoch",
+                "requests",
+                "wait mean (s)",
+                "alloc cost",
+                "mode",
+                "warm moves",
+                "gen",
+            ],
+            rows,
+            title=f"repro serve: {origin}",
+            precision=3,
+        )
+    )
+    estimator = "exact oracle counters" if args.exact else (
+        f"count-min {sketch.width}x{sketch.depth} "
+        f"(eps={sketch.epsilon:.2%} of mass)"
+    )
+    print(
+        f"\n{service.total_requests} requests, {len(reports)} epochs, "
+        f"{len(service.live.handovers)} handovers; estimator: {estimator}, "
+        f"state {sketch.state_size} counters, half-life {half_life:g}s"
+    )
+    if args.record is not None:
+        print(f"stream recorded to {args.record}")
+    return 0
+
+
 def _cmd_hetero(args: argparse.Namespace) -> int:
     from repro.core.hetero import (
         HeteroDRPCDSAllocator,
@@ -1443,6 +1651,7 @@ _DISPATCH = {
     "gap": _cmd_gap,
     "simulate": _cmd_simulate,
     "adaptive": _cmd_adaptive,
+    "serve": _cmd_serve,
     "hetero": _cmd_hetero,
     "index": _cmd_index,
     "trace-convert": _cmd_trace_convert,

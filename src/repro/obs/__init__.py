@@ -47,7 +47,7 @@ from __future__ import annotations
 
 import os
 import threading
-from typing import Any, Dict, Optional, Tuple, Union
+from typing import Any, Callable, Dict, Optional, Tuple, Union
 
 from repro.obs import log  # noqa: F401  (re-exported submodule)
 from repro.obs.exposition import (
@@ -203,6 +203,7 @@ def heartbeat(
     *,
     interval: float = 0.25,
     rates: Tuple[str, ...] = (),
+    now: Optional[Callable[[], float]] = None,
 ) -> Optional[Heartbeat]:
     """A throttled live-progress emitter, or ``None`` when disabled.
 
@@ -216,11 +217,14 @@ def heartbeat(
 
     The ``None`` return in disabled mode keeps the per-iteration cost
     to a single identity test — no throttle check, no clock read.
+    ``now`` injects a monotonic time source (the serve loop passes its
+    :class:`~repro.service.clock.Clock` so fake-clock tests control the
+    throttle).
     """
     registry = _metrics
     if not registry.enabled:
         return None
-    return Heartbeat(name, registry, interval=interval, rates=rates)
+    return Heartbeat(name, registry, interval=interval, rates=rates, now=now)
 
 
 # ----------------------------------------------------------------------

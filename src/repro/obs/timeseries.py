@@ -277,7 +277,7 @@ class Heartbeat:
     call site is a single ``is not None`` test.
     """
 
-    __slots__ = ("name", "interval", "_registry", "_rates", "_ewma", "_last_value", "_last_emit", "_beats")
+    __slots__ = ("name", "interval", "_registry", "_rates", "_ewma", "_last_value", "_last_emit", "_beats", "_now")
 
     def __init__(
         self,
@@ -287,6 +287,7 @@ class Heartbeat:
         interval: float = 0.25,
         rates: Sequence[str] = (),
         halflife: float = 2.0,
+        now: Optional[Any] = None,
     ) -> None:
         self.name = name
         self.interval = float(interval)
@@ -296,10 +297,13 @@ class Heartbeat:
         self._last_value: Dict[str, float] = {}
         self._last_emit = 0.0
         self._beats = 0
+        # Injectable monotonic time source (a zero-arg callable) so the
+        # serve loop's fake clock drives throttling deterministically.
+        self._now = now if now is not None else time.monotonic
 
     def beat(self, **values: float) -> bool:
         """Record one loop iteration; emits only when the throttle opens."""
-        now = time.monotonic()
+        now = self._now()
         if now - self._last_emit < self.interval:
             return False
         self._emit(now, values)
@@ -307,7 +311,7 @@ class Heartbeat:
 
     def flush(self, **values: float) -> None:
         """Unthrottled final emit (loop finished or converged)."""
-        self._emit(time.monotonic(), values)
+        self._emit(self._now(), values)
 
     def _emit(self, now: float, values: Dict[str, float]) -> None:
         self._last_emit = now

@@ -1,0 +1,48 @@
+"""Injectable time sources for the live service.
+
+Everything in :mod:`repro.service` that touches wall time does so
+through a :class:`Clock` — a monotonic ``now()`` plus a ``sleep()``.
+Production uses :class:`SystemClock` (``time.monotonic`` +
+``time.sleep``); tests inject ``tests/fakeclock.py``'s ``FakeClock``,
+whose ``sleep`` advances virtual time instantly, so every serve test is
+wall-clock-free and deterministic (ISSUE 10 satellite 1).
+"""
+
+from __future__ import annotations
+
+import time
+
+try:  # Protocol is typing-only; keep 3.7 compatibility cheaply.
+    from typing import Protocol, runtime_checkable
+except ImportError:  # pragma: no cover - ancient pythons
+    Protocol = object  # type: ignore[assignment]
+
+    def runtime_checkable(cls):  # type: ignore[misc]
+        return cls
+
+
+__all__ = ["Clock", "SystemClock"]
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """Monotonic time source with a cooperative sleep."""
+
+    def now(self) -> float:
+        """Seconds on a monotonic clock (origin unspecified)."""
+
+    def sleep(self, seconds: float) -> None:
+        """Block (or virtually advance) for ``seconds`` seconds."""
+
+
+class SystemClock:
+    """The real thing: ``time.monotonic`` + ``time.sleep``."""
+
+    __slots__ = ()
+
+    def now(self) -> float:
+        return time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            time.sleep(seconds)

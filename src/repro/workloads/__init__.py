@@ -20,7 +20,19 @@ from repro.workloads.queries import (
     generate_query_workload,
     item_frequencies_from_queries,
 )
-from repro.workloads.trace import RequestTrace, TraceRecord, synthesize_trace
+from repro.workloads.sketch import (
+    CountMinSketch,
+    SketchEstimator,
+    sketch_error_bound,
+)
+from repro.workloads.trace import (
+    RequestTrace,
+    TraceRecord,
+    iter_trace_jsonl,
+    load_trace_jsonl,
+    save_trace_jsonl,
+    synthesize_trace,
+)
 from repro.workloads.paper_profile import (
     PAPER_CDS_COST,
     PAPER_CDS_GROUPS,
@@ -49,8 +61,14 @@ __all__ = [
     "RequestTrace",
     "TraceRecord",
     "synthesize_trace",
+    "save_trace_jsonl",
+    "load_trace_jsonl",
+    "iter_trace_jsonl",
     "CountEstimator",
     "DecayEstimator",
+    "CountMinSketch",
+    "SketchEstimator",
+    "sketch_error_bound",
     "estimate_database",
     "profile_l1_error",
     "Query",

@@ -18,6 +18,22 @@ Both return frequencies aligned with a catalogue (an iterable of item
 ids) and normalised to 1, ready for
 :func:`estimate_database` to splice onto known item sizes.
 
+**The zero-frequency edge case.**  An item the stream never requested
+is still in the catalogue, and with ``smoothing = 0`` its estimated
+frequency is exactly 0.  The analytical model rejects that at two
+depths: :class:`~repro.core.item.DataItem` refuses ``frequency <= 0``
+on construction (``InvalidItemError``), and even if a zero slipped
+through, Eq. (1)'s frequency-weighted average over a zero-frequency
+channel is undefined (``InvalidAllocationError`` in
+:mod:`repro.core.cost`).  :func:`estimate_database` therefore checks
+the estimate up front and raises a :class:`SimulationError` naming the
+unobserved items and the fix — the smoothing floor: any ``smoothing >
+0`` gives every catalogued item a positive pseudo-count, at the price
+of biasing hot items slightly down.  The streaming path
+(:meth:`repro.workloads.sketch.CountMinSketch.estimate_profile`) makes
+the same trade with the same parameter.  Behaviour is pinned by
+``tests/test_estimator.py::TestZeroFrequencyEdgeCases``.
+
 This module is an extension beyond the paper (DESIGN.md §6).
 """
 
@@ -159,6 +175,20 @@ def estimate_database(
         estimator = CountEstimator()
     catalogue = list(sizes)
     frequencies = estimator.estimate(trace, catalogue)
+    unobserved = [
+        item_id for item_id in catalogue if frequencies[item_id] <= 0.0
+    ]
+    if unobserved:
+        # Surface the modelling problem here, with a fix, rather than
+        # letting DataItem's InvalidItemError (or, later, the cost
+        # model's InvalidAllocationError for a zero-frequency channel)
+        # fire deep inside the allocation path.
+        raise SimulationError(
+            f"{len(unobserved)} catalogue item(s) were never observed in "
+            f"the trace and got frequency 0 (first: {unobserved[:3]}); the "
+            "analytical model requires every item to have positive "
+            "frequency — use an estimator with smoothing > 0"
+        )
     items: List[DataItem] = [
         DataItem(item_id, frequency=frequencies[item_id], size=sizes[item_id])
         for item_id in catalogue
@@ -175,8 +205,12 @@ def profile_l1_error(
     perfect estimate.
     """
     if set(estimated) != set(truth):
+        missing = sorted(set(truth) - set(estimated))
+        extra = sorted(set(estimated) - set(truth))
         raise SimulationError(
-            "estimated and true profiles cover different items"
+            "estimated and true profiles cover different items "
+            f"(missing from estimate: {missing[:5]}, "
+            f"not in truth: {extra[:5]})"
         )
     return math.fsum(
         abs(estimated[item_id] - truth[item_id]) for item_id in truth

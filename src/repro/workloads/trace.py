@@ -13,9 +13,11 @@ This is an extension beyond the paper, flagged as such in DESIGN.md.
 from __future__ import annotations
 
 import bisect
+import json
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Counter as CounterType
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Union
 from collections import Counter
 
 import numpy as np
@@ -23,7 +25,14 @@ import numpy as np
 from repro.core.database import BroadcastDatabase
 from repro.exceptions import SimulationError
 
-__all__ = ["TraceRecord", "RequestTrace", "synthesize_trace"]
+__all__ = [
+    "TraceRecord",
+    "RequestTrace",
+    "synthesize_trace",
+    "save_trace_jsonl",
+    "load_trace_jsonl",
+    "iter_trace_jsonl",
+]
 
 
 @dataclass(frozen=True)
@@ -161,3 +170,68 @@ def synthesize_trace(
         clock += float(gap)
         trace.record(clock, ids[int(pick)])
     return trace
+
+
+def save_trace_jsonl(
+    trace: RequestTrace, path: Union[str, Path]
+) -> Path:
+    """Write a trace as JSON Lines — one ``{"t": ..., "id": ...}`` per row.
+
+    The replay format consumed by ``repro serve --replay`` (and
+    :func:`iter_trace_jsonl`); compact keys keep million-request logs
+    manageable.
+    """
+    target = Path(path)
+    with target.open("w", encoding="utf-8") as handle:
+        for record in trace:
+            handle.write(
+                json.dumps(
+                    {"t": record.timestamp, "id": record.item_id},
+                    separators=(",", ":"),
+                )
+            )
+            handle.write("\n")
+    return target
+
+
+def iter_trace_jsonl(path: Union[str, Path]) -> Iterator[TraceRecord]:
+    """Stream records from a JSONL trace file, one at a time.
+
+    O(1) memory — the live service ingests replays through this without
+    materialising the whole log.  Rows must carry ``t`` (timestamp) and
+    ``id`` (item id); blank lines are skipped; out-of-order timestamps
+    are rejected (the file claims to be a server-observed log).
+    """
+    source = Path(path)
+    last: Optional[float] = None
+    with source.open("r", encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise SimulationError(
+                    f"{source}:{line_no}: invalid JSON: {exc}"
+                ) from exc
+            if not isinstance(row, dict) or "t" not in row or "id" not in row:
+                raise SimulationError(
+                    f"{source}:{line_no}: expected object with 't' and 'id' "
+                    f"keys, got {row!r}"
+                )
+            record = TraceRecord(
+                timestamp=float(row["t"]), item_id=str(row["id"])
+            )
+            if last is not None and record.timestamp < last:
+                raise SimulationError(
+                    f"{source}:{line_no}: out-of-order record at "
+                    f"t={record.timestamp} (last was t={last})"
+                )
+            last = record.timestamp
+            yield record
+
+
+def load_trace_jsonl(path: Union[str, Path]) -> RequestTrace:
+    """Read a whole JSONL trace file into a :class:`RequestTrace`."""
+    return RequestTrace(iter_trace_jsonl(path))

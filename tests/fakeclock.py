@@ -1,0 +1,51 @@
+"""A deterministic virtual clock for wall-clock-free service tests.
+
+Implements the :class:`repro.service.clock.Clock` protocol: ``now()``
+reads virtual time, ``sleep()`` advances it instantly.  Every sleep is
+logged so tests can assert how a paced loop *would* have slept without
+ever touching ``time.sleep``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class FakeClock:
+    """Virtual monotonic time: sleeps advance instantly, never block."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        self.sleeps: List[float] = []
+
+    def now(self) -> float:
+        return self._now
+
+    def sleep(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError(f"cannot sleep a negative duration: {seconds}")
+        self.sleeps.append(float(seconds))
+        self._now += float(seconds)
+
+    def advance(self, seconds: float) -> None:
+        """Move time forward without recording a sleep (external event)."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance backwards: {seconds}")
+        self._now += float(seconds)
+
+
+def forbid_real_sleep(monkeypatch) -> None:
+    """Make any ``time.sleep`` call in the test body raise.
+
+    Serve tests install this first: the suite's determinism claim is
+    that nothing under test ever blocks on the wall clock.
+    """
+    import time
+
+    def _boom(seconds: float) -> None:
+        raise AssertionError(
+            f"time.sleep({seconds!r}) called — serve tests must be "
+            "wall-clock-free (inject a FakeClock)"
+        )
+
+    monkeypatch.setattr(time, "sleep", _boom)

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.core.item import DataItem
 from repro.exceptions import SimulationError
 from repro.workloads.estimator import (
     CountEstimator,
@@ -170,3 +171,94 @@ class TestProfileL1Error:
     def test_mismatched_keys_rejected(self):
         with pytest.raises(SimulationError):
             profile_l1_error({"a": 1.0}, {"b": 1.0})
+
+    def test_mismatch_error_names_the_offending_items(self):
+        """The error identifies which ids differ — debuggability for
+        catalogue/estimate drift in long-running serve loops."""
+        with pytest.raises(
+            SimulationError, match=r"missing from estimate: \['b'\]"
+        ):
+            profile_l1_error({"a": 1.0, "c": 0.0}, {"a": 1.0, "b": 0.0})
+        with pytest.raises(SimulationError, match=r"not in truth: \['c'\]"):
+            profile_l1_error({"a": 1.0, "c": 0.0}, {"a": 1.0, "b": 0.0})
+
+
+class TestZeroFrequencyEdgeCases:
+    """Items never observed in the stream (ISSUE 10 satellite 4).
+
+    With ``smoothing = 0`` an unseen catalogue item estimates to
+    frequency 0, which the analytical model rejects — at item
+    construction (``InvalidItemError``) and again at cost evaluation
+    (``InvalidAllocationError`` for a zero-frequency channel).
+    ``estimate_database`` now fails fast with an actionable message;
+    any ``smoothing > 0`` floors every item at a positive frequency.
+    """
+
+    def test_unsmoothed_unseen_item_estimates_to_exact_zero(self):
+        trace = make_trace([(0, "a"), (1, "a")])
+        estimate = CountEstimator(smoothing=0.0).estimate(trace, ["a", "b"])
+        assert estimate["b"] == 0.0
+        decayed = DecayEstimator(half_life=5.0, smoothing=0.0).estimate(
+            trace, ["a", "b"]
+        )
+        assert decayed["b"] == 0.0
+
+    def test_estimate_database_fails_fast_with_guidance(self):
+        trace = make_trace([(0, "a"), (1, "a"), (2, "b")])
+        sizes = {"a": 1.0, "b": 2.0, "c": 3.0}
+        with pytest.raises(SimulationError, match="smoothing > 0"):
+            estimate_database(
+                trace, sizes, estimator=CountEstimator(smoothing=0.0)
+            )
+
+    def test_error_names_the_unobserved_items(self):
+        trace = make_trace([(0, "a")])
+        sizes = {"a": 1.0, "b": 2.0, "c": 3.0}
+        with pytest.raises(SimulationError, match=r"\['b', 'c'\]"):
+            estimate_database(
+                trace, sizes, estimator=CountEstimator(smoothing=0.0)
+            )
+
+    def test_zero_frequency_item_rejected_at_construction(self):
+        from repro.exceptions import InvalidItemError
+
+        with pytest.raises(InvalidItemError):
+            DataItem("cold", frequency=0.0, size=1.0)
+
+    def test_zero_frequency_group_rejected_on_allocation_path(self):
+        """Even if a zero slipped past item validation (e.g. a foreign
+        stand-in object), the cost model refuses a channel nobody ever
+        tunes into."""
+        from types import SimpleNamespace
+
+        from repro.core.cost import channel_waiting_time
+        from repro.exceptions import InvalidAllocationError
+
+        phantom = SimpleNamespace(
+            item_id="cold", frequency=0.0, size=1.0, weight=0.0
+        )
+        with pytest.raises(InvalidAllocationError, match="no client"):
+            channel_waiting_time([phantom])
+
+    def test_smoothing_floor_keeps_unseen_items_allocatable(self):
+        trace = make_trace([(0, "a"), (1, "a"), (2, "b")])
+        sizes = {"a": 1.0, "b": 2.0, "c": 3.0}
+        for smoothing in (1e-9, 0.5, 1.0):
+            estimated = estimate_database(
+                trace, sizes, estimator=CountEstimator(smoothing=smoothing)
+            )
+            assert min(item.frequency for item in estimated) > 0.0
+            assert estimated.is_normalized
+
+    def test_sketch_profile_matches_the_same_contract(self):
+        """The streaming path makes the identical smoothing trade."""
+        from repro.workloads.sketch import CountMinSketch
+
+        sketch = CountMinSketch(1024, 4)
+        sketch.add("a")
+        sketch.add("a")
+        profile = sketch.estimate_profile(["a", "b"], smoothing=0.0)
+        assert profile["b"] == 0.0  # same zero-frequency hazard
+        floored = sketch.estimate_profile(["a", "b"], smoothing=1.0)
+        assert floored["b"] > 0.0
+        assert sum(floored.values()) == pytest.approx(1.0)
